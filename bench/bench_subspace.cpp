@@ -1,0 +1,96 @@
+/// \file bench_subspace.cpp
+/// Micro-benchmarks for the subspace machinery of §IV: Gram-Schmidt
+/// extension, projector decomposition, join, and one full image computation
+/// per algorithm on a mid-size workload.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "qts/image.hpp"
+#include "qts/subspace.hpp"
+#include "qts/workloads.hpp"
+
+namespace {
+
+using namespace qts;
+
+void BM_AddState(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Prng rng(1);
+  std::vector<std::vector<cplx>> vecs;
+  for (int i = 0; i < 8; ++i) vecs.push_back(rng.unit_vector(std::size_t{1} << n));
+  for (auto _ : state) {
+    tdd::Manager mgr;
+    Subspace s(mgr, n);
+    for (const auto& v : vecs) s.add_state(ket_from_dense(mgr, n, v));
+    benchmark::DoNotOptimize(s.dim());
+  }
+}
+BENCHMARK(BM_AddState)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_FromProjector(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Prng rng(2);
+  tdd::Manager mgr;
+  Subspace s(mgr, n);
+  for (int i = 0; i < 4; ++i) s.add_state(ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << n)));
+  const tdd::Edge proj = s.projector();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Subspace::from_projector(mgr, n, proj).dim());
+  }
+}
+BENCHMARK(BM_FromProjector)->Arg(4)->Arg(6);
+
+void BM_Join(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Prng rng(3);
+  tdd::Manager mgr;
+  Subspace a(mgr, n);
+  Subspace b(mgr, n);
+  for (int i = 0; i < 3; ++i) {
+    a.add_state(ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << n)));
+    b.add_state(ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << n)));
+  }
+  for (auto _ : state) {
+    Subspace joined = a;
+    joined.join(b);
+    benchmark::DoNotOptimize(joined.dim());
+  }
+}
+BENCHMARK(BM_Join)->Arg(4)->Arg(6);
+
+void BM_ImageBasic(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    tdd::Manager mgr;
+    const auto sys = make_grover_system(mgr, n);
+    BasicImage computer(mgr);
+    benchmark::DoNotOptimize(computer.image(sys, sys.initial).dim());
+  }
+}
+BENCHMARK(BM_ImageBasic)->Arg(6)->Arg(9);
+
+void BM_ImageAddition(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    tdd::Manager mgr;
+    const auto sys = make_grover_system(mgr, n);
+    AdditionImage computer(mgr, 1);
+    benchmark::DoNotOptimize(computer.image(sys, sys.initial).dim());
+  }
+}
+BENCHMARK(BM_ImageAddition)->Arg(6)->Arg(9);
+
+void BM_ImageContraction(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    tdd::Manager mgr;
+    const auto sys = make_grover_system(mgr, n);
+    ContractionImage computer(mgr, 4, 4);
+    benchmark::DoNotOptimize(computer.image(sys, sys.initial).dim());
+  }
+}
+BENCHMARK(BM_ImageContraction)->Arg(6)->Arg(9)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

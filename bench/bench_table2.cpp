@@ -1,0 +1,77 @@
+/// \file bench_table2.cpp
+/// Reproduction harness for Table II of the paper: image computation time of
+/// the contraction-partition algorithm on GroverN as a function of the
+/// partition parameters (k1, k2).
+///
+/// Usage:
+///   bench_table2 [--full] [--primitive] [--n QUBITS] [--kmax K] [--timeout S]
+///
+/// Default: the gate-level (Toffoli-decomposed) Grover15 with k1, k2 ∈ 1..15
+/// — exactly the paper's sweep; --full raises the timeout to the paper's
+/// 3600 s; --primitive uses the compact hyperedge-MCX Grover instead.
+#include <cstring>
+#include <iostream>
+#include <optional>
+
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "qts/image.hpp"
+#include "qts/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qts;
+
+  std::uint32_t n = 15;
+  std::uint32_t kmax = 15;
+  double timeout_s = 60.0;
+  bool primitive = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      timeout_s = 3600.0;
+    } else if (std::strcmp(argv[i], "--primitive") == 0) {
+      primitive = true;
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--kmax") == 0 && i + 1 < argc) {
+      kmax = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_table2 [--full] [--primitive] [--n QUBITS] [--kmax K] "
+                   "[--timeout S]\n";
+      return 1;
+    }
+  }
+
+  std::cout << "Table II — contraction partition on Grover" << n
+            << (primitive ? " (hyperedge-primitive MCX)" : " (Toffoli-decomposed MCX)")
+            << ": image time [s] per (k1, k2); '-' = timeout (" << format_fixed(timeout_s, 0)
+            << " s)\n\n";
+  std::cout << pad_right("k1\\k2", 7);
+  for (std::uint32_t k2 = 1; k2 <= kmax; ++k2) {
+    std::cout << pad_left(std::to_string(k2), 8);
+  }
+  std::cout << "\n";
+
+  for (std::uint32_t k1 = 1; k1 <= kmax; ++k1) {
+    std::cout << pad_right(std::to_string(k1), 7);
+    for (std::uint32_t k2 = 1; k2 <= kmax; ++k2) {
+      tdd::Manager mgr;
+      const TransitionSystem sys =
+          primitive ? make_grover_system(mgr, n) : make_grover_decomposed_system(mgr, n);
+      ContractionImage computer(mgr, k1, k2);
+      computer.set_deadline(Deadline::after(timeout_s));
+      std::optional<double> secs;
+      try {
+        WallTimer timer;
+        (void)computer.image(sys, sys.initial);
+        secs = timer.seconds();
+      } catch (const DeadlineExceeded&) {
+        secs = std::nullopt;
+      }
+      std::cout << pad_left(secs ? format_fixed(*secs, 3) : "-", 8) << std::flush;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

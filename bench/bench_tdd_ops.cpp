@@ -1,0 +1,122 @@
+/// \file bench_tdd_ops.cpp
+/// Micro-benchmarks for the TDD kernel operations (google-benchmark):
+/// hash-consed construction, addition, contraction, slicing, conjugation
+/// and garbage collection at several tensor ranks.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "qts/states.hpp"
+#include "tdd/dense.hpp"
+#include "tdd/manager.hpp"
+
+namespace {
+
+using namespace qts;
+using tdd::Edge;
+using tdd::Level;
+
+std::vector<Level> make_indices(std::size_t rank) {
+  std::vector<Level> idx;
+  for (std::size_t i = 0; i < rank; ++i) idx.push_back(tdd::state_level(static_cast<std::uint32_t>(i)));
+  return idx;
+}
+
+std::vector<cplx> random_dense(Prng& rng, std::size_t rank) {
+  std::vector<cplx> out(std::size_t{1} << rank);
+  for (auto& v : out) v = rng.coin(0.25) ? cplx{0.0, 0.0} : rng.complex_unit_box();
+  return out;
+}
+
+void BM_FromDense(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Prng rng(1);
+  const auto idx = make_indices(rank);
+  const auto dense = random_dense(rng, rank);
+  for (auto _ : state) {
+    tdd::Manager mgr;
+    benchmark::DoNotOptimize(tdd::from_dense(mgr, dense, idx));
+  }
+}
+BENCHMARK(BM_FromDense)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Add(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Prng rng(2);
+  tdd::Manager mgr;
+  const auto idx = make_indices(rank);
+  const Edge a = tdd::from_dense(mgr, random_dense(rng, rank), idx);
+  const Edge b = tdd::from_dense(mgr, random_dense(rng, rank), idx);
+  for (auto _ : state) {
+    mgr.clear_caches();
+    benchmark::DoNotOptimize(mgr.add(a, b));
+  }
+}
+BENCHMARK(BM_Add)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_InnerProduct(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Prng rng(3);
+  tdd::Manager mgr;
+  const auto n = static_cast<std::uint32_t>(rank);
+  const Edge a = ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << rank));
+  const Edge b = ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << rank));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inner(mgr, a, b, n));
+  }
+}
+BENCHMARK(BM_InnerProduct)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Slice(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Prng rng(4);
+  tdd::Manager mgr;
+  const auto idx = make_indices(rank);
+  const Edge a = tdd::from_dense(mgr, random_dense(rng, rank), idx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.slice(a, idx[rank / 2], 1));
+  }
+}
+BENCHMARK(BM_Slice)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Conjugate(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Prng rng(5);
+  tdd::Manager mgr;
+  const auto idx = make_indices(rank);
+  const Edge a = tdd::from_dense(mgr, random_dense(rng, rank), idx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.conjugate(a));
+  }
+}
+BENCHMARK(BM_Conjugate)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_OuterProduct(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Prng rng(6);
+  tdd::Manager mgr;
+  const Edge a = ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(outer(mgr, a, a, n));
+  }
+}
+BENCHMARK(BM_OuterProduct)->Arg(4)->Arg(8)->Arg(10);
+
+void BM_GcSweep(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  Prng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tdd::Manager mgr;
+    const auto idx = make_indices(rank);
+    std::vector<Edge> roots;
+    for (int i = 0; i < 8; ++i) roots.push_back(tdd::from_dense(mgr, random_dense(rng, rank), idx));
+    const std::vector<Edge> keep{roots[0]};
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.gc(keep));
+  }
+}
+BENCHMARK(BM_GcSweep)->Arg(10)->Arg(14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

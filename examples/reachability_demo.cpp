@@ -1,0 +1,68 @@
+/// \file reachability_demo.cpp
+/// Reachability analysis of a user-supplied circuit: reads an OpenQASM 2.0
+/// file (or uses a built-in GHZ circuit), treats the circuit as the single
+/// transition of a quantum transition system starting from |0…0⟩, and
+/// computes the reachable subspace with the contraction-partition engine.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuit/generators.hpp"
+#include "common/error.hpp"
+#include "circuit/qasm.hpp"
+#include "qts/image.hpp"
+#include "qts/reachability.hpp"
+#include "qts/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qts;
+
+  circ::Circuit circuit = circ::make_ghz(4);
+  std::string source = "built-in ghz(4)";
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      circuit = circ::from_qasm(text.str());
+      source = argv[1];
+    } catch (const qts::ParseError& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  tdd::Manager mgr;
+  const std::uint32_t n = circuit.num_qubits();
+  TransitionSystem sys{n,
+                       Subspace::from_states(mgr, n, {ket_basis(mgr, n, 0)}),
+                       {QuantumOperation{"step", {circuit}}}};
+
+  ContractionImage computer(mgr, 4, 4);
+  const auto result = reachable_space(computer, sys, 128);
+
+  std::cout << "circuit:   " << source << "  (" << n << " qubits, " << circuit.size()
+            << " gates)\n"
+            << "reachable: dimension " << result.space.dim() << " of " << (1ull << n) << "\n"
+            << "converged: " << (result.converged ? "yes" : "no") << " after "
+            << result.iterations << " image steps\n"
+            << "peak TDD:  " << computer.stats().peak_nodes << " nodes, "
+            << computer.stats().seconds << " s in image computation\n";
+
+  std::cout << "reachable-basis states (dense amplitudes, up to 4 qubits):\n";
+  if (n <= 4) {
+    for (const auto& b : result.space.basis()) {
+      const auto dense = ket_to_dense(b, n);
+      std::cout << "  [";
+      for (std::size_t i = 0; i < dense.size(); ++i) {
+        std::cout << (i ? ", " : "") << to_string(dense[i]);
+      }
+      std::cout << "]\n";
+    }
+  }
+  return 0;
+}

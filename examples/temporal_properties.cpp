@@ -1,0 +1,59 @@
+/// \file temporal_properties.cpp
+/// Checking temporal properties of quantum circuits with the subspace
+/// lattice: atomic propositions are subspaces (Birkhoff-von Neumann logic),
+/// and the library answers "can the system ever satisfy φ?" (EF-style) and
+/// "does the system always satisfy φ?" (AG-style) questions, forwards and
+/// backwards.
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "qts/backward.hpp"
+#include "qts/properties.hpp"
+#include "qts/reachability.hpp"
+#include "qts/workloads.hpp"
+
+int main() {
+  using namespace qts;
+
+  tdd::Manager mgr;
+
+  // System: repeated noisy quantum-walk steps on an 8-cycle from |0⟩|000⟩.
+  const TransitionSystem sys = make_qrw_system(mgr, 4, 0.2, /*noisy=*/true, 0);
+  ContractionImage computer(mgr, 2, 2);
+
+  // φ1: "the walker can eventually stand on position 4".
+  Subspace at4(mgr, 4);
+  at4.add_state(ket_basis(mgr, 4, 4));      // coin 0
+  at4.add_state(ket_basis(mgr, 4, 8 + 4));  // coin 1
+  const auto ef = eventually_reaches(computer, sys, at4, 32);
+  std::cout << "EF(position = 4): " << (ef.possible ? "possible" : "impossible") << " after "
+            << ef.iterations << " image steps\n";
+
+  // φ2: "the walk stays inside the even-position subspace" — false: each
+  // step moves to an adjacent (odd) position.
+  Subspace even(mgr, 4);
+  for (std::uint64_t pos : {0u, 2u, 4u, 6u}) {
+    even.add_state(ket_basis(mgr, 4, pos));
+    even.add_state(ket_basis(mgr, 4, 8 + pos));
+  }
+  const auto ag = check_invariant(computer, sys, even, 32);
+  std::cout << "AG(position even):  " << (ag.holds ? "holds" : "violated") << " at step "
+            << ag.iterations << "\n";
+
+  // φ3: which states can reach "position 0, coin 0" in up to 8 steps?
+  Subspace home(mgr, 4);
+  home.add_state(ket_basis(mgr, 4, 0));
+  const auto back = backward_reachable(computer, sys, home, 8);
+  std::cout << "pre^8(|0,0>):       dimension " << back.space.dim() << " of 16\n";
+
+  // Lattice operations on propositions: meet of "position in {0,1}" and
+  // "coin = 0" is the two-dimensional "coin 0, position in {0,1}".
+  Subspace pos01(mgr, 4);
+  for (std::uint64_t i : {0u, 1u, 8u, 9u}) pos01.add_state(ket_basis(mgr, 4, i));
+  Subspace coin0(mgr, 4);
+  for (std::uint64_t p = 0; p < 8; ++p) coin0.add_state(ket_basis(mgr, 4, p));
+  const Subspace both = pos01.intersect(coin0);
+  std::cout << "meet example:       dim(pos01 ^ coin0) = " << both.dim() << " (expected 2)\n";
+
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "circuit/adjoint.hpp"
+
+#include <complex>
+
+namespace qts::circ {
+
+Gate adjoint(const Gate& g) {
+  return Gate(g.name() + "_dg", g.base().adjoint(), g.targets(), g.controls());
+}
+
+Circuit adjoint(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  for (auto it = c.gates().rbegin(); it != c.gates().rend(); ++it) {
+    out.add(adjoint(*it));
+  }
+  out.set_global_factor(std::conj(c.global_factor()));
+  return out;
+}
+
+}  // namespace qts::circ

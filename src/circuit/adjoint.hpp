@@ -1,0 +1,18 @@
+/// \file adjoint.hpp
+/// Adjoint (dagger) of circuits and gates.  For a unitary circuit this is
+/// the inverse; for Kraus circuits with projector gates it produces the
+/// adjoint Kraus operator E†, which is what backward image computation
+/// (pre-image of a subspace) needs.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qts::circ {
+
+/// g† : adjoint base matrix, same targets/controls.
+Gate adjoint(const Gate& g);
+
+/// C† : gates reversed and adjointed, global factor conjugated.
+Circuit adjoint(const Circuit& c);
+
+}  // namespace qts::circ

@@ -1,0 +1,28 @@
+#include "circuit/circuit.hpp"
+
+#include "common/error.hpp"
+
+namespace qts::circ {
+
+Circuit& Circuit::add(Gate g) {
+  require(g.max_qubit() < num_qubits_, "gate references a qubit beyond the circuit width");
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  require(other.num_qubits() == num_qubits_, "appending a circuit of different width");
+  for (const auto& g : other.gates()) gates_.push_back(g);
+  global_factor_ *= other.global_factor();
+  return *this;
+}
+
+std::size_t Circuit::multi_qubit_gate_count() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (g.multi_qubit()) ++n;
+  }
+  return n;
+}
+
+}  // namespace qts::circ

@@ -1,0 +1,95 @@
+/// \file circuit.hpp
+/// Quantum circuit container with fluent builder helpers.
+///
+/// A Circuit is an ordered list of gate applications on `num_qubits` wires,
+/// plus an optional global scalar factor.  The factor lets a circuit stand
+/// for a scaled Kraus operator such as √p·(S·H) in the noisy-walk example of
+/// §III-A-3 without a dedicated "scalar gate".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "circuit/gates.hpp"
+#include "common/complex.hpp"
+
+namespace qts::circ {
+
+class Circuit {
+ public:
+  explicit Circuit(std::uint32_t num_qubits) : num_qubits_(num_qubits) {}
+
+  [[nodiscard]] std::uint32_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] bool empty() const { return gates_.empty(); }
+
+  [[nodiscard]] const cplx& global_factor() const { return global_factor_; }
+  Circuit& set_global_factor(const cplx& f) {
+    global_factor_ = f;
+    return *this;
+  }
+
+  /// Append a gate (validated against the circuit width).
+  Circuit& add(Gate g);
+
+  /// Append every gate of `other` (widths must agree; factors multiply).
+  Circuit& append(const Circuit& other);
+
+  // -- fluent single-qubit helpers -----------------------------------------
+  Circuit& h(std::uint32_t q) { return add(Gate("h", circ::h(), {q})); }
+  Circuit& x(std::uint32_t q) { return add(Gate("x", circ::x(), {q})); }
+  Circuit& y(std::uint32_t q) { return add(Gate("y", circ::y(), {q})); }
+  Circuit& z(std::uint32_t q) { return add(Gate("z", circ::z(), {q})); }
+  Circuit& s(std::uint32_t q) { return add(Gate("s", circ::s(), {q})); }
+  Circuit& sdg(std::uint32_t q) { return add(Gate("sdg", circ::sdg(), {q})); }
+  Circuit& t(std::uint32_t q) { return add(Gate("t", t_gate(), {q})); }
+  Circuit& tdg(std::uint32_t q) { return add(Gate("tdg", circ::tdg(), {q})); }
+  Circuit& sx(std::uint32_t q) { return add(Gate("sx", circ::sx(), {q})); }
+  Circuit& rx(std::uint32_t q, double th) { return add(Gate("rx", circ::rx(th), {q})); }
+  Circuit& ry(std::uint32_t q, double th) { return add(Gate("ry", circ::ry(th), {q})); }
+  Circuit& rz(std::uint32_t q, double th) { return add(Gate("rz", circ::rz(th), {q})); }
+  Circuit& p(std::uint32_t q, double th) { return add(Gate("p", circ::phase(th), {q})); }
+
+  /// Measurement-branch projectors (make the circuit non-unitary).
+  Circuit& proj(std::uint32_t q, int outcome) {
+    return add(Gate(outcome == 0 ? "proj0" : "proj1",
+                    outcome == 0 ? circ::proj0() : circ::proj1(), {q}));
+  }
+
+  // -- controlled / multi-qubit helpers ------------------------------------
+  Circuit& cx(std::uint32_t c, std::uint32_t t) {
+    return add(Gate("cx", circ::x(), {t}, {{c, true}}));
+  }
+  Circuit& cz(std::uint32_t c, std::uint32_t t) {
+    return add(Gate("cz", circ::z(), {t}, {{c, true}}));
+  }
+  Circuit& cp(std::uint32_t c, std::uint32_t t, double th) {
+    return add(Gate("cp", circ::phase(th), {t}, {{c, true}}));
+  }
+  Circuit& ccx(std::uint32_t c1, std::uint32_t c2, std::uint32_t t) {
+    return add(Gate("ccx", circ::x(), {t}, {{c1, true}, {c2, true}}));
+  }
+  /// Multi-controlled X with arbitrary positive/negative controls.
+  Circuit& mcx(std::vector<Control> controls, std::uint32_t t) {
+    return add(Gate("mcx", circ::x(), {t}, std::move(controls)));
+  }
+  /// Multi-controlled Z (diagonal; all controls positive).
+  Circuit& mcz(std::vector<Control> controls, std::uint32_t t) {
+    return add(Gate("mcz", circ::z(), {t}, std::move(controls)));
+  }
+  Circuit& swap(std::uint32_t a, std::uint32_t b) {
+    return add(Gate("swap", swap_matrix(), {a, b}));
+  }
+
+  /// Number of multi-qubit gates (the paper's partitioning statistic).
+  [[nodiscard]] std::size_t multi_qubit_gate_count() const;
+
+ private:
+  std::uint32_t num_qubits_;
+  std::vector<Gate> gates_;
+  cplx global_factor_{1.0, 0.0};
+};
+
+}  // namespace qts::circ

@@ -1,0 +1,45 @@
+#include "circuit/gate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "circuit/gates.hpp"
+#include "common/error.hpp"
+
+namespace qts::circ {
+
+Gate::Gate(std::string name, la::Matrix base, std::vector<std::uint32_t> targets,
+           std::vector<Control> controls)
+    : name_(std::move(name)),
+      base_(std::move(base)),
+      targets_(std::move(targets)),
+      controls_(std::move(controls)),
+      diagonal_(is_diagonal(base_)) {
+  require(!targets_.empty(), "gate needs at least one target");
+  require(base_.rows() == base_.cols(), "gate base matrix must be square");
+  require(base_.rows() == (std::size_t{1} << targets_.size()),
+          "gate base matrix size must be 2^#targets");
+  std::unordered_set<std::uint32_t> seen;
+  for (auto q : targets_) {
+    require(seen.insert(q).second, "duplicate qubit in gate targets");
+  }
+  for (const auto& c : controls_) {
+    require(seen.insert(c.qubit).second, "control qubit collides with another wire");
+  }
+}
+
+std::vector<std::uint32_t> Gate::qubits() const {
+  std::vector<std::uint32_t> out = targets_;
+  out.reserve(targets_.size() + controls_.size());
+  for (const auto& c : controls_) out.push_back(c.qubit);
+  return out;
+}
+
+std::uint32_t Gate::max_qubit() const {
+  std::uint32_t m = 0;
+  for (auto q : targets_) m = std::max(m, q);
+  for (const auto& c : controls_) m = std::max(m, c.qubit);
+  return m;
+}
+
+}  // namespace qts::circ

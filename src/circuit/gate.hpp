@@ -1,0 +1,63 @@
+/// \file gate.hpp
+/// A gate application: a base matrix on target qubits plus any number of
+/// (positive or negative) control qubits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qts::circ {
+
+/// A control wire.  `positive == false` means the gate fires on |0⟩
+/// (negative control), which the quantum-walk shift circuits need.
+struct Control {
+  std::uint32_t qubit;
+  bool positive = true;
+
+  friend bool operator==(const Control&, const Control&) = default;
+};
+
+/// One gate application.  The base matrix acts on `targets` (2^t × 2^t, with
+/// targets[0] the most significant bit); it is applied iff every control is
+/// satisfied, and the identity acts otherwise.  Non-unitary bases (projector
+/// gates) are allowed — they arise as measurement branches of dynamic
+/// circuits and as pieces of Kraus operators.
+class Gate {
+ public:
+  Gate(std::string name, la::Matrix base, std::vector<std::uint32_t> targets,
+       std::vector<Control> controls = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const la::Matrix& base() const { return base_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& targets() const { return targets_; }
+  [[nodiscard]] const std::vector<Control>& controls() const { return controls_; }
+
+  /// True if the base matrix is diagonal (drives the hyperedge index rule).
+  [[nodiscard]] bool diagonal() const { return diagonal_; }
+
+  /// Number of target qubits.
+  [[nodiscard]] std::size_t arity() const { return targets_.size(); }
+
+  /// True if the gate touches more than one qubit (targets + controls);
+  /// this is the paper's "multi-qubit gate" notion used by the contraction
+  /// partitioner's k2 counter.
+  [[nodiscard]] bool multi_qubit() const { return targets_.size() + controls_.size() > 1; }
+
+  /// All qubits the gate touches (targets then controls, unsorted).
+  [[nodiscard]] std::vector<std::uint32_t> qubits() const;
+
+  /// Largest qubit id referenced (for validation against the circuit width).
+  [[nodiscard]] std::uint32_t max_qubit() const;
+
+ private:
+  std::string name_;
+  la::Matrix base_;
+  std::vector<std::uint32_t> targets_;
+  std::vector<Control> controls_;
+  bool diagonal_;
+};
+
+}  // namespace qts::circ

@@ -1,0 +1,74 @@
+#include "circuit/gates.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qts::circ {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+const cplx kI{0.0, 1.0};
+}  // namespace
+
+la::Matrix id2() { return {{1, 0}, {0, 1}}; }
+
+la::Matrix h() {
+  return {{kInvSqrt2, kInvSqrt2}, {kInvSqrt2, -kInvSqrt2}};
+}
+
+la::Matrix x() { return {{0, 1}, {1, 0}}; }
+
+la::Matrix y() { return {{0, -kI}, {kI, 0}}; }
+
+la::Matrix z() { return {{1, 0}, {0, -1}}; }
+
+la::Matrix s() { return {{1, 0}, {0, kI}}; }
+
+la::Matrix sdg() { return {{1, 0}, {0, -kI}}; }
+
+la::Matrix t_gate() { return {{1, 0}, {0, std::polar(1.0, std::numbers::pi / 4)}}; }
+
+la::Matrix tdg() { return {{1, 0}, {0, std::polar(1.0, -std::numbers::pi / 4)}}; }
+
+la::Matrix sx() {
+  const cplx a{0.5, 0.5};
+  const cplx b{0.5, -0.5};
+  return {{a, b}, {b, a}};
+}
+
+la::Matrix rx(double theta) {
+  const double c = std::cos(theta / 2);
+  const double sn = std::sin(theta / 2);
+  return {{c, -kI * sn}, {-kI * sn, c}};
+}
+
+la::Matrix ry(double theta) {
+  const double c = std::cos(theta / 2);
+  const double sn = std::sin(theta / 2);
+  return {{c, -sn}, {sn, c}};
+}
+
+la::Matrix rz(double theta) {
+  return {{std::polar(1.0, -theta / 2), 0}, {0, std::polar(1.0, theta / 2)}};
+}
+
+la::Matrix phase(double theta) { return {{1, 0}, {0, std::polar(1.0, theta)}}; }
+
+la::Matrix swap_matrix() {
+  return {{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+}
+
+la::Matrix proj0() { return {{1, 0}, {0, 0}}; }
+
+la::Matrix proj1() { return {{0, 0}, {0, 1}}; }
+
+bool is_diagonal(const la::Matrix& m, double eps) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (r != c && std::abs(m(r, c)) > eps) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qts::circ

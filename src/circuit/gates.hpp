@@ -1,0 +1,35 @@
+/// \file gates.hpp
+/// Standard gate matrices.  All are 2x2 except swap_matrix() (4x4).  The
+/// projector "gates" proj0/proj1 are non-unitary; they model measurement
+/// branches in dynamic circuits (§III-A-2 of the paper).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qts::circ {
+
+la::Matrix id2();
+la::Matrix h();
+la::Matrix x();
+la::Matrix y();
+la::Matrix z();
+la::Matrix s();
+la::Matrix sdg();
+la::Matrix t_gate();
+la::Matrix tdg();
+la::Matrix sx();
+la::Matrix rx(double theta);
+la::Matrix ry(double theta);
+la::Matrix rz(double theta);
+/// Phase gate diag(1, e^{i·theta}).
+la::Matrix phase(double theta);
+la::Matrix swap_matrix();
+/// Measurement-branch projectors |0⟩⟨0| and |1⟩⟨1|.
+la::Matrix proj0();
+la::Matrix proj1();
+
+/// True if `m` is (approximately) diagonal.  Diagonal gate tensors reuse the
+/// input index as the output index (the hyperedge rule of §V-A).
+bool is_diagonal(const la::Matrix& m, double eps = 1e-12);
+
+}  // namespace qts::circ

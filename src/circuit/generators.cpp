@@ -1,0 +1,246 @@
+#include "circuit/generators.hpp"
+
+#include <cmath>
+
+#include "circuit/adjoint.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qts::circ {
+
+Circuit make_ghz(std::uint32_t n) {
+  require(n >= 1, "GHZ needs at least 1 qubit");
+  Circuit c(n);
+  c.h(0);
+  for (std::uint32_t q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  return c;
+}
+
+Circuit make_bv(std::uint32_t n, std::vector<bool> secret) {
+  require(n >= 2, "BV needs at least 2 qubits (data + ancilla)");
+  const std::uint32_t data = n - 1;
+  if (secret.empty()) {
+    secret.resize(data);
+    for (std::uint32_t i = 0; i < data; ++i) secret[i] = (i % 2 == 0);
+  }
+  require(secret.size() == data, "BV secret length must be n-1");
+  Circuit c(n);
+  c.x(n - 1);
+  for (std::uint32_t q = 0; q < n; ++q) c.h(q);
+  for (std::uint32_t i = 0; i < data; ++i) {
+    if (secret[i]) c.cx(i, n - 1);
+  }
+  for (std::uint32_t q = 0; q < data; ++q) c.h(q);
+  return c;
+}
+
+Circuit make_qft(std::uint32_t n) {
+  require(n >= 1, "QFT needs at least 1 qubit");
+  Circuit c(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    c.h(i);
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      c.cp(j, i, std::numbers::pi / static_cast<double>(1u << (j - i)));
+    }
+  }
+  return c;
+}
+
+Circuit make_grover_iteration(std::uint32_t n) {
+  require(n >= 2, "Grover needs at least 2 qubits (search + output)");
+  const std::uint32_t search = n - 1;
+  Circuit c(n);
+
+  // Oracle O|x⟩|y⟩ = |x⟩|f(x) ⊕ y⟩ with f = AND of the search bits.
+  std::vector<Control> all_search;
+  for (std::uint32_t q = 0; q < search; ++q) all_search.push_back({q, true});
+  c.mcx(all_search, n - 1);
+
+  // Reflection 2|ψ⟩⟨ψ| − I on the search register.
+  for (std::uint32_t q = 0; q < search; ++q) c.h(q);
+  for (std::uint32_t q = 0; q < search; ++q) c.x(q);
+  // Multi-controlled Z on the search register via the H·MCX·H sandwich on
+  // the last search qubit (Fig. 2's middle block).
+  c.h(search - 1);
+  std::vector<Control> upper;
+  for (std::uint32_t q = 0; q + 1 < search; ++q) upper.push_back({q, true});
+  c.mcx(upper, search - 1);
+  c.h(search - 1);
+  for (std::uint32_t q = 0; q < search; ++q) c.x(q);
+  for (std::uint32_t q = 0; q < search; ++q) c.h(q);
+  return c;
+}
+
+void append_mcx_vchain(Circuit& c, const std::vector<Control>& controls, std::uint32_t target,
+                       std::uint32_t ancilla_start) {
+  const std::size_t k = controls.size();
+  if (k <= 2) {
+    c.add(Gate(k == 2 ? "ccx" : (k == 1 ? "cx" : "x"), x(), {target}, controls));
+    return;
+  }
+  // Compute chain: a_0 = c_0 ∧ c_1, a_i = a_{i-1} ∧ c_{i+1}.
+  const auto a = [&](std::size_t i) { return ancilla_start + static_cast<std::uint32_t>(i); };
+  c.add(Gate("ccx", x(), {a(0)}, {controls[0], controls[1]}));
+  for (std::size_t i = 2; i + 1 < k; ++i) {
+    c.add(Gate("ccx", x(), {a(i - 1)}, {controls[i], {a(i - 2), true}}));
+  }
+  // Apply, then uncompute in reverse.
+  c.add(Gate("ccx", x(), {target}, {controls[k - 1], {a(k - 3), true}}));
+  for (std::size_t i = k - 2; i >= 2; --i) {
+    c.add(Gate("ccx", x(), {a(i - 1)}, {controls[i], {a(i - 2), true}}));
+  }
+  c.add(Gate("ccx", x(), {a(0)}, {controls[0], controls[1]}));
+}
+
+Circuit make_grover_iteration_decomposed(std::uint32_t n) {
+  require(n >= 5 && n % 2 == 1,
+          "decomposed Grover needs an odd total qubit count >= 5 (s search + 1 oracle + s-2 "
+          "ancillas)");
+  const std::uint32_t s = (n + 1) / 2;  // search qubits q0..q_{s-1}
+  const std::uint32_t target = s;       // oracle output qubit
+  const std::uint32_t anc = s + 1;      // ancillas q_{s+1}..q_{n-1}
+  Circuit c(n);
+
+  std::vector<Control> all_search;
+  for (std::uint32_t q = 0; q < s; ++q) all_search.push_back({q, true});
+  append_mcx_vchain(c, all_search, target, anc);
+
+  for (std::uint32_t q = 0; q < s; ++q) c.h(q);
+  for (std::uint32_t q = 0; q < s; ++q) c.x(q);
+  c.h(s - 1);
+  std::vector<Control> upper;
+  for (std::uint32_t q = 0; q + 1 < s; ++q) upper.push_back({q, true});
+  append_mcx_vchain(c, upper, s - 1, anc);
+  c.h(s - 1);
+  for (std::uint32_t q = 0; q < s; ++q) c.x(q);
+  for (std::uint32_t q = 0; q < s; ++q) c.h(q);
+  return c;
+}
+
+Circuit make_qrw_shift(std::uint32_t n) {
+  require(n >= 2, "QRW needs a coin and at least one position qubit");
+  Circuit c(n);
+  // Decrement the position register (mod 2^(n-1)) when the coin is |0⟩:
+  // bit q flips iff the coin is 0 and all lower bits are 0 (borrow chain).
+  // MSB first so every gate reads the original values of the lower bits.
+  for (std::uint32_t q = 1; q < n; ++q) {
+    std::vector<Control> ctl{{0u, false}};
+    for (std::uint32_t k = q + 1; k < n; ++k) ctl.push_back({k, false});
+    c.mcx(std::move(ctl), q);
+  }
+  // Increment when the coin is |1⟩: bit q flips iff all lower bits are 1.
+  for (std::uint32_t q = 1; q < n; ++q) {
+    std::vector<Control> ctl{{0u, true}};
+    for (std::uint32_t k = q + 1; k < n; ++k) ctl.push_back({k, true});
+    c.mcx(std::move(ctl), q);
+  }
+  return c;
+}
+
+Circuit make_qrw_step(std::uint32_t n) {
+  Circuit c(n);
+  c.h(0);
+  c.append(make_qrw_shift(n));
+  return c;
+}
+
+Circuit make_w_state(std::uint32_t n) {
+  require(n >= 1, "W state needs at least 1 qubit");
+  Circuit c(n);
+  c.x(0);
+  for (std::uint32_t k = 1; k < n; ++k) {
+    // Split amplitude so |0…010…0⟩ with the 1 at position k-1 keeps 1/√n.
+    const double theta = 2.0 * std::acos(std::sqrt(1.0 / static_cast<double>(n - k + 1)));
+    c.add(Gate("cry", ry(theta), {k}, {{k - 1, true}}));
+    c.cx(k, k - 1);
+  }
+  return c;
+}
+
+Circuit make_qpe(std::uint32_t n, double phase) {
+  require(n >= 2, "QPE needs at least 1 counting qubit + 1 target");
+  const std::uint32_t m = n - 1;  // counting qubits q0..q_{m-1}
+  Circuit c(n);
+  c.x(n - 1);  // P-eigenstate |1⟩
+  for (std::uint32_t i = 0; i < m; ++i) c.h(i);
+  // Exponents chosen for our swap-free QFT convention (see make_qft): the
+  // inverse-QFT readout then leaves |k⟩ with q0 as the most significant bit
+  // of k when phase = k / 2^m.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const double angle = 2.0 * std::numbers::pi * phase * std::ldexp(1.0, static_cast<int>(i));
+    c.cp(i, n - 1, angle);
+  }
+  const Circuit iqft = adjoint(make_qft(m));
+  for (const auto& g : iqft.gates()) c.add(g);
+  return c;
+}
+
+Circuit make_cuccaro_adder(std::uint32_t bits) {
+  require(bits >= 1, "adder needs at least 1 bit");
+  const std::uint32_t k = bits;
+  const std::uint32_t n = 2 * k + 2;
+  // Layout: q0 = carry-in ancilla, q1..qk = a (LSB first), q_{k+1}..q_{2k} =
+  // b (LSB first), q_{2k+1} = carry out.
+  const auto a = [&](std::uint32_t i) { return 1 + i; };          // i in 0..k-1
+  const auto b = [&](std::uint32_t i) { return k + 1 + i; };      // i in 0..k-1
+  const std::uint32_t z = 2 * k + 1;
+  Circuit c(n);
+  auto maj = [&](std::uint32_t ci, std::uint32_t bi, std::uint32_t ai) {
+    c.cx(ai, bi);
+    c.cx(ai, ci);
+    c.ccx(ci, bi, ai);
+  };
+  auto uma = [&](std::uint32_t ci, std::uint32_t bi, std::uint32_t ai) {
+    c.ccx(ci, bi, ai);
+    c.cx(ai, ci);
+    c.cx(ci, bi);
+  };
+  maj(0, b(0), a(0));
+  for (std::uint32_t i = 1; i < k; ++i) maj(a(i - 1), b(i), a(i));
+  c.cx(a(k - 1), z);
+  for (std::uint32_t i = k; i-- > 1;) uma(a(i - 1), b(i), a(i));
+  uma(0, b(0), a(0));
+  return c;
+}
+
+Circuit make_random(std::uint32_t n, std::size_t depth, Prng& rng) {
+  require(n >= 1, "random circuit needs at least 1 qubit");
+  Circuit c(n);
+  for (std::size_t step = 0; step < depth; ++step) {
+    const auto q = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+    const int kind = static_cast<int>(rng.uniform_int(0, n >= 2 ? 9 : 5));
+    switch (kind) {
+      case 0: c.h(q); break;
+      case 1: c.x(q); break;
+      case 2: c.z(q); break;
+      case 3: c.s(q); break;
+      case 4: c.t(q); break;
+      case 5: c.rz(q, rng.uniform(0.0, 2.0 * std::numbers::pi)); break;
+      default: {
+        auto r = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+        while (r == q) r = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+        if (kind == 6) {
+          c.cx(q, r);
+        } else if (kind == 7) {
+          c.cz(q, r);
+        } else if (kind == 8) {
+          c.cp(q, r, rng.uniform(0.0, 2.0 * std::numbers::pi));
+        } else {
+          if (n >= 3) {
+            auto u = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+            while (u == q || u == r) u = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+            c.ccx(q, r, u);
+          } else {
+            c.cx(q, r);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace qts::circ

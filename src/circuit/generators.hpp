@@ -1,0 +1,78 @@
+/// \file generators.hpp
+/// Circuit families used by the paper's evaluation (§VI): GHZ preparation,
+/// Bernstein-Vazirani, QFT, Grover iteration, and the cycle quantum random
+/// walk of Fig. 4, plus random circuits for property-based testing.
+///
+/// Naming matches the paper: "GroverN", "QFTN", "BVN", "GHZN", "QRWN" all
+/// take the *total* qubit count N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/prng.hpp"
+
+namespace qts::circ {
+
+/// GHZ-state preparation: H on qubit 0 followed by a CX chain.
+Circuit make_ghz(std::uint32_t n);
+
+/// Bernstein-Vazirani with hidden string `secret` over the first n-1 qubits
+/// (qubit n-1 is the |−⟩ ancilla).  If `secret` is empty the alternating
+/// pattern 1,0,1,0,... is used.
+Circuit make_bv(std::uint32_t n, std::vector<bool> secret = {});
+
+/// Quantum Fourier transform (H + controlled-phase ladder; no final swaps,
+/// the usual benchmark convention).
+Circuit make_qft(std::uint32_t n);
+
+/// One Grover iteration on n qubits = n-1 search qubits + 1 oracle output
+/// qubit (Fig. 2 generalised).  The oracle marks x = 1...1 (f = AND), the
+/// reflection is the standard H/X/multi-controlled-Z/X/H sandwich on the
+/// search qubits.
+Circuit make_grover_iteration(std::uint32_t n);
+
+/// One noiseless step of the quantum walk on a cycle of length 2^(n-1):
+/// qubit 0 is the coin, qubits 1..n-1 the position register (qubit 1 = MSB).
+/// H on the coin, then the conditional shift of Fig. 4: decrement when the
+/// coin is |0⟩, increment when it is |1⟩, both as multi-controlled-X
+/// cascades.
+Circuit make_qrw_step(std::uint32_t n);
+
+/// The conditional-shift part of the walk alone (no coin flip).
+Circuit make_qrw_shift(std::uint32_t n);
+
+/// Append a multi-controlled X decomposed into a Toffoli V-chain using
+/// clean ancillas (ancilla_start .. ancilla_start + controls.size() - 3).
+/// Ancillas are computed and uncomputed, so they return to |0⟩.  Falls back
+/// to a plain (C)CX for fewer than three controls.
+void append_mcx_vchain(Circuit& c, const std::vector<Control>& controls, std::uint32_t target,
+                       std::uint32_t ancilla_start);
+
+/// Grover iteration with every multi-controlled gate decomposed into
+/// Toffolis (V-chain).  `n` is the TOTAL qubit count and must be odd and
+/// >= 5: s = (n+1)/2 search qubits, 1 oracle qubit, s-2 clean ancillas.
+/// This is the encoding a gate-level benchmark suite would use, and it
+/// exhibits the TDD blow-up of the paper's Grover rows, unlike the compact
+/// hyperedge-primitive MCX of make_grover_iteration.
+Circuit make_grover_iteration_decomposed(std::uint32_t n);
+
+/// W-state preparation |W_n⟩ = (|10…0⟩ + |01…0⟩ + … + |0…01⟩)/√n via the
+/// standard cascade of Ry rotations and CX gates.
+Circuit make_w_state(std::uint32_t n);
+
+/// Quantum phase estimation of the phase gate P(2π·phase) on one target
+/// qubit (qubit n-1), with n-1 counting qubits read out by an inverse QFT.
+/// The target is prepared in the P-eigenstate |1⟩ by an X gate.
+Circuit make_qpe(std::uint32_t n, double phase);
+
+/// Cuccaro ripple-carry adder: |a⟩|b⟩|0⟩ → |a⟩|a+b⟩|carry⟩ on 2k+2 qubits
+/// (k-bit registers a = q1..qk and b = q_{k+1}..q_{2k}, LSB first;
+/// q0 is the borrowed ancilla, q_{2k+1} the carry-out).
+Circuit make_cuccaro_adder(std::uint32_t bits);
+
+/// Random circuit over {H,X,Z,S,T,Rz,CX,CZ,CP,CCX} for property tests.
+Circuit make_random(std::uint32_t n, std::size_t depth, Prng& rng);
+
+}  // namespace qts::circ

@@ -1,0 +1,113 @@
+#include "circuit/noise.hpp"
+
+#include <cmath>
+
+#include "circuit/gates.hpp"
+#include "common/error.hpp"
+
+namespace qts::circ {
+
+bool Channel::is_trace_preserving(double eps) const {
+  if (kraus.empty()) return false;
+  la::Matrix acc(2, 2);
+  for (const auto& e : kraus) acc += e.adjoint().mul(e);
+  return acc.approx(la::Matrix::identity(2), eps);
+}
+
+namespace {
+
+void check_probability(double p) {
+  require(p >= 0.0 && p <= 1.0, "noise probability must lie in [0, 1]");
+}
+
+Channel scaled_pauli_channel(std::string name, double p, const la::Matrix& pauli) {
+  check_probability(p);
+  Channel ch{std::move(name), {}};
+  ch.kraus.push_back(id2() * cplx{std::sqrt(1.0 - p), 0.0});
+  ch.kraus.push_back(pauli * cplx{std::sqrt(p), 0.0});
+  return ch;
+}
+
+/// If `e` is a scaled unitary c·U, return (U, c); otherwise (e, 1).
+std::pair<la::Matrix, cplx> factor_scaled_unitary(const la::Matrix& e) {
+  // c² tr(U†U) = tr(E†E) = 2|c|² for unitary U; test E/|c| for unitarity.
+  const double c2 = (e.adjoint().mul(e)).trace().real() / 2.0;
+  if (c2 <= 1e-18) return {e, cplx{1.0, 0.0}};
+  const double c = std::sqrt(c2);
+  la::Matrix u = e * cplx{1.0 / c, 0.0};
+  if (u.is_unitary(1e-9)) return {u, cplx{c, 0.0}};
+  return {e, cplx{1.0, 0.0}};
+}
+
+}  // namespace
+
+Channel bit_flip(double p) { return scaled_pauli_channel("bit-flip", p, x()); }
+
+Channel phase_flip(double p) { return scaled_pauli_channel("phase-flip", p, z()); }
+
+Channel bit_phase_flip(double p) { return scaled_pauli_channel("bit-phase-flip", p, y()); }
+
+Channel depolarizing(double p) {
+  check_probability(p);
+  Channel ch{"depolarizing", {}};
+  ch.kraus.push_back(id2() * cplx{std::sqrt(1.0 - 0.75 * p), 0.0});
+  ch.kraus.push_back(x() * cplx{std::sqrt(p / 4.0), 0.0});
+  ch.kraus.push_back(y() * cplx{std::sqrt(p / 4.0), 0.0});
+  ch.kraus.push_back(z() * cplx{std::sqrt(p / 4.0), 0.0});
+  return ch;
+}
+
+Channel amplitude_damping(double gamma) {
+  check_probability(gamma);
+  Channel ch{"amplitude-damping", {}};
+  ch.kraus.push_back(la::Matrix{{1, 0}, {0, std::sqrt(1.0 - gamma)}});
+  ch.kraus.push_back(la::Matrix{{0, std::sqrt(gamma)}, {0, 0}});
+  return ch;
+}
+
+Channel phase_damping(double lambda) {
+  check_probability(lambda);
+  Channel ch{"phase-damping", {}};
+  ch.kraus.push_back(la::Matrix{{1, 0}, {0, std::sqrt(1.0 - lambda)}});
+  ch.kraus.push_back(la::Matrix{{0, 0}, {0, std::sqrt(lambda)}});
+  return ch;
+}
+
+std::vector<Circuit> apply_channel(const std::vector<Circuit>& base, const Channel& channel,
+                                   std::uint32_t qubit) {
+  require(!base.empty(), "apply_channel needs at least one base circuit");
+  require(!channel.kraus.empty(), "channel has no Kraus operators");
+  std::vector<Circuit> out;
+  out.reserve(base.size() * channel.kraus.size());
+  for (const auto& circuit : base) {
+    require(qubit < circuit.num_qubits(), "channel qubit out of range");
+    for (std::size_t i = 0; i < channel.kraus.size(); ++i) {
+      Circuit c = circuit;
+      const auto [u, factor] = factor_scaled_unitary(channel.kraus[i]);
+      // Identity Kraus pieces only contribute their amplitude.
+      if (!u.approx(id2(), 1e-12)) {
+        c.add(Gate(channel.name + "[" + std::to_string(i) + "]", u, {qubit}));
+      }
+      c.set_global_factor(c.global_factor() * factor);
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::vector<Circuit> noisy_circuit_family(const Circuit& circuit, const Channel& channel,
+                                          std::size_t max_kraus) {
+  // Build incrementally: after appending each gate, branch over the channel
+  // on that gate's first target qubit.
+  std::vector<Circuit> family{Circuit(circuit.num_qubits())};
+  family.front().set_global_factor(circuit.global_factor());
+  for (const auto& g : circuit.gates()) {
+    for (auto& c : family) c.add(g);
+    family = apply_channel(family, channel, g.targets().front());
+    require(family.size() <= max_kraus,
+            "noisy circuit family exceeds max_kraus; reduce the circuit or the bound");
+  }
+  return family;
+}
+
+}  // namespace qts::circ

@@ -1,0 +1,61 @@
+/// \file noise.hpp
+/// Standard single-qubit noise channels in Kraus form, and helpers to build
+/// noisy Kraus-circuit families from a base circuit (§III-A-3 generalised).
+///
+/// A channel is a set of 2x2 Kraus matrices {E_i} with Σ E_i†E_i = I.  A
+/// noisy operation is represented, as in the paper, by one circuit per
+/// Kraus-operator choice; amplitudes are carried by the circuits' global
+/// factors when the Kraus operator is a scaled unitary, and by non-unitary
+/// gate matrices otherwise (e.g. amplitude damping).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qts::circ {
+
+/// A single-qubit noise channel: a list of 2x2 Kraus matrices.
+struct Channel {
+  std::string name;
+  std::vector<la::Matrix> kraus;
+
+  /// Σ E†E ≈ I (trace preservation).
+  [[nodiscard]] bool is_trace_preserving(double eps = 1e-9) const;
+};
+
+/// Bit flip: {√(1-p)·I, √p·X}.
+Channel bit_flip(double p);
+
+/// Phase flip: {√(1-p)·I, √p·Z}.
+Channel phase_flip(double p);
+
+/// Bit-phase flip: {√(1-p)·I, √p·Y}.
+Channel bit_phase_flip(double p);
+
+/// Depolarizing: {√(1-3p/4)·I, √(p/4)·X, √(p/4)·Y, √(p/4)·Z}.
+Channel depolarizing(double p);
+
+/// Amplitude damping: {[[1,0],[0,√(1-γ)]], [[0,√γ],[0,0]]}.
+Channel amplitude_damping(double gamma);
+
+/// Phase damping: {[[1,0],[0,√(1-λ)]], [[0,0],[0,√λ]]}.
+Channel phase_damping(double lambda);
+
+/// All Kraus circuits of `base` followed by one channel application on
+/// `qubit`: the result has base_count × kraus_count circuits, the paper's
+/// composition T_noise ∘ T_base.  Scaled-unitary Kraus matrices become a
+/// gate plus a global factor; general ones become a (non-unitary) gate.
+std::vector<Circuit> apply_channel(const std::vector<Circuit>& base, const Channel& channel,
+                                   std::uint32_t qubit);
+
+/// Insert a channel application on every touched qubit after every gate of
+/// `circuit` — the standard gate-level noise model.  The number of Kraus
+/// circuits grows as kraus_count^(gate count); this is intended for small
+/// circuits (verification of noisy blocks), and throws if the expansion
+/// would exceed `max_kraus`.
+std::vector<Circuit> noisy_circuit_family(const Circuit& circuit, const Channel& channel,
+                                          std::size_t max_kraus = 4096);
+
+}  // namespace qts::circ

@@ -1,0 +1,293 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qts::circ {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "QASM parse error at line " << line << ": " << message;
+  throw ParseError(os.str());
+}
+
+/// Tiny recursive-descent evaluator for angle expressions.
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, std::size_t line) : text_(text), line_(line) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    if (pos_ != text_.size()) fail(line_, "trailing characters in expression");
+    return v;
+  }
+
+ private:
+  double expr() {
+    double v = term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        v += term();
+      } else if (consume('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      skip_ws();
+      if (consume('*')) {
+        v *= factor();
+      } else if (consume('/')) {
+        const double d = factor();
+        if (d == 0.0) fail(line_, "division by zero in expression");
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (consume('-')) return -factor();
+    if (consume('+')) return factor();
+    if (consume('(')) {
+      const double v = expr();
+      skip_ws();
+      if (!consume(')')) fail(line_, "missing ')'");
+      return v;
+    }
+    if (pos_ + 1 < text_.size() && text_.substr(pos_, 2) == "pi") {
+      pos_ += 2;
+      return std::numbers::pi;
+    }
+    // Number literal.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (start == pos_) fail(line_, "expected a number or 'pi'");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+double parse_angle(std::string_view text, std::size_t line) {
+  return ExprParser(text, line).parse();
+}
+
+std::uint32_t parse_qubit(std::string_view token, const std::string& reg, std::uint32_t width,
+                          std::size_t line) {
+  auto t = trim(token);
+  const auto open = t.find('[');
+  const auto close = t.find(']');
+  if (open == std::string_view::npos || close == std::string_view::npos || close < open) {
+    fail(line, "expected a qubit reference like q[3]");
+  }
+  if (std::string(trim(t.substr(0, open))) != reg) fail(line, "unknown register");
+  const auto idx_text = t.substr(open + 1, close - open - 1);
+  std::uint32_t idx = 0;
+  for (char c : idx_text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) fail(line, "bad qubit index");
+    idx = idx * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (idx >= width) fail(line, "qubit index out of range");
+  return idx;
+}
+
+}  // namespace
+
+Circuit from_qasm(const std::string& text) {
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+
+  std::string reg_name;
+  std::uint32_t width = 0;
+  bool have_reg = false;
+  std::vector<std::string> pending;  // statements before the qreg declaration
+
+  Circuit circuit(1);  // replaced once the qreg is seen
+
+  auto apply = [&](std::string_view stmt, std::size_t line) {
+    // Split "name(args) q[a],q[b]" into name, args, operands.
+    std::string_view s = trim(stmt);
+    std::size_t name_end = 0;
+    while (name_end < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[name_end])) || s[name_end] == '_')) {
+      ++name_end;
+    }
+    std::string name(s.substr(0, name_end));
+    s = trim(s.substr(name_end));
+    std::string args;
+    if (!s.empty() && s.front() == '(') {
+      const auto close = s.find(')');
+      if (close == std::string_view::npos) fail(line, "missing ')' in gate arguments");
+      args = std::string(s.substr(1, close - 1));
+      s = trim(s.substr(close + 1));
+    }
+    const auto operand_tokens = split(s, ",");
+    std::vector<std::uint32_t> qs;
+    qs.reserve(operand_tokens.size());
+    for (const auto& tok : operand_tokens) qs.push_back(parse_qubit(tok, reg_name, width, line));
+
+    auto need = [&](std::size_t k) {
+      if (qs.size() != k) fail(line, "wrong operand count for gate '" + name + "'");
+    };
+
+    if (name == "h") { need(1); circuit.h(qs[0]); }
+    else if (name == "x") { need(1); circuit.x(qs[0]); }
+    else if (name == "y") { need(1); circuit.y(qs[0]); }
+    else if (name == "z") { need(1); circuit.z(qs[0]); }
+    else if (name == "s") { need(1); circuit.s(qs[0]); }
+    else if (name == "sdg") { need(1); circuit.sdg(qs[0]); }
+    else if (name == "t") { need(1); circuit.t(qs[0]); }
+    else if (name == "tdg") { need(1); circuit.tdg(qs[0]); }
+    else if (name == "sx") { need(1); circuit.sx(qs[0]); }
+    else if (name == "rx") { need(1); circuit.rx(qs[0], parse_angle(args, line)); }
+    else if (name == "ry") { need(1); circuit.ry(qs[0], parse_angle(args, line)); }
+    else if (name == "rz") { need(1); circuit.rz(qs[0], parse_angle(args, line)); }
+    else if (name == "p" || name == "u1") { need(1); circuit.p(qs[0], parse_angle(args, line)); }
+    else if (name == "cx") { need(2); circuit.cx(qs[0], qs[1]); }
+    else if (name == "cz") { need(2); circuit.cz(qs[0], qs[1]); }
+    else if (name == "cp" || name == "cu1") {
+      need(2);
+      circuit.cp(qs[0], qs[1], parse_angle(args, line));
+    }
+    else if (name == "ccx") { need(3); circuit.ccx(qs[0], qs[1], qs[2]); }
+    else if (name == "swap") { need(2); circuit.swap(qs[0], qs[1]); }
+    else fail(line, "unsupported gate '" + name + "'");
+  };
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip // comments.
+    if (const auto cpos = raw.find("//"); cpos != std::string::npos) raw.resize(cpos);
+    const auto stmts = split(raw, ";");
+    for (const auto& stmt_raw : stmts) {
+      const auto stmt = trim(stmt_raw);
+      if (stmt.empty()) continue;
+      if (starts_with(stmt, "OPENQASM") || starts_with(stmt, "include") ||
+          starts_with(stmt, "creg") || starts_with(stmt, "barrier")) {
+        continue;
+      }
+      if (starts_with(stmt, "qreg")) {
+        if (have_reg) fail(line_no, "only one qreg is supported");
+        const auto body = trim(stmt.substr(4));
+        const auto open = body.find('[');
+        const auto close = body.find(']');
+        if (open == std::string_view::npos || close == std::string_view::npos) {
+          fail(line_no, "malformed qreg");
+        }
+        reg_name = std::string(trim(body.substr(0, open)));
+        width = 0;
+        for (char c : body.substr(open + 1, close - open - 1)) {
+          if (!std::isdigit(static_cast<unsigned char>(c))) fail(line_no, "bad qreg size");
+          width = width * 10 + static_cast<std::uint32_t>(c - '0');
+        }
+        if (width == 0) fail(line_no, "qreg must have at least one qubit");
+        circuit = Circuit(width);
+        have_reg = true;
+        continue;
+      }
+      if (!have_reg) fail(line_no, "gate before qreg declaration");
+      apply(stmt, line_no);
+    }
+  }
+  require(have_reg, "QASM input has no qreg declaration");
+  return circuit;
+}
+
+std::string to_qasm(const Circuit& c) {
+  require(approx_one(c.global_factor()), "cannot serialise a scaled circuit to QASM");
+  std::ostringstream os;
+  os.precision(17);  // angles must survive a parse round-trip
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[" << c.num_qubits() << "];\n";
+  for (const auto& g : c.gates()) {
+    for (const auto& ctl : g.controls()) {
+      require(ctl.positive, "negative controls are outside the QASM 2.0 subset");
+    }
+    const auto& n = g.name();
+    auto q = [&](std::uint32_t i) {
+      std::ostringstream t;
+      t << "q[" << i << "]";
+      return t.str();
+    };
+    const bool plain = (n == "h" || n == "x" || n == "y" || n == "z" || n == "s" ||
+                        n == "sdg" || n == "t" || n == "tdg" || n == "sx");
+    if (plain && g.controls().empty()) {
+      os << n << " " << q(g.targets()[0]) << ";\n";
+    } else if (n == "cx" || n == "cz") {
+      os << n << " " << q(g.controls()[0].qubit) << "," << q(g.targets()[0]) << ";\n";
+    } else if (n == "ccx" || (n == "mcx" && g.controls().size() == 2)) {
+      os << "ccx " << q(g.controls()[0].qubit) << "," << q(g.controls()[1].qubit) << ","
+         << q(g.targets()[0]) << ";\n";
+    } else if (n == "mcx" && g.controls().size() == 1) {
+      os << "cx " << q(g.controls()[0].qubit) << "," << q(g.targets()[0]) << ";\n";
+    } else if (n == "mcx" && g.controls().empty()) {
+      os << "x " << q(g.targets()[0]) << ";\n";
+    } else if (n == "swap") {
+      os << "swap " << q(g.targets()[0]) << "," << q(g.targets()[1]) << ";\n";
+    } else if (n == "cp" && g.controls().size() == 1) {
+      const cplx ph = g.base()(1, 1);
+      os << "cp(" << std::atan2(ph.imag(), ph.real()) << ") " << q(g.controls()[0].qubit) << ","
+         << q(g.targets()[0]) << ";\n";
+    } else if ((n == "p" || n == "rz" || n == "rx" || n == "ry") && g.controls().empty()) {
+      double angle = 0.0;
+      if (n == "p") {
+        const cplx ph = g.base()(1, 1);
+        angle = std::atan2(ph.imag(), ph.real());
+      } else if (n == "rz") {
+        const cplx ph = g.base()(1, 1);
+        angle = 2.0 * std::atan2(ph.imag(), ph.real());
+      } else {
+        // rx/ry: recover theta from the cosine on the diagonal and the sign
+        // of the off-diagonal entry.
+        const double c00 = g.base()(0, 0).real();
+        const cplx off = g.base()(0, 1);
+        const double sn = (n == "rx") ? -off.imag() : -off.real();
+        angle = 2.0 * std::atan2(sn, c00);
+      }
+      os << n << "(" << angle << ") " << q(g.targets()[0]) << ";\n";
+    } else {
+      throw InvalidArgument("gate '" + n + "' is outside the QASM 2.0 subset");
+    }
+  }
+  return os.str();
+}
+
+}  // namespace qts::circ

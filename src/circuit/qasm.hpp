@@ -1,0 +1,22 @@
+/// \file qasm.hpp
+/// Reader/writer for a pragmatic OpenQASM 2.0 subset, so circuits can be
+/// exchanged with other tools.  Supported statements: OPENQASM/include
+/// headers, one `qreg`, `creg` (ignored), `barrier` (ignored), and the gate
+/// set h,x,y,z,s,sdg,t,tdg,sx, rx,ry,rz,p,u1, cx,cz,cp,cu1,ccx,swap.
+/// Angle expressions may use numbers, `pi`, + - * / and parentheses.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qts::circ {
+
+/// Parse QASM text; throws qts::ParseError with a line number on failure.
+Circuit from_qasm(const std::string& text);
+
+/// Serialise to QASM.  Throws InvalidArgument for gates outside the QASM 2.0
+/// subset (projector gates, negative controls, >2 positive controls).
+std::string to_qasm(const Circuit& c);
+
+}  // namespace qts::circ

@@ -1,0 +1,49 @@
+/// \file complex.hpp
+/// Tolerance-aware complex arithmetic used throughout the TDD package.
+///
+/// Canonicity of decision diagrams over floating-point weights requires a
+/// consistent notion of approximate equality *and* a hash function that is
+/// compatible with it.  We follow the usual DD-package approach: complex
+/// numbers are bucketed onto a grid of width `kEps` before hashing, and
+/// equality is a componentwise comparison with the same tolerance.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+
+namespace qts {
+
+using cplx = std::complex<double>;
+
+/// Grid width for approximate equality / bucketed hashing of weights.
+inline constexpr double kEps = 1e-10;
+
+/// Componentwise approximate equality with tolerance `kEps`.
+bool approx_equal(const cplx& a, const cplx& b, double eps = kEps);
+
+/// Approximate equality for doubles.
+bool approx_equal(double a, double b, double eps = kEps);
+
+/// True if `a` is within `kEps` of zero (both components).
+bool approx_zero(const cplx& a, double eps = kEps);
+
+/// True if `a` is within `kEps` of one.
+bool approx_one(const cplx& a, double eps = kEps);
+
+/// Round onto the `kEps` grid; used only for hashing, never for arithmetic.
+cplx bucketed(const cplx& a, double eps = kEps);
+
+/// Hash compatible with `approx_equal` for values that are not adjacent to a
+/// bucket boundary (the standard, imperfect-but-practical DD compromise).
+std::size_t hash_value(const cplx& a, double eps = kEps);
+
+/// Render as "a+bi" with short precision, for diagnostics and DOT dumps.
+std::string to_string(const cplx& a);
+
+/// Combine hashes (boost::hash_combine recipe, 64-bit).
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace qts

@@ -1,0 +1,35 @@
+/// \file error.hpp
+/// Library exception types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qts {
+
+/// Base class for all qtsimage errors.
+struct Error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed input (bad qubit index, inconsistent tensor shapes, ...).
+struct InvalidArgument : Error {
+  using Error::Error;
+};
+
+/// Parse failure in the QASM-subset reader.
+struct ParseError : Error {
+  using Error::Error;
+};
+
+/// Internal invariant violation; indicates a library bug.
+struct InternalError : Error {
+  using Error::Error;
+};
+
+/// Throws InvalidArgument with the given message if `cond` is false.
+inline void require(bool cond, const std::string& message) {
+  if (!cond) throw InvalidArgument(message);
+}
+
+}  // namespace qts

@@ -1,0 +1,46 @@
+#include "common/prng.hpp"
+
+#include <cmath>
+
+namespace qts {
+
+std::int64_t Prng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span is tiny relative to 2^64, so the
+  // bias is far below anything a test could observe.
+  return lo + static_cast<std::int64_t>(eng_() % span);
+}
+
+double Prng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(eng_() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Prng::coin(double p) { return uniform() < p; }
+
+cplx Prng::complex_unit_box() { return {uniform(-1.0, 1.0), uniform(-1.0, 1.0)}; }
+
+std::vector<cplx> Prng::unit_vector(std::size_t size) {
+  std::vector<cplx> v(size);
+  double norm2 = 0.0;
+  do {
+    norm2 = 0.0;
+    for (auto& a : v) {
+      a = complex_unit_box();
+      norm2 += std::norm(a);
+    }
+  } while (norm2 < 1e-12);
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (auto& a : v) a *= inv;
+  return v;
+}
+
+std::vector<bool> Prng::bits(std::size_t length) {
+  std::vector<bool> out(length);
+  for (std::size_t i = 0; i < length; ++i) out[i] = coin();
+  return out;
+}
+
+}  // namespace qts

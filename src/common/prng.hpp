@@ -1,0 +1,47 @@
+/// \file prng.hpp
+/// Deterministic pseudo-random generation for tests and workload generators.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/complex.hpp"
+
+namespace qts {
+
+/// Seeded PRNG wrapper with helpers for the value types the library uses.
+/// Deterministic across platforms for a fixed seed (mt19937_64 + explicit
+/// distributions implemented in-house where the standard leaves freedom).
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : eng_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli with probability p.
+  bool coin(double p = 0.5);
+
+  /// Complex with components uniform in [-1, 1).
+  cplx complex_unit_box();
+
+  /// Random unit-norm complex vector of the given size.
+  std::vector<cplx> unit_vector(std::size_t size);
+
+  /// Random bit string of the given length.
+  std::vector<bool> bits(std::size_t length);
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace qts

@@ -1,0 +1,55 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace qts {
+
+std::vector<std::string> split(std::string_view text, std::string_view delims) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (delims.find(c) != std::string_view::npos) {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  std::string s(text);
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  std::string s(text);
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+}  // namespace qts

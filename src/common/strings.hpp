@@ -1,0 +1,27 @@
+/// \file strings.hpp
+/// Small string helpers shared by the QASM parser and table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qts {
+
+/// Split on any of the given delimiter characters, dropping empty pieces.
+std::vector<std::string> split(std::string_view text, std::string_view delims);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Left-pad / right-pad to a column width (for the bench table printers).
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Fixed-precision double formatting ("12.34").
+std::string format_fixed(double value, int digits);
+
+}  // namespace qts

@@ -1,0 +1,4 @@
+#include "common/timer.hpp"
+
+// Header-only today; the translation unit pins the vtable-free types into the
+// library so downstream link lines stay uniform.

@@ -1,0 +1,67 @@
+/// \file timer.hpp
+/// Wall-clock timing and cooperative deadlines.
+///
+/// The Table I harness reproduces the paper's 3600 s timeout with a
+/// cooperative `Deadline` that image computers poll between TDD operations.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+namespace qts {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Thrown by deadline-aware computations when the budget is exhausted.
+struct DeadlineExceeded : std::exception {
+  [[nodiscard]] const char* what() const noexcept override {
+    return "computation exceeded its wall-clock deadline";
+  }
+};
+
+/// Cooperative wall-clock budget.  A default-constructed Deadline never fires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// A deadline `budget_seconds` from now.  Non-positive budgets never fire.
+  static Deadline after(double budget_seconds) {
+    Deadline d;
+    if (budget_seconds > 0) {
+      d.expiry_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                     std::chrono::duration<double>(budget_seconds));
+    }
+    return d;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return expiry_.has_value() && clock::now() >= *expiry_;
+  }
+
+  /// Throws DeadlineExceeded if the budget is spent.
+  void check() const {
+    if (expired()) throw DeadlineExceeded{};
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  std::optional<clock::time_point> expiry_;
+};
+
+}  // namespace qts

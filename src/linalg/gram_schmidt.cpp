@@ -1,0 +1,51 @@
+#include "linalg/gram_schmidt.hpp"
+
+namespace qts::la {
+
+std::vector<Vector> orthonormalize(const std::vector<Vector>& vectors, double eps) {
+  std::vector<Vector> basis;
+  for (const auto& raw : vectors) {
+    Vector v = raw;
+    // Re-orthogonalise twice for numerical robustness (classic CGS2).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& b : basis) v -= b * b.dot(v);
+    }
+    if (v.norm() > eps) basis.push_back(v.normalized());
+  }
+  return basis;
+}
+
+Matrix projector_onto(const std::vector<Vector>& vectors, double eps) {
+  const auto basis = orthonormalize(vectors, eps);
+  if (basis.empty()) return Matrix::zero(vectors.empty() ? 0 : vectors.front().size(),
+                                         vectors.empty() ? 0 : vectors.front().size());
+  Matrix p = Matrix::zero(basis.front().size(), basis.front().size());
+  for (const auto& b : basis) p += Matrix::outer(b, b);
+  return p;
+}
+
+std::vector<Vector> join_bases(const std::vector<Vector>& a, const std::vector<Vector>& b,
+                               double eps) {
+  std::vector<Vector> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  return orthonormalize(all, eps);
+}
+
+bool in_span(const Vector& v, const std::vector<Vector>& basis, double eps) {
+  const auto ortho = orthonormalize(basis, eps);
+  Vector r = v;
+  for (const auto& b : ortho) r -= b * b.dot(v);
+  return r.norm() <= eps * (1.0 + v.norm());
+}
+
+bool same_span(const std::vector<Vector>& a, const std::vector<Vector>& b, double eps) {
+  for (const auto& v : a) {
+    if (!in_span(v, b, eps)) return false;
+  }
+  for (const auto& v : b) {
+    if (!in_span(v, a, eps)) return false;
+  }
+  return true;
+}
+
+}  // namespace qts::la

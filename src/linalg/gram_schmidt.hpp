@@ -1,0 +1,29 @@
+/// \file gram_schmidt.hpp
+/// Dense Gram-Schmidt utilities — the oracle counterpart of the paper's
+/// subspace-join procedure (§IV-B), used to cross-check the TDD version.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace qts::la {
+
+/// Orthonormalise a spanning set (drops dependent vectors).
+std::vector<Vector> orthonormalize(const std::vector<Vector>& vectors, double eps = 1e-9);
+
+/// Projector onto span(vectors): Σ |bᵢ⟩⟨bᵢ| over an orthonormal basis.
+Matrix projector_onto(const std::vector<Vector>& vectors, double eps = 1e-9);
+
+/// Basis of the join span(A ∪ B).
+std::vector<Vector> join_bases(const std::vector<Vector>& a, const std::vector<Vector>& b,
+                               double eps = 1e-9);
+
+/// True if v ∈ span(basis) (basis need not be orthonormal).
+bool in_span(const Vector& v, const std::vector<Vector>& basis, double eps = 1e-8);
+
+/// True if the two spanning sets generate the same subspace.
+bool same_span(const std::vector<Vector>& a, const std::vector<Vector>& b, double eps = 1e-8);
+
+}  // namespace qts::la

@@ -1,0 +1,153 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qts::la {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    require(row.size() == cols_, "ragged initializer list for Matrix");
+    for (const auto& v : row) data_.push_back(v);
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cplx{1.0, 0.0};
+  return m;
+}
+
+Matrix Matrix::zero(std::size_t rows, std::size_t cols) { return {rows, cols}; }
+
+Matrix Matrix::outer(const Vector& v, const Vector& w) {
+  Matrix m(v.size(), w.size());
+  for (std::size_t r = 0; r < v.size(); ++r) {
+    for (std::size_t c = 0; c < w.size(); ++c) m(r, c) = v[r] * std::conj(w[c]);
+  }
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "matrix shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "matrix shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(const cplx& scalar) {
+  for (auto& a : data_) a *= scalar;
+  return *this;
+}
+
+Matrix Matrix::mul(const Matrix& other) const {
+  require(cols_ == other.rows_, "matrix shape mismatch in mul");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(r, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+Vector Matrix::mul(const Vector& v) const {
+  require(cols_ == v.size(), "matrix/vector shape mismatch in mul");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = std::conj((*this)(r, c));
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& other) const {
+  Matrix out(rows_ * other.rows_, cols_ * other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx a = (*this)(r, c);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t r2 = 0; r2 < other.rows_; ++r2) {
+        for (std::size_t c2 = 0; c2 < other.cols_; ++c2) {
+          out(r * other.rows_ + r2, c * other.cols_ + c2) = a * other(r2, c2);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+cplx Matrix::trace() const {
+  require(rows_ == cols_, "trace of a non-square matrix");
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+Vector Matrix::column(std::size_t c) const {
+  require(c < cols_, "column index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+bool Matrix::approx(const Matrix& other, double eps) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (!approx_equal(data_[i], other.data_[i], eps)) return false;
+  }
+  return true;
+}
+
+bool Matrix::is_hermitian(double eps) const {
+  return rows_ == cols_ && approx(adjoint(), eps);
+}
+
+bool Matrix::is_projector(double eps) const {
+  return is_hermitian(eps) && mul(*this).approx(*this, eps);
+}
+
+bool Matrix::is_unitary(double eps) const {
+  return rows_ == cols_ && adjoint().mul(*this).approx(identity(rows_), eps);
+}
+
+std::size_t Matrix::rank(double eps) const {
+  // Gram-Schmidt over the columns; counts how many survive orthogonalisation.
+  std::vector<Vector> basis;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    Vector v = column(c);
+    for (const auto& b : basis) v -= b * b.dot(v);
+    if (v.norm() > eps) basis.push_back(v.normalized());
+  }
+  return basis.size();
+}
+
+}  // namespace qts::la

@@ -1,0 +1,86 @@
+/// \file matrix.hpp
+/// Dense complex matrices (row-major).  Part of the oracle substrate.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/complex.hpp"
+#include "linalg/vector.hpp"
+
+namespace qts::la {
+
+/// Dense complex matrix, row-major storage.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+  /// Build from nested initializer lists: Matrix{{a,b},{c,d}}.
+  Matrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  static Matrix identity(std::size_t n);
+  static Matrix zero(std::size_t rows, std::size_t cols);
+
+  /// Rank-1 projector |v⟩⟨v| (v need not be normalised; it is used as given).
+  static Matrix outer(const Vector& v, const Vector& w);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(const cplx& scalar);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, const cplx& s) { return a *= s; }
+  friend Matrix operator*(const cplx& s, Matrix a) { return a *= s; }
+
+  /// Matrix product.
+  [[nodiscard]] Matrix mul(const Matrix& other) const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] Vector mul(const Vector& v) const;
+
+  /// Conjugate transpose.
+  [[nodiscard]] Matrix adjoint() const;
+
+  /// Transpose without conjugation.
+  [[nodiscard]] Matrix transpose() const;
+
+  /// Kronecker product.
+  [[nodiscard]] Matrix kron(const Matrix& other) const;
+
+  /// Trace (square matrices only).
+  [[nodiscard]] cplx trace() const;
+
+  /// Column `c` as a vector.
+  [[nodiscard]] Vector column(std::size_t c) const;
+
+  /// Frobenius-norm approximate equality.
+  [[nodiscard]] bool approx(const Matrix& other, double eps = 1e-8) const;
+
+  /// True if the matrix is (approximately) Hermitian.
+  [[nodiscard]] bool is_hermitian(double eps = 1e-8) const;
+
+  /// True if this is (approximately) a projector: P = P† = P².
+  [[nodiscard]] bool is_projector(double eps = 1e-8) const;
+
+  /// True if U†U ≈ I.
+  [[nodiscard]] bool is_unitary(double eps = 1e-8) const;
+
+  /// Numerical rank via column-pivoted Gram-Schmidt elimination.
+  [[nodiscard]] std::size_t rank(double eps = 1e-8) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+}  // namespace qts::la

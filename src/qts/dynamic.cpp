@@ -1,0 +1,33 @@
+#include "qts/dynamic.hpp"
+
+#include "common/error.hpp"
+
+namespace qts {
+
+std::vector<QuantumOperation> measurement_operations(const circ::Circuit& prefix,
+                                                     const std::vector<std::uint32_t>& qubits,
+                                                     const OutcomeContinuation& continuation) {
+  require(!qubits.empty(), "measurement needs at least one qubit");
+  require(qubits.size() <= 20, "measurement limited to 20 qubits (2^k outcomes)");
+  for (auto q : qubits) {
+    require(q < prefix.num_qubits(), "measured qubit out of range");
+  }
+
+  std::vector<QuantumOperation> out;
+  const std::uint64_t outcomes = std::uint64_t{1} << qubits.size();
+  out.reserve(outcomes);
+  for (std::uint64_t m = 0; m < outcomes; ++m) {
+    circ::Circuit c = prefix;
+    std::string bits;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      const int bit = static_cast<int>((m >> (qubits.size() - 1 - i)) & 1u);
+      c.proj(qubits[i], bit);
+      bits.push_back(bit == 0 ? '0' : '1');
+    }
+    if (continuation) continuation(c, m);
+    out.push_back(QuantumOperation{"m" + bits, {std::move(c)}});
+  }
+  return out;
+}
+
+}  // namespace qts

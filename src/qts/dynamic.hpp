@@ -1,0 +1,31 @@
+/// \file dynamic.hpp
+/// Helpers for modelling *dynamic* quantum circuits (§III-A-2): circuits
+/// with mid-circuit measurements whose continuation depends on the outcome.
+/// Each measurement outcome becomes one labelled quantum operation whose
+/// single Kraus operator is (continuation ∘ projector ∘ prefix), exactly
+/// the T_m = {(C_m ⊗ |m⟩⟨m|) U} shape of the paper's bit-flip-code example.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qts/system.hpp"
+
+namespace qts {
+
+/// Called once per outcome to append the classically-controlled
+/// continuation; `outcome` packs the measured bits with qubits[0] as the
+/// most significant bit.
+using OutcomeContinuation = std::function<void(circ::Circuit&, std::uint64_t outcome)>;
+
+/// Build one operation per measurement outcome of measuring `qubits`
+/// (computational basis) after the `prefix` circuit.  The continuation
+/// callback may append correction gates; pass nullptr for bare measurement.
+/// Symbols are "m<bits>", e.g. "m101".
+std::vector<QuantumOperation> measurement_operations(
+    const circ::Circuit& prefix, const std::vector<std::uint32_t>& qubits,
+    const OutcomeContinuation& continuation = nullptr);
+
+}  // namespace qts

@@ -1,0 +1,179 @@
+#include "qts/image.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qts {
+
+using tdd::Edge;
+using tdd::Level;
+
+Subspace ImageComputer::image(const QuantumOperation& op, const Subspace& s) {
+  WallTimer timer;
+  Subspace out(mgr_, s.num_qubits());
+  for (const auto& kraus : op.kraus) {
+    const Prepared& prep = prepared_for(kraus);
+    for (const auto& b : s.basis()) {
+      deadline_.check();
+      const Edge phi = apply(prep, b, s.num_qubits());
+      peak_.record(phi);
+      ++stats_.kraus_applications;
+      out.add_state(phi);
+      peak_.record(out.projector());
+    }
+  }
+  stats_.seconds += timer.seconds();
+  stats_.peak_nodes = peak_.peak_nodes;
+  return out;
+}
+
+Subspace ImageComputer::image(const TransitionSystem& sys, const Subspace& s) {
+  WallTimer timer;
+  Subspace out(mgr_, s.num_qubits());
+  for (const auto& op : sys.operations) {
+    const Subspace part = image(op, s);
+    out.join(part);
+    peak_.record(out.projector());
+  }
+  stats_.seconds += timer.seconds();  // join cost on top of per-op time
+  stats_.peak_nodes = peak_.peak_nodes;
+  return out;
+}
+
+std::vector<tdd::Edge> ImageComputer::prepared_roots() const {
+  std::vector<tdd::Edge> out;
+  for (const auto& [circuit, prep] : prepared_) {
+    (void)circuit;
+    prep->collect_roots(out);
+  }
+  return out;
+}
+
+const ImageComputer::Prepared& ImageComputer::prepared_for(const circ::Circuit& kraus) {
+  auto it = prepared_.find(&kraus);
+  if (it == prepared_.end()) {
+    it = prepared_.emplace(&kraus, prepare(kraus)).first;
+  }
+  return *it->second;
+}
+
+Edge ImageComputer::push_through(const tn::CircuitNetwork& net,
+                                 const std::vector<tn::Tensor>& ops, const Edge& ket) {
+  const std::uint32_t n = net.num_qubits;
+  Edge result;
+  if (ops.empty()) {
+    result = ket;
+  } else {
+    std::vector<tn::Tensor> tensors;
+    tensors.reserve(ops.size() + 1);
+    tensors.push_back(tn::Tensor{ket, state_levels(n)});
+    tensors.insert(tensors.end(), ops.begin(), ops.end());
+    std::vector<Level> keep = net.outputs;
+    std::sort(keep.begin(), keep.end());
+    keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
+    tn::Tensor out = tn::contract_network(mgr_, tensors, keep, &peak_, &deadline_);
+    result = mgr_.rename(out.edge, tn::output_to_state_map(net));
+  }
+  return mgr_.scale(result, net.factor);
+}
+
+// ---------------------------------------------------------------------------
+// BasicImage
+
+struct BasicImage::Mono : ImageComputer::Prepared {
+  tn::CircuitNetwork net;  // tensors cleared after pre-contraction
+  std::vector<tn::Tensor> op;
+
+  void collect_roots(std::vector<tdd::Edge>& out) const override {
+    for (const auto& t : op) out.push_back(t.edge);
+  }
+};
+
+std::unique_ptr<ImageComputer::Prepared> BasicImage::prepare(const circ::Circuit& kraus) {
+  auto mono = std::make_unique<Mono>();
+  mono->net = tn::build_network(mgr_, kraus);
+  if (!mono->net.tensors.empty()) {
+    const auto keep = mono->net.external_indices();
+    mono->op.push_back(tn::contract_network(mgr_, mono->net.tensors, keep, &peak_, &deadline_));
+  }
+  mono->net.tensors.clear();
+  return mono;
+}
+
+Edge BasicImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) {
+  const auto& mono = static_cast<const Mono&>(prep);
+  return push_through(mono.net, mono.op, ket);
+}
+
+// ---------------------------------------------------------------------------
+// AdditionImage
+
+struct AdditionImage::Parts : ImageComputer::Prepared {
+  tn::CircuitNetwork net;
+  std::vector<tn::Tensor> parts;  // each = one pre-contracted slice ϕ_i
+
+  void collect_roots(std::vector<tdd::Edge>& out) const override {
+    for (const auto& t : parts) out.push_back(t.edge);
+  }
+};
+
+std::unique_ptr<ImageComputer::Prepared> AdditionImage::prepare(const circ::Circuit& kraus) {
+  auto out = std::make_unique<Parts>();
+  out->net = tn::build_network(mgr_, kraus);
+  if (!out->net.tensors.empty()) {
+    const auto part = tn::addition_partition(mgr_, out->net, k_);
+    const auto keep = out->net.external_indices();
+    for (const auto& slice : part.slices) {
+      deadline_.check();
+      out->parts.push_back(tn::contract_network(mgr_, slice.tensors, keep, &peak_, &deadline_));
+    }
+  }
+  out->net.tensors.clear();
+  return out;
+}
+
+Edge AdditionImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) {
+  const auto& pp = static_cast<const Parts&>(prep);
+  if (pp.parts.empty()) return push_through(pp.net, {}, ket);
+  // cont(ψ, ϕ) = Σ_i cont(ψ, ϕ_i): each slice is contracted with the state
+  // independently and the (already renamed) results are accumulated.
+  Edge acc = mgr_.zero();
+  for (const auto& part : pp.parts) {
+    deadline_.check();
+    const Edge contribution = push_through(pp.net, {part}, ket);
+    acc = mgr_.add(acc, contribution);
+    peak_.record(acc);
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// ContractionImage
+
+struct ContractionImage::Blocks : ImageComputer::Prepared {
+  tn::CircuitNetwork net;
+  std::vector<tn::Tensor> blocks;  // (window, group)-ordered block tensors
+
+  void collect_roots(std::vector<tdd::Edge>& out) const override {
+    for (const auto& t : blocks) out.push_back(t.edge);
+  }
+};
+
+std::unique_ptr<ImageComputer::Prepared> ContractionImage::prepare(const circ::Circuit& kraus) {
+  auto out = std::make_unique<Blocks>();
+  out->net = tn::build_network(mgr_, kraus);
+  if (!out->net.tensors.empty()) {
+    const auto blocks = tn::contraction_partition(mgr_, out->net, k1_, k2_, &peak_, &deadline_);
+    for (const auto& b : blocks) out->blocks.push_back(b.tensor);
+  }
+  out->net.tensors.clear();
+  return out;
+}
+
+Edge ContractionImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) {
+  const auto& bb = static_cast<const Blocks&>(prep);
+  return push_through(bb.net, bb.blocks, ket);
+}
+
+}  // namespace qts

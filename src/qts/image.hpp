@@ -1,0 +1,151 @@
+/// \file image.hpp
+/// The paper's three image computation algorithms.
+///
+/// All three share the outer loop of Algorithm 1: decompose the input
+/// subspace into a basis, push every basis state through every Kraus
+/// operator, and join the resulting rays.  They differ in how a Kraus
+/// circuit is applied to a state:
+///
+///   * BasicImage (§IV-C) pre-contracts the whole circuit into one
+///     monolithic operator TDD and contracts the state against it;
+///   * AdditionImage (§V-A) slices the k highest-degree indices of the
+///     circuit's index graph into 2^k pre-contracted parts ϕᵢ and uses
+///     cont(ψ, ϕ) = Σᵢ cont(ψ, ϕᵢ);
+///   * ContractionImage (§V-B) cuts the circuit into (k1, k2) blocks kept
+///     as a tensor network, and contracts the state through the blocks
+///     without ever materialising the monolithic operator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/timer.hpp"
+#include "qts/system.hpp"
+#include "tn/circuit_tensors.hpp"
+#include "tn/contract.hpp"
+#include "tn/partition.hpp"
+
+namespace qts {
+
+/// Statistics for the most recent sequence of image computations (reset via
+/// reset_stats()).  `peak_nodes` is the paper's "max #node": the largest
+/// TDD produced at any point, including the pre-contracted operators.
+struct ImageStats {
+  double seconds = 0.0;
+  std::size_t peak_nodes = 0;
+  std::size_t kraus_applications = 0;
+};
+
+/// Common machinery for the three algorithms.
+class ImageComputer {
+ public:
+  explicit ImageComputer(tdd::Manager& mgr) : mgr_(mgr) {}
+  virtual ~ImageComputer() = default;
+  ImageComputer(const ImageComputer&) = delete;
+  ImageComputer& operator=(const ImageComputer&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// T_σ(S): the join of span{E|b⟩} over Kraus operators E and basis kets b.
+  Subspace image(const QuantumOperation& op, const Subspace& s);
+
+  /// T(S) = ⋁_σ T_σ(S) over every operation of the system.
+  Subspace image(const TransitionSystem& sys, const Subspace& s);
+
+  /// Cooperative wall-clock budget; DeadlineExceeded is thrown when spent.
+  void set_deadline(const Deadline& d) { deadline_ = d; }
+
+  [[nodiscard]] const ImageStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ImageStats{}; }
+
+  /// Drop cached pre-contracted operators (they key on Circuit addresses,
+  /// so call this if a system's circuits are destroyed or mutated).
+  void clear_prepared() { prepared_.clear(); }
+
+  /// TDD roots held by the prepared-operator cache.  Long-running fixpoint
+  /// loops pass these (plus their own live subspaces) to Manager::gc so the
+  /// node pool stays bounded without invalidating cached operators.
+  [[nodiscard]] std::vector<tdd::Edge> prepared_roots() const;
+
+  [[nodiscard]] tdd::Manager& manager() const { return mgr_; }
+
+ protected:
+  /// Per-Kraus-circuit pre-processing result (operator TDD / slices / blocks).
+  struct Prepared {
+    virtual ~Prepared() = default;
+    /// Append every TDD edge this prepared operator keeps alive.
+    virtual void collect_roots(std::vector<tdd::Edge>& out) const = 0;
+  };
+
+  virtual std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) = 0;
+
+  /// Apply a prepared Kraus operator to a ket on the canonical state levels;
+  /// the result is the (unnormalised) image ket on the same levels.
+  virtual tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket,
+                          std::uint32_t num_qubits) = 0;
+
+  /// Contract ψ against extra tensors, then rename outputs back to the state
+  /// levels and apply the circuit factor.  Shared helper for the subclasses.
+  tdd::Edge push_through(const tn::CircuitNetwork& net, const std::vector<tn::Tensor>& ops,
+                         const tdd::Edge& ket);
+
+  const Prepared& prepared_for(const circ::Circuit& kraus);
+
+  tdd::Manager& mgr_;
+  Deadline deadline_;
+  ImageStats stats_;
+  tn::PeakStats peak_;
+
+ private:
+  std::unordered_map<const circ::Circuit*, std::unique_ptr<Prepared>> prepared_;
+};
+
+/// Algorithm 1: monolithic operator TDD per Kraus circuit.
+class BasicImage final : public ImageComputer {
+ public:
+  using ImageComputer::ImageComputer;
+  [[nodiscard]] std::string name() const override { return "basic"; }
+
+ protected:
+  struct Mono;
+  std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) override;
+  tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override;
+};
+
+/// §V-A: addition partition with k sliced indices (2^k parts).
+class AdditionImage final : public ImageComputer {
+ public:
+  AdditionImage(tdd::Manager& mgr, std::size_t k) : ImageComputer(mgr), k_(k) {}
+  [[nodiscard]] std::string name() const override { return "addition"; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ protected:
+  struct Parts;
+  std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) override;
+  tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override;
+
+ private:
+  std::size_t k_;
+};
+
+/// §V-B: contraction partition with parameters (k1, k2).
+class ContractionImage final : public ImageComputer {
+ public:
+  ContractionImage(tdd::Manager& mgr, std::uint32_t k1, std::uint32_t k2)
+      : ImageComputer(mgr), k1_(k1), k2_(k2) {}
+  [[nodiscard]] std::string name() const override { return "contraction"; }
+  [[nodiscard]] std::uint32_t k1() const { return k1_; }
+  [[nodiscard]] std::uint32_t k2() const { return k2_; }
+
+ protected:
+  struct Blocks;
+  std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) override;
+  tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override;
+
+ private:
+  std::uint32_t k1_;
+  std::uint32_t k2_;
+};
+
+}  // namespace qts

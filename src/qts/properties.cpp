@@ -1,0 +1,51 @@
+#include "qts/properties.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qts {
+
+bool overlaps(const Subspace& a, const Subspace& b, double tol) {
+  require(a.num_qubits() == b.num_qubits(), "overlaps: subspace width mismatch");
+  if (a.dim() == 0 || b.dim() == 0) return false;
+  auto& mgr = a.manager();
+  // ‖P_b |v⟩‖ > tol for some basis vector of a.
+  for (const auto& v : a.basis()) {
+    const tdd::Edge proj = b.project(v);
+    if (norm(mgr, proj, a.num_qubits()) > tol) return true;
+  }
+  return false;
+}
+
+bool contained_in(const Subspace& a, const Subspace& b, double tol) {
+  require(a.num_qubits() == b.num_qubits(), "contained_in: subspace width mismatch");
+  for (const auto& v : a.basis()) {
+    if (!b.contains(v, tol)) return false;
+  }
+  return true;
+}
+
+EventuallyResult eventually_reaches(ImageComputer& computer, const TransitionSystem& sys,
+                                    const Subspace& target, std::size_t max_iterations) {
+  sys.validate();
+  if (overlaps(sys.initial, target)) return {true, 0, true};
+
+  Subspace acc = sys.initial;
+  Subspace frontier = sys.initial;
+  for (std::size_t i = 1; i <= max_iterations; ++i) {
+    const Subspace next = computer.image(sys, frontier);
+    if (overlaps(next, target)) return {true, i, true};
+    Subspace fresh(computer.manager(), sys.num_qubits);
+    for (const auto& v : next.basis()) {
+      if (!acc.contains(v)) fresh.add_state(v);
+    }
+    bool grew = false;
+    for (const auto& v : next.basis()) grew = acc.add_state(v) || grew;
+    if (!grew || fresh.dim() == 0) return {false, i, true};
+    frontier = std::move(fresh);
+  }
+  return {false, max_iterations, false};
+}
+
+}  // namespace qts

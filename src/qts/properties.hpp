@@ -1,0 +1,32 @@
+/// \file properties.hpp
+/// Simple temporal properties over quantum transition systems, in the
+/// spirit of the Birkhoff-von Neumann temporal logic the paper builds on:
+/// atomic propositions are subspaces, and we ask whether the system can or
+/// must stay inside / reach them.
+#pragma once
+
+#include "qts/image.hpp"
+#include "qts/reachability.hpp"
+
+namespace qts {
+
+/// True if the two subspaces are non-orthogonal, i.e. some state of `a` has
+/// non-zero amplitude in `b` (the "possibly satisfies" test).
+bool overlaps(const Subspace& a, const Subspace& b, double tol = 1e-9);
+
+/// True if a ⊆ b (every state of `a` satisfies the proposition `b`).
+bool contained_in(const Subspace& a, const Subspace& b, double tol = 1e-7);
+
+struct EventuallyResult {
+  bool possible;           ///< some reachable state overlaps the target
+  std::size_t iterations;  ///< image steps performed before the verdict
+  bool converged;          ///< the fixpoint was reached (verdict is final)
+};
+
+/// EF-style check: can the system, starting from its initial subspace,
+/// reach a state with non-zero component in `target`?  Stops early on the
+/// first overlap.
+EventuallyResult eventually_reaches(ImageComputer& computer, const TransitionSystem& sys,
+                                    const Subspace& target, std::size_t max_iterations = 100);
+
+}  // namespace qts

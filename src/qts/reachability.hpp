@@ -1,0 +1,48 @@
+/// \file reachability.hpp
+/// Model-checking loops built on image computation: the reachable-subspace
+/// fixpoint and a simple invariant checker for subspace properties in the
+/// style of the Birkhoff-von Neumann temporal logic the paper cites.
+#pragma once
+
+#include <cstddef>
+
+#include "qts/image.hpp"
+
+namespace qts {
+
+struct ReachabilityResult {
+  Subspace space;          ///< ⋁_k T^k(S0) at the point the loop stopped
+  std::size_t iterations;  ///< image steps performed
+  bool converged;          ///< true iff a fixpoint was reached
+};
+
+struct ReachabilityOptions {
+  std::size_t max_iterations = 100;
+  /// When non-zero, run a mark-sweep GC whenever the manager's live node
+  /// count exceeds this threshold; the roots are the accumulated/frontier
+  /// subspaces, the system's initial subspace and the computer's prepared
+  /// operators, so the loop is semantically unaffected.
+  std::size_t gc_threshold_nodes = 0;
+};
+
+/// Least fixpoint of S ↦ S ∨ T(S) above the initial subspace.
+ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
+                                   std::size_t max_iterations = 100);
+
+/// As above with explicit options (GC-bounded long runs).
+ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
+                                   const ReachabilityOptions& options);
+
+struct InvariantResult {
+  bool holds;              ///< no reachable state leaves `invariant`
+  std::size_t iterations;  ///< image steps performed before verdict
+  bool converged;          ///< false iff the iteration budget ran out first
+};
+
+/// Check that the reachable subspace stays inside `invariant` (a safety
+/// property: every reachable state satisfies the atomic proposition given
+/// by the invariant subspace).  Stops early on the first violation.
+InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem& sys,
+                                const Subspace& invariant, std::size_t max_iterations = 100);
+
+}  // namespace qts

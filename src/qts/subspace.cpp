@@ -1,0 +1,125 @@
+#include "qts/subspace.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tdd/paths.hpp"
+
+namespace qts {
+
+using tdd::Edge;
+using tdd::Level;
+
+namespace {
+/// A squared-norm below this is treated as "already in the subspace".
+/// States are unit-scale here, so an absolute threshold is meaningful.
+constexpr double kResidualTol2 = 1e-14;
+}  // namespace
+
+Subspace::Subspace(tdd::Manager& mgr, std::uint32_t n)
+    : mgr_(&mgr), n_(n), projector_(mgr.zero()) {}
+
+Subspace Subspace::from_states(tdd::Manager& mgr, std::uint32_t n,
+                               const std::vector<Edge>& states) {
+  Subspace s(mgr, n);
+  for (const auto& v : states) s.add_state(v);
+  return s;
+}
+
+bool Subspace::add_state(const Edge& state) {
+  auto& mgr = *mgr_;
+  const double in_norm = norm(mgr, state, n_);
+  if (in_norm <= 1e-12) return false;
+  Edge u = mgr.scale(state, cplx{1.0 / in_norm, 0.0});
+
+  // Two orthogonalisation passes (CGS2) for numerical robustness.
+  for (int pass = 0; pass < 2; ++pass) {
+    if (projector_.is_zero()) break;
+    const Edge proj = project(u);
+    u = mgr.add(u, mgr.scale(proj, cplx{-1.0, 0.0}));
+  }
+  const double res2 = inner(mgr, u, u, n_).real();
+  if (res2 <= kResidualTol2) return false;
+
+  const Edge v = mgr.scale(u, cplx{1.0 / std::sqrt(res2), 0.0});
+  basis_.push_back(v);
+  projector_ = mgr.add(projector_, outer(mgr, v, v, n_));
+  return true;
+}
+
+void Subspace::join(const Subspace& other) {
+  require(other.n_ == n_ && other.mgr_ == mgr_,
+          "join requires subspaces of the same space and manager");
+  for (const auto& v : other.basis_) add_state(v);
+}
+
+bool Subspace::contains(const Edge& state, double tol) const {
+  auto& mgr = *mgr_;
+  const double in_norm = norm(mgr, state, n_);
+  if (in_norm <= 1e-12) return true;  // the zero vector is in every subspace
+  const Edge u = mgr.scale(state, cplx{1.0 / in_norm, 0.0});
+  if (projector_.is_zero()) return false;
+  const Edge r = mgr.add(u, mgr.scale(project(u), cplx{-1.0, 0.0}));
+  return inner(mgr, r, r, n_).real() <= tol * tol;
+}
+
+bool Subspace::same_subspace(const Subspace& other) const {
+  if (dim() != other.dim()) return false;
+  for (const auto& v : basis_) {
+    if (!other.contains(v)) return false;
+  }
+  for (const auto& v : other.basis_) {
+    if (!contains(v)) return false;
+  }
+  return true;
+}
+
+Edge Subspace::project(const Edge& state) const {
+  return apply_operator(*mgr_, projector_, state, n_);
+}
+
+Subspace Subspace::complement() const {
+  require(n_ <= 16, "complement() restricted to 16 qubits (exponential dimension)");
+  auto& mgr = *mgr_;
+  const Edge rest = mgr.add(identity_operator(mgr, n_), mgr.scale(projector_, cplx{-1.0, 0.0}));
+  return from_projector(mgr, n_, rest);
+}
+
+Subspace Subspace::intersect(const Subspace& other) const {
+  require(other.n_ == n_ && other.mgr_ == mgr_,
+          "intersect requires subspaces of the same space and manager");
+  Subspace join_of_complements = complement();
+  join_of_complements.join(other.complement());
+  return join_of_complements.complement();
+}
+
+Subspace Subspace::from_projector(tdd::Manager& mgr, std::uint32_t n, const Edge& projector) {
+  Subspace s(mgr, n);
+  // The dimension is tr(P); extracting exactly that many columns avoids a
+  // fragile is-the-residual-zero test on floating point data.
+  const double tr = operator_trace(mgr, projector, n).real();
+  const auto k = static_cast<std::size_t>(std::llround(tr));
+  require(std::abs(tr - static_cast<double>(k)) < 1e-6,
+          "projector trace is not close to an integer — not a projector?");
+
+  Edge p = projector;
+  const auto op_levels = operator_levels(n);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto path = tdd::leftmost_nonzero_assignment(p, op_levels);
+    require(path.has_value(), "projector exhausted before reaching its trace");
+    // Odd positions of the interleaved (ket, bra) list are the column bits.
+    Edge column = p;
+    for (std::uint32_t q = 0; q < n; ++q) {
+      column = mgr.slice(column, tdd::bra_level(q), (*path)[2 * q + 1]);
+    }
+    const double cn = norm(mgr, column, n);
+    require(cn > 1e-9, "leftmost non-zero column has (near-)zero norm");
+    const Edge v = mgr.scale(column, cplx{1.0 / cn, 0.0});
+    s.basis_.push_back(v);
+    p = mgr.add(p, mgr.scale(outer(mgr, v, v, n), cplx{-1.0, 0.0}));
+  }
+  s.projector_ = projector;
+  return s;
+}
+
+}  // namespace qts

@@ -1,0 +1,68 @@
+/// \file subspace.hpp
+/// Closed subspaces of the n-qubit Hilbert space, represented the way §IV of
+/// the paper prescribes: an orthonormal basis of TDD kets together with the
+/// projector TDD P = Σ|bᵢ⟩⟨bᵢ|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qts/states.hpp"
+#include "tdd/manager.hpp"
+
+namespace qts {
+
+class Subspace {
+ public:
+  /// The zero subspace of an n-qubit space.
+  Subspace(tdd::Manager& mgr, std::uint32_t n);
+
+  /// span of the given (not necessarily orthogonal or normalised) kets.
+  static Subspace from_states(tdd::Manager& mgr, std::uint32_t n,
+                              const std::vector<tdd::Edge>& states);
+
+  /// Basis decomposition of a projector (§IV-A): repeatedly locate the
+  /// leftmost non-zero column via the TDD's leftmost non-zero path, extract
+  /// and normalise it, and deflate P ← P − |v⟩⟨v|.
+  static Subspace from_projector(tdd::Manager& mgr, std::uint32_t n, const tdd::Edge& projector);
+
+  [[nodiscard]] std::uint32_t num_qubits() const { return n_; }
+  [[nodiscard]] std::size_t dim() const { return basis_.size(); }
+  [[nodiscard]] const std::vector<tdd::Edge>& basis() const { return basis_; }
+  [[nodiscard]] const tdd::Edge& projector() const { return projector_; }
+  [[nodiscard]] tdd::Manager& manager() const { return *mgr_; }
+
+  /// Gram-Schmidt extension (§IV-B): orthogonalise `state` against the
+  /// subspace; if a component survives, grow the basis and the projector.
+  /// Returns true iff the dimension grew.  `state` need not be normalised.
+  bool add_state(const tdd::Edge& state);
+
+  /// Join S ∨ T: extend by every basis vector of `other`.
+  void join(const Subspace& other);
+
+  /// True if `state` ∈ S (up to tolerance; `state` need not be normalised).
+  [[nodiscard]] bool contains(const tdd::Edge& state, double tol = 1e-7) const;
+
+  /// Mutual containment (same dimension and same span).
+  [[nodiscard]] bool same_subspace(const Subspace& other) const;
+
+  /// P|ψ⟩.
+  [[nodiscard]] tdd::Edge project(const tdd::Edge& state) const;
+
+  /// The orthogonal complement S⊥ (projector I − P decomposed into a basis).
+  /// The complement's dimension is 2^n − dim(), so this is restricted to
+  /// small registers (n ≤ 16).
+  [[nodiscard]] Subspace complement() const;
+
+  /// Subspace intersection S ∧ T = (S⊥ ∨ T⊥)⊥ (the lattice meet of the
+  /// Birkhoff-von Neumann logic).  Small registers only — see complement().
+  [[nodiscard]] Subspace intersect(const Subspace& other) const;
+
+ private:
+  tdd::Manager* mgr_;
+  std::uint32_t n_;
+  std::vector<tdd::Edge> basis_;
+  tdd::Edge projector_;  // zero edge for the zero subspace
+};
+
+}  // namespace qts

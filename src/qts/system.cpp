@@ -1,0 +1,19 @@
+#include "qts/system.hpp"
+
+#include "common/error.hpp"
+
+namespace qts {
+
+void TransitionSystem::validate() const {
+  require(initial.num_qubits() == num_qubits, "initial subspace width mismatch");
+  require(!operations.empty(), "transition system needs at least one operation");
+  for (const auto& op : operations) {
+    require(!op.kraus.empty(), "operation '" + op.symbol + "' has no Kraus operators");
+    for (const auto& e : op.kraus) {
+      require(e.num_qubits() == num_qubits,
+              "Kraus circuit width mismatch in operation '" + op.symbol + "'");
+    }
+  }
+}
+
+}  // namespace qts

@@ -1,0 +1,35 @@
+/// \file system.hpp
+/// Quantum transition systems (Definition 2 of the paper): a Hilbert space
+/// H_2^⊗n, an initial subspace, and a family of quantum operations indexed
+/// by classical symbols.  Each quantum operation is a set of Kraus operators
+/// given as circuits (possibly non-unitary: projector gates model dynamic
+/// measurement branches, global factors model noise amplitudes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "qts/subspace.hpp"
+
+namespace qts {
+
+/// One labelled quantum operation T_σ = { E_σ,1, E_σ,2, ... }.
+struct QuantumOperation {
+  std::string symbol;
+  std::vector<circ::Circuit> kraus;
+};
+
+/// A quantum transition system (H, S0, Σ, T).
+struct TransitionSystem {
+  std::uint32_t num_qubits;
+  Subspace initial;
+  std::vector<QuantumOperation> operations;
+
+  /// Throws InvalidArgument if any Kraus circuit width disagrees with
+  /// `num_qubits` or an operation has no Kraus operators.
+  void validate() const;
+};
+
+}  // namespace qts

@@ -1,0 +1,136 @@
+#include "qts/workloads.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "common/error.hpp"
+
+namespace qts {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+Subspace zero_ket_subspace(tdd::Manager& mgr, std::uint32_t n) {
+  return Subspace::from_states(mgr, n, {ket_basis(mgr, n, 0)});
+}
+
+TransitionSystem unitary_system(circ::Circuit circuit, Subspace initial, std::string symbol) {
+  TransitionSystem sys{circuit.num_qubits(), std::move(initial), {}};
+  sys.operations.push_back(QuantumOperation{std::move(symbol), {std::move(circuit)}});
+  return sys;
+}
+
+}  // namespace
+
+TransitionSystem make_ghz_system(tdd::Manager& mgr, std::uint32_t n) {
+  return unitary_system(circ::make_ghz(n), zero_ket_subspace(mgr, n), "ghz");
+}
+
+TransitionSystem make_bv_system(tdd::Manager& mgr, std::uint32_t n) {
+  return unitary_system(circ::make_bv(n), zero_ket_subspace(mgr, n), "bv");
+}
+
+TransitionSystem make_qft_system(tdd::Manager& mgr, std::uint32_t n) {
+  return unitary_system(circ::make_qft(n), zero_ket_subspace(mgr, n), "qft");
+}
+
+TransitionSystem make_grover_system(tdd::Manager& mgr, std::uint32_t n) {
+  require(n >= 2, "Grover system needs at least 2 qubits");
+  // |+…+⟩|−⟩ and |1…1⟩|−⟩ as product kets.
+  std::vector<std::array<cplx, 2>> plus(n, {cplx{kInvSqrt2, 0.0}, cplx{kInvSqrt2, 0.0}});
+  plus[n - 1] = {cplx{kInvSqrt2, 0.0}, cplx{-kInvSqrt2, 0.0}};
+  std::vector<std::array<cplx, 2>> ones(n, {cplx{0.0, 0.0}, cplx{1.0, 0.0}});
+  ones[n - 1] = {cplx{kInvSqrt2, 0.0}, cplx{-kInvSqrt2, 0.0}};
+  Subspace initial = Subspace::from_states(
+      mgr, n, {ket_product(mgr, plus), ket_product(mgr, ones)});
+  return unitary_system(circ::make_grover_iteration(n), std::move(initial), "grover");
+}
+
+TransitionSystem make_grover_decomposed_system(tdd::Manager& mgr, std::uint32_t n) {
+  require(n >= 5 && n % 2 == 1, "decomposed Grover system needs odd n >= 5");
+  const std::uint32_t s = (n + 1) / 2;
+  std::vector<std::array<cplx, 2>> plus(n, {cplx{1.0, 0.0}, cplx{0.0, 0.0}});  // default |0⟩
+  std::vector<std::array<cplx, 2>> ones = plus;
+  for (std::uint32_t q = 0; q < s; ++q) {
+    plus[q] = {cplx{kInvSqrt2, 0.0}, cplx{kInvSqrt2, 0.0}};
+    ones[q] = {cplx{0.0, 0.0}, cplx{1.0, 0.0}};
+  }
+  plus[s] = {cplx{kInvSqrt2, 0.0}, cplx{-kInvSqrt2, 0.0}};
+  ones[s] = {cplx{kInvSqrt2, 0.0}, cplx{-kInvSqrt2, 0.0}};
+  Subspace initial = Subspace::from_states(
+      mgr, n, {ket_product(mgr, plus), ket_product(mgr, ones)});
+  return unitary_system(circ::make_grover_iteration_decomposed(n), std::move(initial),
+                        "grover-decomposed");
+}
+
+TransitionSystem make_qrw_system(tdd::Manager& mgr, std::uint32_t n, double p, bool noisy,
+                                 std::uint64_t position) {
+  require(n >= 2, "QRW system needs at least 2 qubits");
+  require(p >= 0.0 && p <= 1.0, "bit-flip probability out of range");
+  require(n - 1 >= 64 || position < (std::uint64_t{1} << (n - 1)),
+          "walk position out of range");
+
+  Subspace initial = Subspace::from_states(mgr, n, {ket_basis(mgr, n, position)});
+  TransitionSystem sys{n, std::move(initial), {}};
+
+  if (!noisy || p == 0.0) {
+    sys.operations.push_back(QuantumOperation{"walk", {circ::make_qrw_step(n)}});
+    return sys;
+  }
+
+  // T = S ∘ (E_b ⊗ I) ∘ (E_c ⊗ I) with E_b = {√(1-p)·I, √p·X} on the coin:
+  // two Kraus circuits sharing the H-then-shift skeleton.
+  circ::Circuit no_flip(n);
+  no_flip.h(0);
+  no_flip.append(circ::make_qrw_shift(n));
+  no_flip.set_global_factor(cplx{std::sqrt(1.0 - p), 0.0});
+
+  circ::Circuit flip(n);
+  flip.h(0);
+  flip.x(0);
+  flip.append(circ::make_qrw_shift(n));
+  flip.set_global_factor(cplx{std::sqrt(p), 0.0});
+
+  sys.operations.push_back(QuantumOperation{"noisy-walk", {std::move(no_flip), std::move(flip)}});
+  return sys;
+}
+
+TransitionSystem make_bitflip_code_system(tdd::Manager& mgr) {
+  const std::uint32_t n = 6;  // data q0..q2, syndrome q3..q5
+
+  // Syndrome extraction U (Fig. 3): s1 = d0⊕d1, s2 = d1⊕d2, s3 = d0⊕d2.
+  circ::Circuit u(n);
+  u.cx(0, 3).cx(1, 3);
+  u.cx(1, 4).cx(2, 4);
+  u.cx(0, 5).cx(2, 5);
+
+  // One Kraus operator per measurement outcome: project the syndrome onto
+  // |m⟩, apply the corresponding correction on the data register, and reset
+  // the syndrome qubits back to |000⟩ (the trailing X gates of Fig. 3), so
+  // the corrected subspace is span{|000⟩⊗|000⟩} exactly as §III-A-2 states.
+  auto branch = [&](int s1, int s2, int s3, int fix_qubit) {
+    circ::Circuit c = u;
+    c.proj(3, s1).proj(4, s2).proj(5, s3);
+    if (fix_qubit >= 0) c.x(static_cast<std::uint32_t>(fix_qubit));
+    if (s1 != 0) c.x(3);
+    if (s2 != 0) c.x(4);
+    if (s3 != 0) c.x(5);
+    return c;
+  };
+
+  Subspace initial = Subspace::from_states(
+      mgr, n,
+      {ket_basis(mgr, n, 0b100000), ket_basis(mgr, n, 0b010000), ket_basis(mgr, n, 0b001000)});
+
+  TransitionSystem sys{n, std::move(initial), {}};
+  sys.operations.push_back(QuantumOperation{"T000", {branch(0, 0, 0, -1)}});
+  sys.operations.push_back(QuantumOperation{"T101", {branch(1, 0, 1, 0)}});
+  sys.operations.push_back(QuantumOperation{"T110", {branch(1, 1, 0, 1)}});
+  sys.operations.push_back(QuantumOperation{"T011", {branch(0, 1, 1, 2)}});
+  return sys;
+}
+
+}  // namespace qts

@@ -1,0 +1,32 @@
+#include "sim/circuit_matrix.hpp"
+
+#include "common/error.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "sim/statevector.hpp"
+
+namespace qts::sim {
+
+la::Matrix circuit_matrix(const circ::Circuit& circuit) {
+  const std::uint32_t n = circuit.num_qubits();
+  require(n <= 12, "circuit_matrix limited to 12 qubits");
+  const std::size_t dim = std::size_t{1} << n;
+  la::Matrix m(dim, dim);
+  for (std::size_t c = 0; c < dim; ++c) {
+    const la::Vector col = apply_circuit(circuit, basis_state(n, c));
+    for (std::size_t r = 0; r < dim; ++r) m(r, c) = col[r];
+  }
+  return m;
+}
+
+std::vector<la::Vector> dense_image(const std::vector<circ::Circuit>& kraus,
+                                    const std::vector<la::Vector>& basis) {
+  std::vector<la::Vector> images;
+  for (const auto& e : kraus) {
+    for (const auto& b : basis) {
+      images.push_back(apply_circuit(e, b));
+    }
+  }
+  return la::orthonormalize(images);
+}
+
+}  // namespace qts::sim

@@ -1,0 +1,21 @@
+/// \file circuit_matrix.hpp
+/// Dense matrix semantics of a circuit (small widths only) and dense Kraus
+/// image computation — oracle counterparts of the TDD image computers.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qts::sim {
+
+/// The 2^n × 2^n matrix a circuit denotes (column c = circuit applied |c⟩).
+la::Matrix circuit_matrix(const circ::Circuit& circuit);
+
+/// Dense image of a subspace: span{ E_k |b⟩ } over all Kraus-operator
+/// circuits E_k and all basis vectors b.  Returns an orthonormal basis.
+std::vector<la::Vector> dense_image(const std::vector<circ::Circuit>& kraus,
+                                    const std::vector<la::Vector>& basis);
+
+}  // namespace qts::sim

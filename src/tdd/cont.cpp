@@ -1,0 +1,69 @@
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tdd/manager.hpp"
+
+namespace qts::tdd {
+
+namespace {
+
+/// Weight-1 view of a node's child under `var = value` (see manager.cpp).
+Edge slice_top(const Node* n, Level var, int value) {
+  if (n == nullptr || n->level() > var) return Edge{n, cplx{1.0, 0.0}};
+  return n->child(value);
+}
+
+}  // namespace
+
+Edge Manager::contract(const Edge& a, const Edge& b, std::span<const Level> gamma) {
+  if (a.is_zero() || b.is_zero()) return zero();
+  for (std::size_t i = 1; i < gamma.size(); ++i) {
+    require(gamma[i - 1] < gamma[i], "contract: gamma must be sorted and duplicate-free");
+  }
+  // Weights factor straight out of a multilinear contraction; the cache then
+  // only ever sees weight-1 operands.
+  ContCache cache;
+  cache.reserve(256);
+  Edge r = cont_rec(a.node, b.node, gamma, 0, cache);
+  return scale(r, a.weight * b.weight);
+}
+
+Edge Manager::cont_rec(const Node* a, const Node* b, std::span<const Level> gamma,
+                       std::size_t pos, ContCache& cache) {
+  if (a == nullptr && b == nullptr) {
+    // Both operands are constant 1.  Every gamma variable still pending is
+    // summed over {0,1} with a constant integrand, contributing a factor 2.
+    const auto remaining = static_cast<int>(gamma.size() - pos);
+    return terminal(cplx{std::ldexp(1.0, remaining), 0.0});
+  }
+
+  ContKey key{a, b, pos};
+  if (auto it = cache.find(key); it != cache.end()) {
+    ++cache_stats_.cont_hits;
+    return it->second;
+  }
+  ++cache_stats_.cont_misses;
+
+  const Level la = (a == nullptr) ? kTermLevel : a->level();
+  const Level lb = (b == nullptr) ? kTermLevel : b->level();
+  const Level lg = (pos < gamma.size()) ? gamma[pos] : kTermLevel;
+  Level x = la < lb ? la : lb;
+  if (lg < x) x = lg;
+
+  const bool summed = (x == lg);
+  const std::size_t next = summed ? pos + 1 : pos;
+
+  const Edge a0 = slice_top(a, x, 0);
+  const Edge a1 = slice_top(a, x, 1);
+  const Edge b0 = slice_top(b, x, 0);
+  const Edge b1 = slice_top(b, x, 1);
+
+  const Edge r0 = scale(cont_rec(a0.node, b0.node, gamma, next, cache), a0.weight * b0.weight);
+  const Edge r1 = scale(cont_rec(a1.node, b1.node, gamma, next, cache), a1.weight * b1.weight);
+
+  const Edge result = summed ? add(r0, r1) : make_node(x, r0, r1);
+  cache.emplace(key, result);
+  return result;
+}
+
+}  // namespace qts::tdd

@@ -1,0 +1,80 @@
+#include "tdd/dense.hpp"
+
+#include "common/error.hpp"
+
+namespace qts::tdd {
+
+namespace {
+
+void check_sorted(std::span<const Level> indices) {
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    require(indices[i - 1] < indices[i], "indices must be sorted ascending by level");
+  }
+}
+
+void expand(const Edge& e, std::span<const Level> indices, std::size_t pos, cplx acc,
+            std::vector<cplx>& out, std::size_t offset) {
+  if (pos == indices.size()) {
+    // All declared indices consumed; a deeper node would mean the tensor
+    // depends on an undeclared variable.
+    require(e.is_terminal(), "tensor depends on a variable missing from `indices`");
+    out[offset] = acc * e.weight;
+    return;
+  }
+  const std::size_t stride = std::size_t{1} << (indices.size() - pos - 1);
+  const Level var = indices[pos];
+  if (e.is_terminal() || e.node->level() > var) {
+    expand(e, indices, pos + 1, acc, out, offset);
+    expand(e, indices, pos + 1, acc, out, offset + stride);
+    return;
+  }
+  require(e.node->level() == var, "tensor depends on a variable missing from `indices`");
+  const Edge lo = e.node->low();
+  const Edge hi = e.node->high();
+  if (!lo.is_zero()) expand(lo, indices, pos + 1, acc * e.weight, out, offset);
+  if (!hi.is_zero()) expand(hi, indices, pos + 1, acc * e.weight, out, offset + stride);
+}
+
+Edge build(Manager& mgr, std::span<const cplx> values, std::span<const Level> indices,
+           std::size_t pos, std::size_t offset) {
+  if (pos == indices.size()) return mgr.terminal(values[offset]);
+  const std::size_t stride = std::size_t{1} << (indices.size() - pos - 1);
+  const Edge lo = build(mgr, values, indices, pos + 1, offset);
+  const Edge hi = build(mgr, values, indices, pos + 1, offset + stride);
+  return mgr.make_node(indices[pos], lo, hi);
+}
+
+}  // namespace
+
+cplx value_at(const Edge& root, std::span<const Level> indices, std::uint64_t assignment) {
+  check_sorted(indices);
+  Edge e = root;
+  cplx acc{1.0, 0.0};
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (e.is_zero()) return {0.0, 0.0};
+    const int bit = static_cast<int>((assignment >> (indices.size() - i - 1)) & 1u);
+    if (!e.is_terminal() && e.node->level() == indices[i]) {
+      acc *= e.weight;
+      e = e.node->child(bit);
+    }
+    // Levels above indices[i] are impossible here (checked by expand/tests);
+    // deeper levels mean the tensor ignores this index.
+  }
+  return acc * e.weight;
+}
+
+std::vector<cplx> to_dense(const Edge& root, std::span<const Level> indices) {
+  check_sorted(indices);
+  std::vector<cplx> out(std::size_t{1} << indices.size(), cplx{0.0, 0.0});
+  if (!root.is_zero()) expand(root, indices, 0, cplx{1.0, 0.0}, out, 0);
+  return out;
+}
+
+Edge from_dense(Manager& mgr, std::span<const cplx> values, std::span<const Level> indices) {
+  check_sorted(indices);
+  require(values.size() == (std::size_t{1} << indices.size()),
+          "dense array size must be 2^rank");
+  return build(mgr, values, indices, 0, 0);
+}
+
+}  // namespace qts::tdd

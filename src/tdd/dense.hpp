@@ -1,0 +1,28 @@
+/// \file dense.hpp
+/// Conversion between TDDs and dense tensors (small instances only — used by
+/// gate construction, the oracle cross-checks, and the test suite).
+///
+/// Index convention: `indices` lists the tensor's variables sorted ascending
+/// by level; the FIRST index is the most significant bit of the linear
+/// offset.  A rank-k tensor therefore maps to a dense array of size 2^k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tdd/manager.hpp"
+
+namespace qts::tdd {
+
+/// Evaluate the tensor at the assignment encoded MSB-first in `assignment`.
+cplx value_at(const Edge& root, std::span<const Level> indices, std::uint64_t assignment);
+
+/// Expand into a dense array of size 2^indices.size().
+std::vector<cplx> to_dense(const Edge& root, std::span<const Level> indices);
+
+/// Build a TDD from a dense array (size must be 2^indices.size()).  Intended
+/// for O(1)-scale data such as gate matrices; see the manager's invariants.
+Edge from_dense(Manager& mgr, std::span<const cplx> values, std::span<const Level> indices);
+
+}  // namespace qts::tdd

@@ -1,0 +1,20 @@
+/// \file dot.hpp
+/// Graphviz DOT export for TDDs, in the style of Fig. 1 of the paper: blue
+/// edges for value 0, red edges for value 1, edge labels carrying weights
+/// different from 1, and an entry edge carrying the root weight.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "tdd/manager.hpp"
+
+namespace qts::tdd {
+
+/// Write a DOT digraph for the TDD rooted at `root`.
+void to_dot(const Edge& root, std::ostream& os, const std::string& graph_name = "tdd");
+
+/// Convenience: DOT text as a string.
+std::string to_dot_string(const Edge& root, const std::string& graph_name = "tdd");
+
+}  // namespace qts::tdd

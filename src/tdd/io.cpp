@@ -1,0 +1,106 @@
+#include "tdd/io.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qts::tdd {
+
+namespace {
+
+void collect(const Node* n, std::unordered_map<const Node*, long>& ids,
+             std::vector<const Node*>& order) {
+  if (n == nullptr || ids.count(n) != 0) return;
+  // Children first: the file is bottom-up so load() can rebuild in order.
+  collect(n->low().node, ids, order);
+  collect(n->high().node, ids, order);
+  ids.emplace(n, static_cast<long>(order.size()));
+  order.push_back(n);
+}
+
+long id_of(const Node* n, const std::unordered_map<const Node*, long>& ids) {
+  return n == nullptr ? -1 : ids.at(n);
+}
+
+}  // namespace
+
+void save(const Edge& root, std::ostream& os) {
+  std::unordered_map<const Node*, long> ids;
+  std::vector<const Node*> order;
+  collect(root.node, ids, order);
+
+  os << "qtdd v1\n";
+  os << "nodes " << order.size() << "\n";
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Node* n = order[i];
+    os << i << " " << n->level() << " " << id_of(n->low().node, ids) << " "
+       << n->low().weight.real() << " " << n->low().weight.imag() << " "
+       << id_of(n->high().node, ids) << " " << n->high().weight.real() << " "
+       << n->high().weight.imag() << "\n";
+  }
+  os << "root " << id_of(root.node, ids) << " " << root.weight.real() << " "
+     << root.weight.imag() << "\n";
+}
+
+Edge load(Manager& mgr, std::istream& is) {
+  auto fail = [](const std::string& what) -> void { throw ParseError("qtdd: " + what); };
+
+  std::string word;
+  std::string version;
+  if (!(is >> word >> version) || word != "qtdd" || version != "v1") {
+    fail("bad header (expected 'qtdd v1')");
+  }
+  std::size_t count = 0;
+  if (!(is >> word >> count) || word != "nodes") fail("bad node-count line");
+
+  std::vector<Edge> built(count);  // weight-1 edges to rebuilt nodes
+  auto edge_to = [&](long id, double re, double im) -> Edge {
+    const cplx w{re, im};
+    if (id < 0) return mgr.terminal(w);
+    if (static_cast<std::size_t>(id) >= count) fail("child id out of range");
+    return mgr.scale(built[static_cast<std::size_t>(id)], w);
+  };
+
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t id = 0;
+    Level level = 0;
+    long lo_id = 0;
+    long hi_id = 0;
+    double lr = 0;
+    double li = 0;
+    double hr = 0;
+    double hi = 0;
+    if (!(is >> id >> level >> lo_id >> lr >> li >> hi_id >> hr >> hi)) {
+      fail("truncated node line");
+    }
+    if (id != i) fail("node ids must be dense and in order");
+    if (lo_id >= static_cast<long>(i) || hi_id >= static_cast<long>(i)) {
+      fail("children must precede their parent");
+    }
+    built[i] = mgr.make_node(level, edge_to(lo_id, lr, li), edge_to(hi_id, hr, hi));
+  }
+
+  long root_id = 0;
+  double rr = 0;
+  double ri = 0;
+  if (!(is >> word >> root_id >> rr >> ri) || word != "root") fail("bad root line");
+  if (root_id >= static_cast<long>(count)) fail("root id out of range");
+  return edge_to(root_id, rr, ri);
+}
+
+std::string save_string(const Edge& root) {
+  std::ostringstream os;
+  save(root, os);
+  return os.str();
+}
+
+Edge load_string(Manager& mgr, const std::string& text) {
+  std::istringstream is(text);
+  return load(mgr, is);
+}
+
+}  // namespace qts::tdd

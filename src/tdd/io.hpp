@@ -1,0 +1,36 @@
+/// \file io.hpp
+/// Text serialisation of TDDs ("qtdd v1").  The format is a topologically
+/// sorted node list followed by the root edge; loading rebuilds through
+/// make_node, so a loaded diagram is canonical in the target manager and
+/// shares structure with whatever already lives there.
+///
+///   qtdd v1
+///   nodes <count>
+///   <id> <level> <low_id> <low_re> <low_im> <high_id> <high_re> <high_im>
+///   ...
+///   root <id> <re> <im>
+///
+/// Node ids are dense indices into the file (0-based); id -1 is the
+/// terminal.  Weights are printed with 17 significant digits so a
+/// round-trip is exact at double precision.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "tdd/manager.hpp"
+
+namespace qts::tdd {
+
+/// Write the TDD rooted at `root`.
+void save(const Edge& root, std::ostream& os);
+
+/// Read a TDD into `mgr`.  Throws qts::ParseError on malformed input.
+Edge load(Manager& mgr, std::istream& is);
+
+/// Convenience string round-trip helpers.
+std::string save_string(const Edge& root);
+Edge load_string(Manager& mgr, const std::string& text);
+
+}  // namespace qts::tdd

@@ -1,0 +1,20 @@
+#include "tdd/levels.hpp"
+
+#include <sstream>
+
+namespace qts::tdd {
+
+std::string level_name(Level level) {
+  if (level == kTermLevel) return "term";
+  std::ostringstream os;
+  os << "q" << level_qubit(level);
+  const auto pos = level_pos(level);
+  if (pos == kQubitStride - 1) {
+    os << ".bra";
+  } else {
+    os << ".t" << pos;
+  }
+  return os.str();
+}
+
+}  // namespace qts::tdd

@@ -1,0 +1,55 @@
+/// \file levels.hpp
+/// Global index (variable) ordering for TDDs.
+///
+/// A TDD variable is identified by its *level*: an unsigned integer giving
+/// its position in the global order (smaller level = closer to the root).
+/// For circuit tensor networks we use the qubit-major scheme of the TDD
+/// paper: the j-th index on wire (qubit) q — written `x_q^j` in the paper —
+/// gets level `q * kQubitStride + j`.  This interleaves input/output indices
+/// per qubit, exactly like the `x1, y1, x2, y2, x3, y3` order of Fig. 1.
+///
+/// Conventions used by the higher layers:
+///   * kets (states) live on the wire-position-0 levels `state_level(q)`,
+///   * bras (projector column indices) live on `bra_level(q)`, the last
+///     position slot of the qubit, so ket_q < bra_q < ket_{q+1}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qts::tdd {
+
+/// Global variable order position.  Smaller = higher in the diagram.
+using Level = std::uint64_t;
+
+/// Pseudo-level of the terminal node (below every variable).
+inline constexpr Level kTermLevel = ~static_cast<Level>(0);
+
+/// Number of position slots reserved per qubit wire.
+inline constexpr Level kQubitStride = Level{1} << 20;
+
+/// Level of the j-th index on qubit `q` (the paper's x_q^j).
+constexpr Level wire_level(std::uint32_t qubit, std::uint64_t pos) {
+  return static_cast<Level>(qubit) * kQubitStride + pos;
+}
+
+/// Level carrying a ket (row) index of qubit `q` in states and operators.
+constexpr Level state_level(std::uint32_t qubit) { return wire_level(qubit, 0); }
+
+/// Level carrying a bra (column) index of qubit `q` in operators/projectors.
+constexpr Level bra_level(std::uint32_t qubit) {
+  return static_cast<Level>(qubit) * kQubitStride + (kQubitStride - 1);
+}
+
+/// Qubit a wire level belongs to.
+constexpr std::uint32_t level_qubit(Level level) {
+  return static_cast<std::uint32_t>(level / kQubitStride);
+}
+
+/// Position slot of a wire level within its qubit.
+constexpr std::uint64_t level_pos(Level level) { return level % kQubitStride; }
+
+/// Human-readable name, e.g. "q2.t0", "q2.bra"; used by DOT export and tests.
+std::string level_name(Level level);
+
+}  // namespace qts::tdd

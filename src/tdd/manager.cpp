@@ -1,0 +1,218 @@
+#include "tdd/manager.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qts::tdd {
+
+Manager::Manager() {
+  unique_.reserve(1 << 16);
+  add_cache_.reserve(1 << 14);
+}
+
+std::size_t Manager::NodeKeyHash::operator()(const NodeKey& k) const {
+  std::size_t h = std::hash<Level>{}(k.level);
+  h = hash_combine(h, std::hash<const void*>{}(k.low));
+  h = hash_combine(h, std::hash<const void*>{}(k.high));
+  h = hash_combine(h, std::hash<double>{}(k.w_low.real()));
+  h = hash_combine(h, std::hash<double>{}(k.w_low.imag()));
+  h = hash_combine(h, std::hash<double>{}(k.w_high.real()));
+  h = hash_combine(h, std::hash<double>{}(k.w_high.imag()));
+  return h;
+}
+
+std::size_t Manager::AddKeyHash::operator()(const AddKey& k) const {
+  std::size_t h = std::hash<const void*>{}(k.a);
+  h = hash_combine(h, std::hash<const void*>{}(k.b));
+  h = hash_combine(h, std::hash<double>{}(k.ratio.real()));
+  h = hash_combine(h, std::hash<double>{}(k.ratio.imag()));
+  return h;
+}
+
+std::size_t Manager::ContKeyHash::operator()(const ContKey& k) const {
+  std::size_t h = std::hash<const void*>{}(k.a);
+  h = hash_combine(h, std::hash<const void*>{}(k.b));
+  return hash_combine(h, std::hash<std::size_t>{}(k.pos));
+}
+
+const Node* Manager::intern(Level level, const Edge& low, const Edge& high) {
+  NodeKey key{level, low.node, high.node, bucketed(low.weight), bucketed(high.weight)};
+  if (auto it = unique_.find(key); it != unique_.end()) {
+    ++cache_stats_.unique_hits;
+    return it->second;
+  }
+  ++cache_stats_.unique_misses;
+  Node* n;
+  if (!free_.empty()) {
+    n = free_.back();
+    free_.pop_back();
+    *n = Node(level, low, high);
+  } else {
+    n = &pool_.emplace_back(level, low, high);
+  }
+  unique_.emplace(key, n);
+  return n;
+}
+
+Edge Manager::make_node(Level level, const Edge& low, const Edge& high) {
+  require(low.top_level() > level && high.top_level() > level,
+          "make_node children must sit strictly below the new level");
+
+  Edge lo = low;
+  Edge hi = high;
+
+  // Zero-weight edges are stored as the canonical zero edge.
+  if (approx_zero(lo.weight)) lo = Edge{};
+  if (approx_zero(hi.weight)) hi = Edge{};
+
+  if (lo.is_zero() && hi.is_zero()) return Edge{};
+
+  // Redundant-node elimination: tensor independent of this variable.
+  if (lo.node == hi.node && approx_equal(lo.weight, hi.weight)) return lo;
+
+  // Normalise by the maximum-magnitude weight, ties towards the low edge.
+  // The tie test is relative so the choice is stable under a global rescale
+  // of the tensor.
+  const double a0 = std::abs(lo.weight);
+  const double a1 = std::abs(hi.weight);
+  const cplx pivot = (a0 >= a1 * (1.0 - 1e-9)) ? lo.weight : hi.weight;
+  lo.weight /= pivot;
+  hi.weight /= pivot;
+  // Cull relative noise and snap the pivot to exactly 1 for stable hashing.
+  if (approx_zero(lo.weight)) lo = Edge{};
+  if (approx_zero(hi.weight)) hi = Edge{};
+  if (approx_one(lo.weight)) lo.weight = cplx{1.0, 0.0};
+  if (approx_one(hi.weight)) hi.weight = cplx{1.0, 0.0};
+
+  // Renormalisation may have made the children equal after snapping.
+  if (lo.node == hi.node && approx_equal(lo.weight, hi.weight)) {
+    return Edge{lo.node, lo.weight * pivot};
+  }
+
+  return Edge{intern(level, lo, hi), pivot};
+}
+
+namespace {
+
+/// Child of `n` under variable `var` taking `value`, for a weight-1 view of
+/// the node.  If the node does not test `var` (its level is deeper), the
+/// tensor is independent of `var` and the slice is the node itself.
+Edge slice_top(const Node* n, Level var, int value) {
+  if (n == nullptr || n->level() > var) return Edge{n, cplx{1.0, 0.0}};
+  return n->child(value);
+}
+
+}  // namespace
+
+Edge Manager::add(const Edge& a, const Edge& b) {
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  if (a.node == b.node) {
+    const cplx w = a.weight + b.weight;
+    // Relative cancellation test: the operands may carry a legitimately tiny
+    // global scale (e.g. 2^{-n/2} for broad superpositions), so zero must be
+    // judged against the operand magnitudes, not in absolute terms.
+    const double scale_mag = std::max(std::abs(a.weight), std::abs(b.weight));
+    return (std::abs(w) <= kEps * scale_mag) ? zero() : Edge{a.node, w};
+  }
+  // Factor the weights out so the cache works on weight-1 operands:
+  //   a + b = w_a * (A' + (w_b / w_a) B').
+  // Commutativity lets us order the operands by pointer for a better hit
+  // rate; the ratio is inverted accordingly.
+  const Node* na = a.node;
+  const Node* nb = b.node;
+  cplx wa = a.weight;
+  cplx wb = b.weight;
+  if (na > nb) {
+    std::swap(na, nb);
+    std::swap(wa, wb);
+  }
+  const cplx ratio = wb / wa;
+  Edge r = add_norm(na, nb, ratio);
+  return scale(r, wa);
+}
+
+Edge Manager::add_norm(const Node* a, const Node* b, const cplx& ratio) {
+  // Precondition: not both terminal with a == b (handled by add()).
+  if (a == nullptr && b == nullptr) {
+    const cplx w = cplx{1.0, 0.0} + ratio;
+    return terminal(w);
+  }
+  AddKey key{a, b, bucketed(ratio)};
+  if (auto it = add_cache_.find(key); it != add_cache_.end()) {
+    ++cache_stats_.add_hits;
+    return it->second;
+  }
+  ++cache_stats_.add_misses;
+
+  const Level la = (a == nullptr) ? kTermLevel : a->level();
+  const Level lb = (b == nullptr) ? kTermLevel : b->level();
+  const Level x = la < lb ? la : lb;
+
+  Edge result;
+  {
+    const Edge a0 = slice_top(a, x, 0);
+    const Edge a1 = slice_top(a, x, 1);
+    const Edge b0 = slice_top(b, x, 0);
+    const Edge b1 = slice_top(b, x, 1);
+    const Edge r0 = add(a0, scale(b0, ratio));
+    const Edge r1 = add(a1, scale(b1, ratio));
+    result = make_node(x, r0, r1);
+  }
+  add_cache_.emplace(key, result);
+  return result;
+}
+
+void Manager::clear_caches() { add_cache_.clear(); }
+
+void Manager::mark(const Node* n, std::uint64_t epoch) const {
+  if (n == nullptr || n->mark_ == epoch) return;
+  n->mark_ = epoch;
+  mark(n->low().node, epoch);
+  mark(n->high().node, epoch);
+}
+
+std::size_t Manager::gc(std::span<const Edge> roots) {
+  const std::uint64_t epoch = ++gc_epoch_;
+  for (const Edge& r : roots) mark(r.node, epoch);
+
+  clear_caches();
+  unique_.clear();
+
+  std::size_t freed = 0;
+  for (Node& n : pool_) {
+    if (n.freed_) continue;
+    if (n.mark_ == epoch) {
+      NodeKey key{n.level(), n.low().node, n.high().node, bucketed(n.low().weight),
+                  bucketed(n.high().weight)};
+      unique_.emplace(key, &n);
+    } else {
+      n.freed_ = true;
+      free_.push_back(&n);
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+namespace {
+
+void count_rec(const Node* n, std::unordered_map<const Node*, bool>& seen, std::size_t& count) {
+  if (n == nullptr || seen.count(n) != 0) return;
+  seen.emplace(n, true);
+  ++count;
+  count_rec(n->low().node, seen, count);
+  count_rec(n->high().node, seen, count);
+}
+
+}  // namespace
+
+std::size_t node_count(const Edge& root) {
+  std::unordered_map<const Node*, bool> seen;
+  std::size_t count = 0;
+  count_rec(root.node, seen, count);
+  return count;
+}
+
+}  // namespace qts::tdd

@@ -1,0 +1,161 @@
+/// \file manager.hpp
+/// The TDD manager: node storage, hash-consing, and all tensor operations.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/complex.hpp"
+#include "tdd/node.hpp"
+
+namespace qts::tdd {
+
+/// Owns all nodes of a family of TDDs and provides the tensor operations of
+/// the paper: addition, contraction, slicing, conjugation, scaling and
+/// (order-preserving) index renaming.
+///
+/// Thread-compatibility: a Manager is single-threaded; use one per thread.
+class Manager {
+ public:
+  Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // -- construction ---------------------------------------------------------
+
+  /// Constant tensor (rank 0).
+  [[nodiscard]] Edge terminal(const cplx& w) const {
+    return approx_zero(w) ? Edge{} : Edge{nullptr, w};
+  }
+  [[nodiscard]] Edge zero() const { return Edge{}; }
+  [[nodiscard]] Edge one() const { return Edge{nullptr, cplx{1.0, 0.0}}; }
+
+  /// Canonicalising node constructor (see node.hpp for the invariants).
+  Edge make_node(Level level, const Edge& low, const Edge& high);
+
+  /// TDD of the single-variable tensor f(x) = (x == 0 ? w0 : w1).
+  Edge literal(Level level, const cplx& w0, const cplx& w1) {
+    return make_node(level, terminal(w0), terminal(w1));
+  }
+
+  // -- tensor operations ----------------------------------------------------
+
+  /// Pointwise sum A + B (indices implicitly aligned by level).
+  Edge add(const Edge& a, const Edge& b);
+
+  /// Tensor contraction: multiply A and B pointwise over their shared
+  /// variables and sum out the variables in `gamma` (sorted ascending by
+  /// level).  Variables not in gamma that occur in both operands are treated
+  /// as shared (hyperedge) indices and survive in the result.  A gamma
+  /// variable occurring in neither operand contributes a factor 2, matching
+  /// the tensor-network semantics of summing a constant over {0,1}.
+  Edge contract(const Edge& a, const Edge& b, std::span<const Level> gamma);
+
+  /// Fix variable `var` to `value` (0 or 1) and drop it from the tensor.
+  Edge slice(const Edge& a, Level var, int value);
+
+  /// Componentwise complex conjugate.
+  Edge conjugate(const Edge& a);
+
+  /// Scalar multiple s * A.  The zero test is exact: a scalar of magnitude
+  /// 2^{-n} is a legitimate global scale for a broad superposition, so
+  /// tolerance-snapping here would corrupt wide-register states.
+  Edge scale(const Edge& a, const cplx& s) {
+    if (a.is_zero() || (s.real() == 0.0 && s.imag() == 0.0)) return zero();
+    return Edge{a.node, a.weight * s};
+  }
+
+  /// Rename variables through a strictly monotone level map.  `map` holds
+  /// (old, new) pairs sorted ascending by old level with ascending new
+  /// levels; variables not mentioned keep their level (and must not be
+  /// reordered across mapped ones — callers use disjoint ranges).
+  Edge rename(const Edge& a, std::span<const std::pair<Level, Level>> map);
+
+  // -- storage management ---------------------------------------------------
+
+  /// Operation-cache and unique-table counters (diagnostics / ablations).
+  struct CacheStats {
+    std::size_t unique_hits = 0;
+    std::size_t unique_misses = 0;
+    std::size_t add_hits = 0;
+    std::size_t add_misses = 0;
+    std::size_t cont_hits = 0;
+    std::size_t cont_misses = 0;
+  };
+  [[nodiscard]] const CacheStats& cache_stats() const { return cache_stats_; }
+  void reset_cache_stats() { cache_stats_ = CacheStats{}; }
+
+  /// Number of live (allocated, not freed) nodes.
+  [[nodiscard]] std::size_t live_nodes() const { return pool_.size() - free_.size(); }
+
+  /// Total nodes ever allocated (monotone; diagnostic only).
+  [[nodiscard]] std::size_t allocated_nodes() const { return pool_.size(); }
+
+  /// Drop operation caches (automatically done by gc()).
+  void clear_caches();
+
+  /// Mark-and-sweep garbage collection.  Everything not reachable from
+  /// `roots` is recycled.  Returns the number of nodes freed.
+  std::size_t gc(std::span<const Edge> roots);
+
+ private:
+  struct NodeKey {
+    Level level;
+    const Node* low;
+    const Node* high;
+    cplx w_low;   // bucketed
+    cplx w_high;  // bucketed
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const;
+  };
+  struct AddKey {
+    const Node* a;
+    const Node* b;
+    cplx ratio;  // bucketed weight ratio w_b / w_a
+    bool operator==(const AddKey&) const = default;
+  };
+  struct AddKeyHash {
+    std::size_t operator()(const AddKey& k) const;
+  };
+  struct ContKey {
+    const Node* a;
+    const Node* b;
+    std::size_t pos;  // index into the gamma suffix still to be summed out
+    bool operator==(const ContKey&) const = default;
+  };
+  struct ContKeyHash {
+    std::size_t operator()(const ContKey& k) const;
+  };
+  using ContCache = std::unordered_map<ContKey, Edge, ContKeyHash>;
+
+  const Node* intern(Level level, const Edge& low, const Edge& high);
+  void mark(const Node* n, std::uint64_t epoch) const;
+
+  // Recursion helpers; see the .cpp files.
+  Edge add_norm(const Node* a, const Node* b, const cplx& ratio);
+  Edge cont_rec(const Node* a, const Node* b, std::span<const Level> gamma, std::size_t pos,
+                ContCache& cache);
+
+  std::deque<Node> pool_;
+  std::vector<Node*> free_;
+  std::unordered_map<NodeKey, const Node*, NodeKeyHash> unique_;
+  std::unordered_map<AddKey, Edge, AddKeyHash> add_cache_;
+  std::uint64_t gc_epoch_ = 0;
+  CacheStats cache_stats_;
+};
+
+/// Number of non-terminal nodes reachable from `root` (the paper's "#node").
+std::size_t node_count(const Edge& root);
+
+/// True if the two edges denote approximately the same tensor.  Thanks to
+/// hash-consing this is pointer equality plus a weight comparison.
+inline bool same_tensor(const Edge& a, const Edge& b, double eps = kEps) {
+  return a.approx(b, eps);
+}
+
+}  // namespace qts::tdd

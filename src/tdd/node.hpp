@@ -1,0 +1,76 @@
+/// \file node.hpp
+/// TDD nodes and weighted edges.
+///
+/// A TDD (tensor decision diagram, Hong et al. TODAES 2022) is a rooted DAG.
+/// Every non-terminal node carries a variable level and two outgoing weighted
+/// edges (value 0 = "low", value 1 = "high").  The single terminal is
+/// represented by a null node pointer; an Edge with a null node is the
+/// constant tensor equal to its weight.
+///
+/// Canonical form maintained by Manager::make_node:
+///   * an edge with (approximately) zero weight is the unique zero edge
+///     {nullptr, 0};
+///   * a node whose two outgoing edges are identical is elided (the tensor
+///     does not depend on that variable);
+///   * outgoing weights are normalised by the maximum-magnitude weight (ties
+///     broken towards the low edge), so the pivot edge has weight exactly 1
+///     and the sibling has magnitude <= 1; the pivot factor is pushed up into
+///     the incoming edge;
+///   * nodes are hash-consed in a unique table with tolerance-bucketed
+///     weights, so structurally equal tensors share the same node pointer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/complex.hpp"
+#include "tdd/levels.hpp"
+
+namespace qts::tdd {
+
+class Node;
+
+/// Weighted edge; the fundamental handle to a TDD.  Value semantics: cheap to
+/// copy, owned by the Manager's pools, valid until the Manager is destroyed
+/// or a garbage collection proves it unreachable.
+struct Edge {
+  const Node* node = nullptr;
+  cplx weight{0.0, 0.0};
+
+  [[nodiscard]] bool is_terminal() const { return node == nullptr; }
+  [[nodiscard]] bool is_zero() const { return node == nullptr && weight == cplx{0.0, 0.0}; }
+
+  /// Level of the top variable (kTermLevel for terminal edges).
+  [[nodiscard]] Level top_level() const;
+
+  /// Structural equality with tolerance on the weight.  Because nodes are
+  /// hash-consed, pointer equality on `node` is tensor equality up to the
+  /// weight factor.
+  [[nodiscard]] bool approx(const Edge& other, double eps = kEps) const {
+    return node == other.node && approx_equal(weight, other.weight, eps);
+  }
+};
+
+/// A hash-consed decision-diagram node.  Immutable after creation except for
+/// the GC mark.
+class Node {
+ public:
+  Node(Level level, Edge low, Edge high) : level_(level), low_(low), high_(high) {}
+
+  [[nodiscard]] Level level() const { return level_; }
+  [[nodiscard]] const Edge& low() const { return low_; }
+  [[nodiscard]] const Edge& high() const { return high_; }
+  [[nodiscard]] const Edge& child(int value) const { return value == 0 ? low_ : high_; }
+
+ private:
+  friend class Manager;
+
+  Level level_;
+  Edge low_;
+  Edge high_;
+  mutable std::uint64_t mark_ = 0;  // GC epoch stamp
+  bool freed_ = false;              // on the manager's free list
+};
+
+inline Level Edge::top_level() const { return node == nullptr ? kTermLevel : node->level(); }
+
+}  // namespace qts::tdd

@@ -1,0 +1,26 @@
+#include "tdd/paths.hpp"
+
+namespace qts::tdd {
+
+std::optional<std::vector<int>> leftmost_nonzero_assignment(const Edge& root,
+                                                            std::span<const Level> indices) {
+  if (root.is_zero()) return std::nullopt;
+  std::vector<int> out(indices.size(), 0);
+  Edge e = root;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (e.is_terminal() || e.node->level() > indices[i]) continue;  // independent: take 0
+    // e.node->level() == indices[i] by the sortedness of `indices` relative
+    // to the diagram's variables.
+    const Edge lo = e.node->low();
+    if (!lo.is_zero()) {
+      out[i] = 0;
+      e = lo;
+    } else {
+      out[i] = 1;
+      e = e.node->high();
+    }
+  }
+  return out;
+}
+
+}  // namespace qts::tdd

@@ -1,0 +1,26 @@
+/// \file paths.hpp
+/// Path queries on TDDs.  The key one is the leftmost non-zero path, which
+/// the paper uses to locate the first non-zero column of a projector when
+/// decomposing a subspace into a basis (§IV-A).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "tdd/manager.hpp"
+
+namespace qts::tdd {
+
+/// Assignment of `indices` (sorted ascending by level) along the
+/// lexicographically smallest path with a non-zero tensor value.  Indices the
+/// tensor does not depend on are assigned 0.  Returns nullopt for the zero
+/// tensor.
+///
+/// This is O(#indices): by the canonical-form invariants every edge with
+/// weight zero is the terminal zero edge, so greedily preferring a non-zero
+/// low edge always extends to a complete non-zero path.
+std::optional<std::vector<int>> leftmost_nonzero_assignment(const Edge& root,
+                                                            std::span<const Level> indices);
+
+}  // namespace qts::tdd

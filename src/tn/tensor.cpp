@@ -1,0 +1,32 @@
+#include "tn/tensor.hpp"
+
+#include <algorithm>
+
+namespace qts::tn {
+
+bool Tensor::has_index(tdd::Level l) const {
+  return std::binary_search(indices.begin(), indices.end(), l);
+}
+
+std::vector<tdd::Level> shared_indices(const std::vector<tdd::Level>& a,
+                                       const std::vector<tdd::Level>& b) {
+  std::vector<tdd::Level> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<tdd::Level> union_indices(const std::vector<tdd::Level>& a,
+                                      const std::vector<tdd::Level>& b) {
+  std::vector<tdd::Level> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<tdd::Level> minus_indices(const std::vector<tdd::Level>& a,
+                                      const std::vector<tdd::Level>& b) {
+  std::vector<tdd::Level> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace qts::tn

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "circuit/adjoint.hpp"
+#include "circuit/generators.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "qts/backward.hpp"
+#include "qts/workloads.hpp"
+#include "sim/circuit_matrix.hpp"
+
+namespace qts {
+namespace {
+
+TEST(Adjoint, GateAdjointMatchesMatrixAdjoint) {
+  const circ::Gate g("t", circ::t_gate(), {0});
+  const auto ad = circ::adjoint(g);
+  EXPECT_TRUE(ad.base().approx(circ::t_gate().adjoint()));
+  EXPECT_EQ(ad.targets(), g.targets());
+}
+
+TEST(Adjoint, CircuitAdjointIsInverseForUnitaries) {
+  Prng rng(9);
+  for (int i = 0; i < 5; ++i) {
+    const auto c = circ::make_random(3, 12, rng);
+    circ::Circuit both = c;
+    both.append(circ::adjoint(c));
+    EXPECT_TRUE(sim::circuit_matrix(both).approx(la::Matrix::identity(8), 1e-9));
+  }
+}
+
+TEST(Adjoint, ConjugatesGlobalFactor) {
+  circ::Circuit c(1);
+  c.set_global_factor(cplx{0.6, 0.8});
+  const auto ad = circ::adjoint(c);
+  EXPECT_TRUE(approx_equal(ad.global_factor(), cplx{0.6, -0.8}));
+}
+
+TEST(Adjoint, ProjectorGatesAreSelfAdjoint) {
+  circ::Circuit c(1);
+  c.proj(0, 1);
+  const auto ad = circ::adjoint(c);
+  EXPECT_TRUE(sim::circuit_matrix(ad).approx(sim::circuit_matrix(c), 1e-12));
+}
+
+TEST(Backward, AdjointOperationDaggersEveryKraus) {
+  tdd::Manager mgr;
+  const auto sys = make_bitflip_code_system(mgr);
+  const auto adj = adjoint_operation(sys.operations[1]);
+  EXPECT_EQ(adj.symbol, "T101_dg");
+  ASSERT_EQ(adj.kraus.size(), 1u);
+  EXPECT_TRUE(sim::circuit_matrix(adj.kraus[0])
+                  .approx(sim::circuit_matrix(sys.operations[1].kraus[0]).adjoint(), 1e-9));
+}
+
+TEST(Backward, UnitaryBackImageInvertsForwardImage) {
+  // For a unitary op, back_image(image(S)) == S.
+  Prng rng(11);
+  tdd::Manager mgr;
+  const auto c = circ::make_random(3, 10, rng);
+  QuantumOperation op{"u", {c}};
+  Subspace s(mgr, 3);
+  s.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+  s.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+  BasicImage computer(mgr);
+  const Subspace forward = computer.image(op, s);
+  computer.clear_prepared();
+  const Subspace back = back_image(computer, op, forward);
+  EXPECT_TRUE(back.same_subspace(s));
+}
+
+TEST(Backward, GroverInvariantIsAlsoBackwardInvariant) {
+  tdd::Manager mgr;
+  const auto sys = make_grover_system(mgr, 4);
+  ContractionImage computer(mgr, 2, 2);
+  const Subspace back = back_image(computer, sys.operations[0], sys.initial);
+  EXPECT_TRUE(back.same_subspace(sys.initial));
+}
+
+TEST(Backward, BitFlipPreimageOfCodeSpaceCoversCorrectables) {
+  // Which states can land in span{|000000⟩}?  At least every single-flip
+  // corrupted codeword (the system's initial space) and |000000⟩ itself.
+  tdd::Manager mgr;
+  const auto sys = make_bitflip_code_system(mgr);
+  ContractionImage computer(mgr, 3, 2);
+  const Subspace target = Subspace::from_states(mgr, 6, {ket_basis(mgr, 6, 0)});
+  const auto result = backward_reachable(computer, sys, target, 4);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.space.contains(ket_basis(mgr, 6, 0)));
+  EXPECT_TRUE(result.space.contains(ket_basis(mgr, 6, 0b100000)));
+  EXPECT_TRUE(result.space.contains(ket_basis(mgr, 6, 0b010000)));
+  EXPECT_TRUE(result.space.contains(ket_basis(mgr, 6, 0b001000)));
+}
+
+TEST(Backward, WalkBackwardReachesWholeCycleUnderNoise) {
+  tdd::Manager mgr;
+  const auto sys = make_qrw_system(mgr, 3, 0.3, true, 0);
+  ContractionImage computer(mgr, 2, 2);
+  const Subspace target = Subspace::from_states(mgr, 3, {ket_basis(mgr, 3, 0)});
+  const auto result = backward_reachable(computer, sys, target, 32);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.space.dim(), 8u);
+}
+
+}  // namespace
+}  // namespace qts

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/gates.hpp"
+#include "common/prng.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "sim/circuit_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qts::circ {
+namespace {
+
+TEST(Gates, UnitaryGatesAreUnitary) {
+  for (const auto& m : {h(), x(), y(), z(), s(), sdg(), t_gate(), tdg(), sx(), rx(0.3),
+                        ry(1.1), rz(2.2), phase(0.7), swap_matrix()}) {
+    EXPECT_TRUE(m.is_unitary());
+  }
+}
+
+TEST(Gates, ProjectorsAreProjectors) {
+  EXPECT_TRUE(proj0().is_projector());
+  EXPECT_TRUE(proj1().is_projector());
+  EXPECT_FALSE(proj0().is_unitary());
+}
+
+TEST(Gates, AlgebraicIdentities) {
+  EXPECT_TRUE(h().mul(h()).approx(id2()));
+  EXPECT_TRUE(s().mul(s()).approx(z()));
+  EXPECT_TRUE(t_gate().mul(t_gate()).approx(s()));
+  EXPECT_TRUE(sdg().mul(s()).approx(id2()));
+  EXPECT_TRUE(x().mul(x()).approx(id2()));
+  EXPECT_TRUE(sx().mul(sx()).approx(x()));
+  EXPECT_TRUE(h().mul(x()).mul(h()).approx(z()));
+}
+
+TEST(Gates, DiagonalDetection) {
+  EXPECT_TRUE(is_diagonal(z()));
+  EXPECT_TRUE(is_diagonal(s()));
+  EXPECT_TRUE(is_diagonal(phase(0.3)));
+  EXPECT_TRUE(is_diagonal(rz(0.4)));
+  EXPECT_FALSE(is_diagonal(h()));
+  EXPECT_FALSE(is_diagonal(x()));
+  EXPECT_FALSE(is_diagonal(swap_matrix()));
+}
+
+TEST(Gate, ValidatesShapeAndDuplicates) {
+  EXPECT_THROW(Gate("bad", h(), {0, 1}), InvalidArgument);          // 2x2 on 2 targets
+  EXPECT_THROW(Gate("bad", swap_matrix(), {0, 0}), InvalidArgument);  // dup targets
+  EXPECT_THROW(Gate("bad", x(), {0}, {{0, true}}), InvalidArgument);  // ctrl == target
+  EXPECT_NO_THROW(Gate("ok", x(), {1}, {{0, false}}));
+}
+
+TEST(Gate, MultiQubitPredicate) {
+  EXPECT_FALSE(Gate("h", h(), {0}).multi_qubit());
+  EXPECT_TRUE(Gate("cx", x(), {1}, {{0, true}}).multi_qubit());
+  EXPECT_TRUE(Gate("swap", swap_matrix(), {0, 1}).multi_qubit());
+}
+
+TEST(Circuit, AddValidatesWidth) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), InvalidArgument);
+  EXPECT_NO_THROW(c.h(1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Circuit, AppendMergesGatesAndFactors) {
+  Circuit a(2);
+  a.h(0).set_global_factor(cplx{0.5, 0.0});
+  Circuit b(2);
+  b.x(1).set_global_factor(cplx{0.5, 0.0});
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(approx_equal(a.global_factor(), cplx{0.25, 0.0}));
+  Circuit wrong(3);
+  EXPECT_THROW(a.append(wrong), InvalidArgument);
+}
+
+TEST(Circuit, MultiQubitGateCount) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).ccx(0, 1, 2).z(2);
+  EXPECT_EQ(c.multi_qubit_gate_count(), 2u);
+}
+
+TEST(Generators, GhzPreparesGhzState) {
+  const auto c = make_ghz(4);
+  const auto out = sim::apply_circuit(c, sim::basis_state(4, 0));
+  la::Vector expect(16);
+  expect[0] = cplx{std::numbers::sqrt2 / 2.0, 0.0};
+  expect[15] = cplx{std::numbers::sqrt2 / 2.0, 0.0};
+  EXPECT_TRUE(out.approx(expect, 1e-12));
+}
+
+TEST(Generators, BvRecoversSecret) {
+  const std::vector<bool> secret{true, false, true, true};
+  const auto c = make_bv(5, secret);
+  const auto out = sim::apply_circuit(c, sim::basis_state(5, 0));
+  // Data register must be |1011⟩ and the ancilla |−⟩ = (|0⟩-|1⟩)/√2.
+  // Index of |1011⟩⊗|0⟩ = 10110b = 22, |1011⟩⊗|1⟩ = 23.
+  EXPECT_NEAR(std::abs(out[22]), std::numbers::sqrt2 / 2.0, 1e-12);
+  EXPECT_NEAR(std::abs(out[23]), std::numbers::sqrt2 / 2.0, 1e-12);
+  double rest = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (i != 22 && i != 23) rest += std::norm(out[i]);
+  }
+  EXPECT_NEAR(rest, 0.0, 1e-12);
+}
+
+TEST(Generators, BvDefaultSecretIsAlternating) {
+  const auto c = make_bv(4);
+  const auto out = sim::apply_circuit(c, sim::basis_state(4, 0));
+  // Secret 101 → data |101⟩, indices 1010b=10 (anc 0) and 11.
+  EXPECT_NEAR(std::abs(out[10]), std::numbers::sqrt2 / 2.0, 1e-12);
+  EXPECT_NEAR(std::abs(out[11]), std::numbers::sqrt2 / 2.0, 1e-12);
+}
+
+TEST(Generators, QftMatrixMatchesDefinition) {
+  const std::uint32_t n = 4;
+  const auto c = make_qft(n);
+  const auto m = sim::circuit_matrix(c);
+  const std::size_t dim = 16;
+  // QFT without final swaps: F[r][c] = ω^(rev(r)·c)/√dim, where rev reverses
+  // the n-bit pattern of r (the textbook QFT followed by qubit reversal).
+  auto rev = [&](std::size_t v) {
+    std::size_t r = 0;
+    for (std::uint32_t b = 0; b < n; ++b) r |= ((v >> b) & 1u) << (n - 1 - b);
+    return r;
+  };
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t col = 0; col < dim; ++col) {
+      const double ang = 2.0 * std::numbers::pi * static_cast<double>(rev(r) * col) /
+                         static_cast<double>(dim);
+      const cplx expect = std::polar(1.0 / 4.0, ang);
+      EXPECT_TRUE(approx_equal(m(r, col), expect, 1e-9))
+          << "entry (" << r << ", " << col << ")";
+    }
+  }
+}
+
+TEST(Generators, GroverIterationFixesMarkedState) {
+  // On the span{|++−⟩, |11−⟩} invariant (§III-A-1): G|11−⟩ has no component
+  // outside the span, and G maps |++−⟩ to a vector still inside it.
+  const auto c = make_grover_iteration(3);
+  const auto g = sim::circuit_matrix(c);
+  EXPECT_TRUE(g.is_unitary(1e-9));
+
+  la::Vector plusplusminus(8);
+  la::Vector oneoneminus(8);
+  const double q = 0.5 * std::numbers::sqrt2 / 2.0;  // 1/(2√2)
+  for (std::size_t x = 0; x < 4; ++x) {
+    plusplusminus[2 * x] = cplx{q, 0.0};
+    plusplusminus[2 * x + 1] = cplx{-q, 0.0};
+  }
+  oneoneminus[6] = cplx{std::numbers::sqrt2 / 2.0, 0.0};
+  oneoneminus[7] = cplx{-std::numbers::sqrt2 / 2.0, 0.0};
+
+  const auto g1 = g.mul(plusplusminus);
+  const auto g2 = g.mul(oneoneminus);
+  EXPECT_TRUE(la::in_span(g1, {plusplusminus, oneoneminus}, 1e-8));
+  EXPECT_TRUE(la::in_span(g2, {plusplusminus, oneoneminus}, 1e-8));
+  // Two-qubit search: one iteration from uniform lands exactly on |11⟩|−⟩
+  // up to phase... G|ψ⟩|−⟩ concentrates amplitude on the marked item.
+  la::Vector uniform(8);
+  for (std::size_t x = 0; x < 4; ++x) {
+    uniform[2 * x] = cplx{q, 0.0};
+    uniform[2 * x + 1] = cplx{-q, 0.0};
+  }
+  const auto after = g.mul(uniform);
+  EXPECT_NEAR(std::norm(after[6]) + std::norm(after[7]), 1.0, 1e-9);
+}
+
+TEST(Generators, QrwShiftMovesBothDirections) {
+  // 4 qubits: coin + 3 position (cycle of 8), as in Fig. 4.
+  const auto c = make_qrw_shift(4);
+  const std::uint32_t n = 4;
+  for (std::uint64_t pos = 0; pos < 8; ++pos) {
+    // coin |0⟩: decrement (i-1 mod 8).
+    auto out = sim::apply_circuit(c, sim::basis_state(n, pos));
+    const std::uint64_t dec = (pos + 7) % 8;
+    EXPECT_NEAR(std::abs(out[dec]), 1.0, 1e-12) << "pos " << pos;
+    // coin |1⟩: increment (i+1 mod 8).
+    out = sim::apply_circuit(c, sim::basis_state(n, 8 + pos));
+    const std::uint64_t inc = 8 + (pos + 1) % 8;
+    EXPECT_NEAR(std::abs(out[inc]), 1.0, 1e-12) << "pos " << pos;
+  }
+}
+
+TEST(Generators, QrwStepSplitsAmplitude) {
+  const auto c = make_qrw_step(4);
+  const auto out = sim::apply_circuit(c, sim::basis_state(4, 2));  // |0⟩|010⟩
+  // After H on the coin: (|0⟩|1⟩ + |1⟩|3⟩)/√2.
+  EXPECT_NEAR(std::abs(out[1]), std::numbers::sqrt2 / 2.0, 1e-12);
+  EXPECT_NEAR(std::abs(out[8 + 3]), std::numbers::sqrt2 / 2.0, 1e-12);
+}
+
+TEST(Generators, RandomCircuitIsUnitaryAndSized) {
+  Prng rng(33);
+  const auto c = make_random(4, 25, rng);
+  EXPECT_EQ(c.size(), 25u);
+  EXPECT_TRUE(sim::circuit_matrix(c).is_unitary(1e-9));
+}
+
+TEST(Generators, RejectsDegenerateSizes) {
+  EXPECT_THROW(make_bv(1), InvalidArgument);
+  EXPECT_THROW(make_grover_iteration(1), InvalidArgument);
+  EXPECT_THROW(make_qrw_step(1), InvalidArgument);
+  EXPECT_NO_THROW(make_ghz(1));
+}
+
+}  // namespace
+}  // namespace qts::circ
+
+namespace qts::circ {
+namespace {
+
+TEST(GeneratorsDecomposed, VChainMatchesPrimitiveMcxOnCleanAncillas) {
+  // C^3X on 4 wires + 1 ancilla: on every input with the ancilla in |0⟩ the
+  // V-chain must act as the primitive MCX and return the ancilla to |0⟩.
+  // (On dirty-ancilla inputs the unitaries legitimately differ.)
+  Circuit chain(5);
+  append_mcx_vchain(chain, {{0, true}, {1, true}, {2, true}}, 3, 4);
+  Circuit prim(4);
+  prim.mcx({{0, true}, {1, true}, {2, true}}, 3);
+  for (std::size_t x = 0; x < 16; ++x) {
+    const auto out = sim::apply_circuit(chain, sim::basis_state(5, x << 1));  // ancilla = 0
+    const auto expect = sim::apply_circuit(prim, sim::basis_state(4, x))
+                            .kron(la::Vector::basis(2, 0));
+    EXPECT_TRUE(out.approx(expect, 1e-12)) << "input " << x;
+  }
+}
+
+TEST(GeneratorsDecomposed, VChainSmallArityFallsBack) {
+  Circuit c(3);
+  append_mcx_vchain(c, {{0, true}, {1, true}}, 2, 3);  // plain CCX, no ancilla
+  EXPECT_EQ(c.size(), 1u);
+  Circuit one(2);
+  append_mcx_vchain(one, {{0, true}}, 1, 2);
+  EXPECT_EQ(one.gates()[0].controls().size(), 1u);
+}
+
+TEST(GeneratorsDecomposed, GroverDecomposedMatchesPrimitive) {
+  // n = 5 total: 3 search + 1 oracle + 1 ancilla; on ancilla-|0⟩ inputs it
+  // must act as the 4-qubit primitive Grover iteration with a clean return.
+  const auto dec = make_grover_iteration_decomposed(5);
+  const auto prim = make_grover_iteration(4);
+  for (std::size_t x = 0; x < 16; ++x) {
+    const auto out = sim::apply_circuit(dec, sim::basis_state(5, x << 1));
+    const auto expect =
+        sim::apply_circuit(prim, sim::basis_state(4, x)).kron(la::Vector::basis(2, 0));
+    EXPECT_TRUE(out.approx(expect, 1e-9)) << "input " << x;
+  }
+}
+
+TEST(GeneratorsDecomposed, RejectsBadWidths) {
+  EXPECT_THROW(make_grover_iteration_decomposed(4), qts::InvalidArgument);
+  EXPECT_THROW(make_grover_iteration_decomposed(3), qts::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qts::circ

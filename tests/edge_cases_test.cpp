@@ -1,0 +1,139 @@
+/// Edge cases and failure-injection across module boundaries.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "qts/image.hpp"
+#include "qts/workloads.hpp"
+#include "test_helpers.hpp"
+#include "tn/circuit_tensors.hpp"
+#include "tn/contract.hpp"
+#include "tn/partition.hpp"
+
+namespace qts {
+namespace {
+
+TEST(EdgeCases, AdditionPartitionOnTinyGraphClampsK) {
+  tdd::Manager mgr;
+  circ::Circuit c(1);
+  c.h(0);  // 2 indices only
+  const auto net = tn::build_network(mgr, c);
+  const auto part = tn::addition_partition(mgr, net, 5);  // k > #vertices
+  EXPECT_EQ(part.sliced.size(), 2u);
+  EXPECT_EQ(part.slices.size(), 4u);
+  // The slices still sum to the H tensor.
+  const auto keep = net.external_indices();
+  tdd::Edge sum = mgr.zero();
+  for (const auto& s : part.slices) {
+    sum = mgr.add(sum, tn::contract_network(mgr, s.tensors, keep).edge);
+  }
+  const tdd::Edge whole = tn::contract_network(mgr, net.tensors, keep).edge;
+  EXPECT_TRUE(tdd::same_tensor(sum, whole, 1e-9));
+}
+
+TEST(EdgeCases, GatelessKrausCircuitActsAsScaledIdentity) {
+  tdd::Manager mgr;
+  circ::Circuit idc(2);
+  idc.set_global_factor(cplx{0.5, 0.0});
+  circ::Circuit xc(2);
+  xc.x(0);
+  xc.set_global_factor(cplx{std::sqrt(0.75), 0.0});
+  QuantumOperation op{"mix", {idc, xc}};
+  const Subspace s = Subspace::from_states(mgr, 2, {ket_basis(mgr, 2, 0)});
+  for (int algo = 0; algo < 3; ++algo) {
+    std::unique_ptr<ImageComputer> computer;
+    if (algo == 0) computer = std::make_unique<BasicImage>(mgr);
+    if (algo == 1) computer = std::make_unique<AdditionImage>(mgr, 1);
+    if (algo == 2) computer = std::make_unique<ContractionImage>(mgr, 1, 1);
+    const Subspace img = computer->image(op, s);
+    EXPECT_EQ(img.dim(), 2u) << algo;
+    EXPECT_TRUE(img.contains(ket_basis(mgr, 2, 0))) << algo;
+    EXPECT_TRUE(img.contains(ket_basis(mgr, 2, 2))) << algo;
+  }
+}
+
+TEST(EdgeCases, ZeroAmplitudeKrausBranchIsDropped) {
+  tdd::Manager mgr;
+  circ::Circuit zero_branch(1);
+  zero_branch.x(0);
+  zero_branch.set_global_factor(cplx{0.0, 0.0});
+  circ::Circuit keep(1);
+  QuantumOperation op{"z", {zero_branch, keep}};
+  const Subspace s = Subspace::from_states(mgr, 1, {ket_basis(mgr, 1, 0)});
+  BasicImage computer(mgr);
+  const Subspace img = computer.image(op, s);
+  EXPECT_EQ(img.dim(), 1u);
+  EXPECT_TRUE(img.contains(ket_basis(mgr, 1, 0)));
+}
+
+TEST(EdgeCases, SingleQubitEverything) {
+  tdd::Manager mgr;
+  const auto sys = make_ghz_system(mgr, 1);  // just an H gate
+  ContractionImage computer(mgr, 4, 4);
+  const Subspace img = computer.image(sys, sys.initial);
+  EXPECT_EQ(img.dim(), 1u);
+  const double s = std::sqrt(0.5);
+  const auto plus = mgr.add(mgr.scale(ket_basis(mgr, 1, 0), cplx{s, 0}),
+                            mgr.scale(ket_basis(mgr, 1, 1), cplx{s, 0}));
+  EXPECT_TRUE(img.contains(plus));
+}
+
+TEST(EdgeCases, ContractionPartitionHugeK1IsMonolithic) {
+  // k1 >= n puts everything in one band: one block per window.
+  tdd::Manager mgr;
+  const auto net = tn::build_network(mgr, circ::make_ghz(4));
+  const auto blocks = tn::contraction_partition(mgr, net, 100, 100);
+  EXPECT_EQ(blocks.size(), 1u);
+}
+
+TEST(EdgeCases, SliceBelowDiagramBottom) {
+  tdd::Manager mgr;
+  const auto e = mgr.literal(3, cplx{1, 0}, cplx{2, 0});
+  EXPECT_TRUE(tdd::same_tensor(mgr.slice(e, 1000, 0), e));
+}
+
+TEST(EdgeCases, WidePlusStateNormStable) {
+  // 300 qubits of |+⟩: the root weight is 2^-150 ≈ 7e-46 — far below any
+  // absolute epsilon — and must survive all plumbing.
+  tdd::Manager mgr;
+  std::vector<std::array<cplx, 2>> amps(
+      300, std::array<cplx, 2>{cplx{std::sqrt(0.5), 0}, cplx{std::sqrt(0.5), 0}});
+  const auto e = ket_product(mgr, amps);
+  EXPECT_NEAR(norm(mgr, e, 300), 1.0, 1e-9);
+  Subspace s(mgr, 300);
+  EXPECT_TRUE(s.add_state(e));
+  EXPECT_FALSE(s.add_state(e));  // Gram-Schmidt at tiny scales
+}
+
+TEST(EdgeCases, ImageAfterManagerGcWithPreparedRoots) {
+  tdd::Manager mgr;
+  const auto sys = make_qft_system(mgr, 5);
+  BasicImage computer(mgr);
+  const Subspace img1 = computer.image(sys, sys.initial);
+  // GC keeping exactly what the next call needs.
+  std::vector<tdd::Edge> roots = computer.prepared_roots();
+  roots.push_back(sys.initial.projector());
+  for (const auto& b : sys.initial.basis()) roots.push_back(b);
+  roots.push_back(img1.projector());
+  for (const auto& b : img1.basis()) roots.push_back(b);
+  mgr.gc(roots);
+  const Subspace img2 = computer.image(sys, sys.initial);
+  EXPECT_TRUE(img2.same_subspace(img1));
+}
+
+TEST(EdgeCases, DeterministicAcrossRuns) {
+  // Identical systems in fresh managers give node-identical statistics.
+  std::size_t peaks[2];
+  for (int run = 0; run < 2; ++run) {
+    tdd::Manager mgr;
+    const auto sys = make_grover_decomposed_system(mgr, 9);
+    ContractionImage computer(mgr, 3, 3);
+    (void)computer.image(sys, sys.initial);
+    peaks[run] = computer.stats().peak_nodes;
+  }
+  EXPECT_EQ(peaks[0], peaks[1]);
+}
+
+}  // namespace
+}  // namespace qts

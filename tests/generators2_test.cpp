@@ -1,0 +1,121 @@
+/// Tests for the extended circuit generator set: W states, quantum phase
+/// estimation, the Cuccaro ripple-carry adder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generators.hpp"
+#include "common/error.hpp"
+#include "sim/circuit_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qts::circ {
+namespace {
+
+class WState : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WState, AmplitudesAreUniformOverOneHotStates) {
+  const std::uint32_t n = GetParam();
+  const auto out = sim::apply_circuit(make_w_state(n), sim::basis_state(n, 0));
+  const double expect = 1.0 / std::sqrt(static_cast<double>(n));
+  double captured = 0.0;
+  for (std::uint32_t q = 0; q < n; ++q) {
+    const std::size_t idx = std::size_t{1} << (n - 1 - q);
+    EXPECT_NEAR(std::abs(out[idx]), expect, 1e-10) << "one-hot with qubit " << q;
+    captured += std::norm(out[idx]);
+  }
+  EXPECT_NEAR(captured, 1.0, 1e-10);  // nothing outside the one-hot subspace
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WState, ::testing::Values(1u, 2u, 3u, 5u, 8u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class QpePhases : public ::testing::TestWithParam<int> {};
+
+TEST_P(QpePhases, ExactPhasesReadOutExactly) {
+  // 4 counting qubits: phase = k/16 must give the basis state |k⟩ (q0 MSB)
+  // with the target back in |1⟩.
+  const int k = GetParam();
+  const std::uint32_t n = 5;
+  const auto c = make_qpe(n, static_cast<double>(k) / 16.0);
+  const auto out = sim::apply_circuit(c, sim::basis_state(n, 0));
+  const std::size_t expect_idx = (static_cast<std::size_t>(k) << 1) | 1u;
+  EXPECT_NEAR(std::abs(out[expect_idx]), 1.0, 1e-9) << "k = " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, QpePhases, ::testing::Values(0, 1, 3, 7, 8, 13, 15),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(Qpe, InexactPhaseConcentratesNearTruth) {
+  const std::uint32_t n = 5;  // 4 counting qubits
+  const double phase = 0.3;   // 0.3 * 16 = 4.8 → most mass on |5⟩ and |4⟩
+  const auto out = sim::apply_circuit(make_qpe(n, phase), sim::basis_state(n, 0));
+  double best = 0.0;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < 16; ++k) {
+    const double p =
+        std::norm(out[(k << 1) | 1u]) + std::norm(out[k << 1]);
+    if (p > best) {
+      best = p;
+      best_k = k;
+    }
+  }
+  EXPECT_TRUE(best_k == 5 || best_k == 4);
+  EXPECT_GT(best, 0.4);
+}
+
+TEST(CuccaroAdder, AddsAllOperandPairs) {
+  const std::uint32_t bits = 3;
+  const auto c = make_cuccaro_adder(bits);
+  const std::uint32_t n = 2 * bits + 2;
+  // Build the basis index for (ancilla=0, a, b LSB-first registers, z=0),
+  // remembering qubit 0 is the MSB of the simulator's index.
+  auto pack = [&](std::uint32_t a, std::uint32_t b) {
+    std::size_t idx = 0;
+    auto set_bit = [&](std::uint32_t qubit, std::uint32_t value) {
+      idx |= static_cast<std::size_t>(value & 1u) << (n - 1 - qubit);
+    };
+    for (std::uint32_t i = 0; i < bits; ++i) set_bit(1 + i, a >> i);
+    for (std::uint32_t i = 0; i < bits; ++i) set_bit(bits + 1 + i, b >> i);
+    return idx;
+  };
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      const auto out = sim::apply_circuit(c, sim::basis_state(n, pack(a, b)));
+      // Decode: a register unchanged, b register = (a+b) mod 8, z = carry.
+      std::size_t nonzero = 0;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (std::abs(out[i]) > 1e-9) nonzero = i;
+      }
+      auto get_bit = [&](std::uint32_t qubit) {
+        return static_cast<std::uint32_t>((nonzero >> (n - 1 - qubit)) & 1u);
+      };
+      std::uint32_t a_out = 0;
+      std::uint32_t b_out = 0;
+      for (std::uint32_t i = 0; i < bits; ++i) a_out |= get_bit(1 + i) << i;
+      for (std::uint32_t i = 0; i < bits; ++i) b_out |= get_bit(bits + 1 + i) << i;
+      const std::uint32_t carry = get_bit(2 * bits + 1);
+      EXPECT_EQ(a_out, a) << a << "+" << b;
+      EXPECT_EQ(b_out, (a + b) % 8) << a << "+" << b;
+      EXPECT_EQ(carry, (a + b) / 8) << a << "+" << b;
+      EXPECT_EQ(get_bit(0), 0u) << "ancilla must return clean";
+    }
+  }
+}
+
+TEST(CuccaroAdder, IsUnitary) {
+  EXPECT_TRUE(sim::circuit_matrix(make_cuccaro_adder(2)).is_unitary(1e-9));
+}
+
+TEST(Generators2, RejectDegenerateSizes) {
+  EXPECT_THROW(make_w_state(0), qts::InvalidArgument);
+  EXPECT_THROW(make_qpe(1, 0.5), qts::InvalidArgument);
+  EXPECT_THROW(make_cuccaro_adder(0), qts::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qts::circ

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/noise.hpp"
+#include "common/error.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "qts/image.hpp"
+#include "qts/subspace.hpp"
+#include "sim/circuit_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qts::circ {
+namespace {
+
+class ChannelProps : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelProps, AllChannelsAreTracePreserving) {
+  const double p = GetParam();
+  for (const auto& ch : {bit_flip(p), phase_flip(p), bit_phase_flip(p), depolarizing(p),
+                         amplitude_damping(p), phase_damping(p)}) {
+    EXPECT_TRUE(ch.is_trace_preserving()) << ch.name << " @ p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, ChannelProps,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "p" + std::to_string(static_cast<int>(info.param * 10));
+                         });
+
+TEST(Channels, RejectOutOfRangeProbability) {
+  EXPECT_THROW(bit_flip(-0.1), qts::InvalidArgument);
+  EXPECT_THROW(depolarizing(1.5), qts::InvalidArgument);
+}
+
+TEST(Channels, KrausCounts) {
+  EXPECT_EQ(bit_flip(0.2).kraus.size(), 2u);
+  EXPECT_EQ(depolarizing(0.2).kraus.size(), 4u);
+  EXPECT_EQ(amplitude_damping(0.3).kraus.size(), 2u);
+}
+
+TEST(ApplyChannel, ExpandsKrausFamily) {
+  Circuit base(2);
+  base.h(0);
+  const auto fam = apply_channel({base}, bit_flip(0.25), 0);
+  ASSERT_EQ(fam.size(), 2u);
+  // First branch: scaled identity — no extra gate, factor √0.75.
+  EXPECT_EQ(fam[0].size(), 1u);
+  EXPECT_NEAR(std::abs(fam[0].global_factor()), std::sqrt(0.75), 1e-12);
+  // Second branch: X gate with factor √0.25.
+  EXPECT_EQ(fam[1].size(), 2u);
+  EXPECT_NEAR(std::abs(fam[1].global_factor()), std::sqrt(0.25), 1e-12);
+}
+
+TEST(ApplyChannel, FamilyIsTracePreservingAsChannel) {
+  // Σ_k E_k†E_k = I over the whole family for a unitary base circuit.
+  Circuit base(2);
+  base.h(0).cx(0, 1);
+  const auto fam = apply_channel({base}, depolarizing(0.3), 1);
+  la::Matrix acc(4, 4);
+  for (const auto& c : fam) {
+    const auto m = sim::circuit_matrix(c);
+    acc += m.adjoint().mul(m);
+  }
+  EXPECT_TRUE(acc.approx(la::Matrix::identity(4), 1e-9));
+}
+
+TEST(ApplyChannel, AmplitudeDampingDrivesTowardsGround) {
+  // A fully damped |1⟩ goes to |0⟩: the image of span{|1⟩} is span{|0⟩}.
+  tdd::Manager mgr;
+  Circuit identity(1);
+  const auto fam = apply_channel({identity}, amplitude_damping(1.0), 0);
+  QuantumOperation op{"damp", fam};
+  const Subspace s = Subspace::from_states(mgr, 1, {ket_basis(mgr, 1, 1)});
+  BasicImage computer(mgr);
+  const Subspace img = computer.image(op, s);
+  ASSERT_EQ(img.dim(), 1u);
+  EXPECT_TRUE(img.contains(ket_basis(mgr, 1, 0)));
+}
+
+TEST(ApplyChannel, PartialDampingSpreadsSupport) {
+  tdd::Manager mgr;
+  Circuit identity(1);
+  const auto fam = apply_channel({identity}, amplitude_damping(0.4), 0);
+  QuantumOperation op{"damp", fam};
+  const Subspace s = Subspace::from_states(mgr, 1, {ket_basis(mgr, 1, 1)});
+  BasicImage computer(mgr);
+  EXPECT_EQ(computer.image(op, s).dim(), 2u);  // survives + decays
+}
+
+TEST(NoisyFamily, CountsAndBound) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const auto fam = noisy_circuit_family(c, bit_flip(0.1));
+  EXPECT_EQ(fam.size(), 4u);  // 2 gates × 2 Kraus branches
+  EXPECT_THROW((void)noisy_circuit_family(c, depolarizing(0.1), 8), qts::InvalidArgument);
+}
+
+TEST(NoisyFamily, NoiselessChannelKeepsSemantics) {
+  // p = 0: one effective branch (others have zero amplitude)... bit_flip(0)
+  // yields branches with factors 1 and 0; the family as a channel equals
+  // the unitary itself.
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const auto fam = noisy_circuit_family(c, bit_flip(0.0));
+  la::Matrix acc(4, 4);
+  const auto base = sim::circuit_matrix(c);
+  for (const auto& k : fam) acc += sim::circuit_matrix(k).adjoint().mul(base);
+  // Σ E_k† U = U†U = I when only the identity branch survives.
+  EXPECT_TRUE(acc.approx(la::Matrix::identity(4), 1e-9));
+}
+
+TEST(NoisyImage, DepolarizedGhzFillsSupport) {
+  // GHZ preparation with depolarizing noise after each gate: the image of
+  // |00⟩ grows past the 1-dim image of the noiseless circuit.
+  tdd::Manager mgr;
+  const auto c = make_ghz(2);
+  QuantumOperation noiseless{"u", {c}};
+  QuantumOperation noisy{"n", noisy_circuit_family(c, depolarizing(0.2))};
+  const Subspace s = Subspace::from_states(mgr, 2, {ket_basis(mgr, 2, 0)});
+  ContractionImage computer(mgr, 2, 2);
+  EXPECT_EQ(computer.image(noiseless, s).dim(), 1u);
+  EXPECT_GT(computer.image(noisy, s).dim(), 1u);
+}
+
+}  // namespace
+}  // namespace qts::circ

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/qasm.hpp"
+#include "common/prng.hpp"
+#include "sim/circuit_matrix.hpp"
+
+namespace qts::circ {
+namespace {
+
+TEST(QasmParse, MinimalProgram) {
+  const auto c = from_qasm(R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+)");
+  EXPECT_EQ(c.num_qubits(), 2u);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gates()[0].name(), "h");
+  EXPECT_EQ(c.gates()[1].name(), "cx");
+}
+
+TEST(QasmParse, AngleExpressions) {
+  const auto c = from_qasm("qreg q[1]; rz(pi/4) q[0]; p(-pi/2) q[0]; rx(2*pi/8+0.5) q[0];");
+  ASSERT_EQ(c.size(), 3u);
+  const auto m = sim::circuit_matrix(c);
+  EXPECT_TRUE(m.is_unitary(1e-9));
+}
+
+TEST(QasmParse, CommentsAndCregIgnored) {
+  const auto c = from_qasm(R"(
+// a comment
+qreg q[2];
+creg c[2];
+barrier q[0];
+x q[1]; // trailing comment
+)");
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gates()[0].name(), "x");
+}
+
+TEST(QasmParse, MultipleStatementsPerLine) {
+  const auto c = from_qasm("qreg q[3]; h q[0]; h q[1]; ccx q[0],q[1],q[2];");
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(QasmParse, Errors) {
+  EXPECT_THROW(from_qasm("h q[0];"), ParseError);                 // gate before qreg
+  EXPECT_THROW(from_qasm("qreg q[2]; h q[5];"), ParseError);      // out of range
+  EXPECT_THROW(from_qasm("qreg q[2]; foo q[0];"), ParseError);    // unknown gate
+  EXPECT_THROW(from_qasm("qreg q[2]; cx q[0];"), ParseError);     // wrong arity
+  EXPECT_THROW(from_qasm("qreg q[2]; rz(pi/0) q[0];"), ParseError);  // div by zero
+  EXPECT_THROW(from_qasm(""), InvalidArgument);                   // no qreg
+}
+
+TEST(QasmRoundTrip, SemanticsPreserved) {
+  Prng rng(10);
+  for (int i = 0; i < 5; ++i) {
+    const auto c = make_random(3, 12, rng);
+    const auto back = from_qasm(to_qasm(c));
+    EXPECT_TRUE(sim::circuit_matrix(back).approx(sim::circuit_matrix(c), 1e-9))
+        << "round-trip iteration " << i;
+  }
+}
+
+TEST(QasmRoundTrip, GeneratorsSerialise) {
+  for (const auto& c : {make_ghz(5), make_bv(5), make_qft(4)}) {
+    const auto back = from_qasm(to_qasm(c));
+    EXPECT_TRUE(sim::circuit_matrix(back).approx(sim::circuit_matrix(c), 1e-9));
+  }
+}
+
+TEST(QasmWrite, RejectsNonQasmGates) {
+  Circuit c(2);
+  c.proj(0, 1);
+  EXPECT_THROW(to_qasm(c), InvalidArgument);
+  Circuit neg(2);
+  neg.mcx({{0u, false}}, 1);
+  EXPECT_THROW(to_qasm(neg), InvalidArgument);
+  Circuit scaled(1);
+  scaled.set_global_factor(cplx{0.5, 0.0});
+  EXPECT_THROW(to_qasm(scaled), InvalidArgument);
+}
+
+TEST(QasmWrite, McxDowngrades) {
+  Circuit c(3);
+  c.mcx({{0u, true}, {1u, true}}, 2);
+  const auto text = to_qasm(c);
+  EXPECT_NE(text.find("ccx q[0],q[1],q[2];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qts::circ

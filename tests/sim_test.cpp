@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "circuit/generators.hpp"
+#include "common/prng.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "sim/circuit_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qts::sim {
+namespace {
+
+TEST(Statevector, BasisStateIsOneHot) {
+  const auto v = basis_state(3, 5);
+  EXPECT_NEAR(std::abs(v[5]), 1.0, 1e-15);
+  EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+}
+
+TEST(Statevector, QubitBitUsesMsbFirst) {
+  // index 4 = 100b on 3 qubits: qubit 0 set, others clear.
+  EXPECT_EQ(qubit_bit(3, 4, 0), 1);
+  EXPECT_EQ(qubit_bit(3, 4, 1), 0);
+  EXPECT_EQ(qubit_bit(3, 4, 2), 0);
+}
+
+TEST(Statevector, HadamardOnQubit0) {
+  la::Vector v = basis_state(2, 0);
+  apply_gate(v, circ::Gate("h", circ::h(), {0}), 2);
+  EXPECT_NEAR(v[0].real(), std::numbers::sqrt2 / 2.0, 1e-12);
+  EXPECT_NEAR(v[2].real(), std::numbers::sqrt2 / 2.0, 1e-12);
+}
+
+TEST(Statevector, CxFiresOnlyWhenControlSet) {
+  la::Vector v = basis_state(2, 0);  // |00⟩
+  apply_gate(v, circ::Gate("cx", circ::x(), {1}, {{0, true}}), 2);
+  EXPECT_NEAR(std::abs(v[0]), 1.0, 1e-15);  // unchanged
+  v = basis_state(2, 2);  // |10⟩
+  apply_gate(v, circ::Gate("cx", circ::x(), {1}, {{0, true}}), 2);
+  EXPECT_NEAR(std::abs(v[3]), 1.0, 1e-15);  // -> |11⟩
+}
+
+TEST(Statevector, NegativeControlFiresOnZero) {
+  la::Vector v = basis_state(2, 0);  // |00⟩
+  apply_gate(v, circ::Gate("cx0", circ::x(), {1}, {{0, false}}), 2);
+  EXPECT_NEAR(std::abs(v[1]), 1.0, 1e-15);  // -> |01⟩
+}
+
+TEST(Statevector, SwapGate) {
+  la::Vector v = basis_state(2, 1);  // |01⟩
+  apply_gate(v, circ::Gate("swap", circ::swap_matrix(), {0, 1}), 2);
+  EXPECT_NEAR(std::abs(v[2]), 1.0, 1e-15);  // -> |10⟩
+}
+
+TEST(Statevector, ProjectorBranchesAreSubnormalised) {
+  la::Vector v = basis_state(1, 0);
+  apply_gate(v, circ::Gate("h", circ::h(), {0}), 1);
+  apply_gate(v, circ::Gate("proj1", circ::proj1(), {0}), 1);
+  EXPECT_NEAR(v.norm() * v.norm(), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(v[0]), 0.0, 1e-15);
+}
+
+TEST(Statevector, GlobalFactorApplies) {
+  circ::Circuit c(1);
+  c.set_global_factor(cplx{0.5, 0.0});
+  const auto out = apply_circuit(c, basis_state(1, 1));
+  EXPECT_NEAR(std::abs(out[1]), 0.5, 1e-15);
+}
+
+TEST(CircuitMatrix, HadamardMatrix) {
+  circ::Circuit c(1);
+  c.h(0);
+  EXPECT_TRUE(circuit_matrix(c).approx(circ::h()));
+}
+
+TEST(CircuitMatrix, ComposesInOrder) {
+  circ::Circuit c(1);
+  c.h(0).z(0);  // Z·H as a matrix (H applied first)
+  EXPECT_TRUE(circuit_matrix(c).approx(circ::z().mul(circ::h())));
+}
+
+TEST(CircuitMatrix, ControlledPhaseIsSymmetric) {
+  circ::Circuit a(2);
+  a.cp(0, 1, 0.7);
+  circ::Circuit b(2);
+  b.cp(1, 0, 0.7);
+  EXPECT_TRUE(circuit_matrix(a).approx(circuit_matrix(b)));
+}
+
+TEST(CircuitMatrix, RandomCircuitsAreUnitary) {
+  Prng rng(4);
+  for (int i = 0; i < 5; ++i) {
+    const auto c = circ::make_random(3, 15, rng);
+    EXPECT_TRUE(circuit_matrix(c).is_unitary(1e-9));
+  }
+}
+
+TEST(DenseImage, UnitaryImageOfBasisIsImageOfSpan) {
+  // For a unitary circuit the image of a 2-dim subspace stays 2-dim.
+  Prng rng(5);
+  const auto c = circ::make_random(3, 12, rng);
+  const std::vector<la::Vector> basis{basis_state(3, 0), basis_state(3, 5)};
+  const auto image = dense_image({c}, basis);
+  EXPECT_EQ(image.size(), 2u);
+}
+
+TEST(DenseImage, ProjectiveKrausCanShrink) {
+  // Project both onto |0⟩ on qubit 0: span collapses to one ray.
+  circ::Circuit c(2);
+  c.proj(0, 0);
+  const std::vector<la::Vector> basis{basis_state(2, 0), basis_state(2, 2)};
+  const auto image = dense_image({c}, basis);
+  EXPECT_EQ(image.size(), 1u);
+}
+
+TEST(DenseImage, MultipleKrausJoin) {
+  // E1 = |0⟩⟨0| branch, E2 = |1⟩⟨1| branch on a superposed input: the joint
+  // image spans both outcomes.
+  circ::Circuit e1(1);
+  e1.proj(0, 0);
+  circ::Circuit e2(1);
+  e2.proj(0, 1);
+  la::Vector plus(2);
+  plus[0] = cplx{std::numbers::sqrt2 / 2.0, 0.0};
+  plus[1] = cplx{std::numbers::sqrt2 / 2.0, 0.0};
+  const auto image = dense_image({e1, e2}, {plus});
+  EXPECT_EQ(image.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qts::sim

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/generators.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "qts/image.hpp"
+#include "qts/simulate.hpp"
+#include "qts/states.hpp"
+#include "sim/statevector.hpp"
+#include "test_helpers.hpp"
+
+namespace qts {
+namespace {
+
+TEST(Simulate, MatchesDenseOnRandomCircuits) {
+  Prng rng(123);
+  for (int i = 0; i < 8; ++i) {
+    tdd::Manager mgr;
+    const auto c = circ::make_random(4, 20, rng);
+    const auto in_dense = rng.unit_vector(16);
+    const auto out_tdd =
+        apply_circuit_tdd(mgr, c, ket_from_dense(mgr, 4, in_dense));
+    const auto out_dense = sim::apply_circuit(c, la::Vector(in_dense));
+    test::expect_dense_eq(ket_to_dense(out_tdd, 4), out_dense.data(), 1e-8);
+  }
+}
+
+TEST(Simulate, GhzAtTwoHundredQubits) {
+  // Far beyond dense reach: the GHZ state TDD stays linear-size and has
+  // the right amplitudes and norm.
+  tdd::Manager mgr;
+  const std::uint32_t n = 200;
+  const auto out = apply_circuit_tdd(mgr, circ::make_ghz(n), ket_basis(mgr, n, 0));
+  EXPECT_LE(tdd::node_count(out), 2 * n);
+  EXPECT_NEAR(norm(mgr, out, n), 1.0, 1e-9);
+  const cplx a0 = inner(mgr, ket_basis(mgr, n, 0), out, n);
+  EXPECT_NEAR(a0.real(), std::numbers::sqrt2 / 2.0, 1e-9);
+}
+
+TEST(Simulate, AmplitudeOfBvOutput) {
+  // BV(9) with the default alternating secret 1010...: the data register
+  // reads out the secret deterministically.
+  tdd::Manager mgr;
+  const std::uint32_t n = 9;
+  std::uint64_t secret_index = 0;
+  for (std::uint32_t i = 0; i < n - 1; ++i) {
+    secret_index = (secret_index << 1) | ((i % 2 == 0) ? 1u : 0u);
+  }
+  // Ancilla in |−⟩: amplitude of (secret, anc=0) is 1/√2.
+  const cplx a = amplitude(mgr, circ::make_bv(n), secret_index << 1);
+  EXPECT_NEAR(std::abs(a), std::numbers::sqrt2 / 2.0, 1e-9);
+  // Any wrong readout has amplitude 0.
+  const cplx wrong = amplitude(mgr, circ::make_bv(n), (secret_index ^ 1u) << 1);
+  EXPECT_NEAR(std::abs(wrong), 0.0, 1e-9);
+}
+
+TEST(Simulate, EmptyCircuitAndFactors) {
+  tdd::Manager mgr;
+  circ::Circuit c(3);
+  c.set_global_factor(cplx{0.0, 0.5});
+  const auto out = apply_circuit_tdd(mgr, c, ket_basis(mgr, 3, 5));
+  EXPECT_NEAR(std::abs(inner(mgr, ket_basis(mgr, 3, 5), out, 3)), 0.5, 1e-12);
+}
+
+TEST(Simulate, DeadlineAborts) {
+  tdd::Manager mgr;
+  const auto c = circ::make_qft(12);
+  const Deadline expired = Deadline::after(1e-12);
+  tn::PeakStats stats;
+  EXPECT_THROW(
+      (void)apply_circuit_tdd(mgr, c, ket_basis(mgr, 12, 0), &stats, &expired),
+      DeadlineExceeded);
+}
+
+// Proposition 1 of the paper, tested directly: T(⋁ᵢ Sᵢ) = ⋁ᵢ T(Sᵢ), and
+// monotonicity S ⊆ T ⇒ image(S) ⊆ image(T).
+TEST(Proposition1, ImageDistributesOverJoin) {
+  Prng rng(321);
+  tdd::Manager mgr;
+  const auto c = circ::make_random(3, 12, rng);
+  QuantumOperation op{"u", {c}};
+  // Also exercise a genuinely non-unitary operation.
+  circ::Circuit e0(3);
+  e0.h(1).proj(1, 0);
+  circ::Circuit e1(3);
+  e1.h(1).proj(1, 1).z(0);
+  QuantumOperation meas{"m", {e0, e1}};
+
+  for (const auto& operation : {op, meas}) {
+    BasicImage computer(mgr);
+    Subspace a(mgr, 3);
+    Subspace b(mgr, 3);
+    for (int i = 0; i < 2; ++i) {
+      a.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+      b.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+    }
+    Subspace joined = a;
+    joined.join(b);
+    const Subspace lhs = computer.image(operation, joined);
+    Subspace rhs = computer.image(operation, a);
+    rhs.join(computer.image(operation, b));
+    EXPECT_TRUE(lhs.same_subspace(rhs)) << "operation " << operation.symbol;
+  }
+}
+
+TEST(Proposition1, ImageIsMonotone) {
+  Prng rng(654);
+  tdd::Manager mgr;
+  const auto c = circ::make_random(3, 12, rng);
+  QuantumOperation op{"u", {c}};
+  BasicImage computer(mgr);
+  Subspace small(mgr, 3);
+  small.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+  Subspace big = small;
+  big.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+  const Subspace img_small = computer.image(op, small);
+  const Subspace img_big = computer.image(op, big);
+  for (const auto& v : img_small.basis()) {
+    EXPECT_TRUE(img_big.contains(v));
+  }
+}
+
+// Subspace lattice laws (Birkhoff-von Neumann structure).
+TEST(Lattice, JoinIsCommutativeAssociativeIdempotent) {
+  Prng rng(987);
+  tdd::Manager mgr;
+  auto rand_subspace = [&](int dim) {
+    Subspace s(mgr, 3);
+    while (s.dim() < static_cast<std::size_t>(dim)) {
+      s.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+    }
+    return s;
+  };
+  const Subspace a = rand_subspace(2);
+  const Subspace b = rand_subspace(1);
+  const Subspace c = rand_subspace(2);
+
+  Subspace ab = a;
+  ab.join(b);
+  Subspace ba = b;
+  ba.join(a);
+  EXPECT_TRUE(ab.same_subspace(ba));
+
+  Subspace ab_c = ab;
+  ab_c.join(c);
+  Subspace bc = b;
+  bc.join(c);
+  Subspace a_bc = a;
+  a_bc.join(bc);
+  EXPECT_TRUE(ab_c.same_subspace(a_bc));
+
+  Subspace aa = a;
+  aa.join(a);
+  EXPECT_TRUE(aa.same_subspace(a));
+}
+
+TEST(Lattice, ComplementIsInvolutive) {
+  Prng rng(555);
+  tdd::Manager mgr;
+  Subspace s(mgr, 3);
+  s.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+  s.add_state(ket_from_dense(mgr, 3, rng.unit_vector(8)));
+  EXPECT_TRUE(s.complement().complement().same_subspace(s));
+}
+
+TEST(Lattice, DeMorgan) {
+  tdd::Manager mgr;
+  const auto a = Subspace::from_states(mgr, 2, {ket_basis(mgr, 2, 0), ket_basis(mgr, 2, 1)});
+  const auto b = Subspace::from_states(mgr, 2, {ket_basis(mgr, 2, 1), ket_basis(mgr, 2, 2)});
+  // (A ∨ B)⊥ = A⊥ ∧ B⊥.
+  Subspace join = a;
+  join.join(b);
+  const Subspace lhs = join.complement();
+  const Subspace rhs = a.complement().intersect(b.complement());
+  EXPECT_TRUE(lhs.same_subspace(rhs));
+}
+
+}  // namespace
+}  // namespace qts

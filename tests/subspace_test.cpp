@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "linalg/gram_schmidt.hpp"
+#include "qts/states.hpp"
+#include "qts/subspace.hpp"
+#include "test_helpers.hpp"
+
+namespace qts {
+namespace {
+
+constexpr double kS2 = std::numbers::sqrt2;
+
+tdd::Edge random_ket(tdd::Manager& mgr, Prng& rng, std::uint32_t n) {
+  return ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << n));
+}
+
+TEST(States, KetBasisRoundTrip) {
+  tdd::Manager mgr;
+  const auto e = ket_basis(mgr, 3, 5);
+  const auto dense = ket_to_dense(e, 3);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(dense[i]), i == 5 ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(States, KetProductBuildsPlusMinus) {
+  tdd::Manager mgr;
+  const std::array<cplx, 2> plus{cplx{1 / kS2, 0}, cplx{1 / kS2, 0}};
+  const std::array<cplx, 2> minus{cplx{1 / kS2, 0}, cplx{-1 / kS2, 0}};
+  const std::vector<std::array<cplx, 2>> amps{plus, minus};
+  const auto e = ket_product(mgr, amps);
+  const auto dense = ket_to_dense(e, 2);
+  test::expect_dense_eq(dense, {cplx{0.5, 0}, cplx{-0.5, 0}, cplx{0.5, 0}, cplx{-0.5, 0}});
+}
+
+TEST(States, InnerProductAndNorm) {
+  tdd::Manager mgr;
+  Prng rng(1);
+  const auto a_dense = rng.unit_vector(8);
+  const auto b_dense = rng.unit_vector(8);
+  const auto a = ket_from_dense(mgr, 3, a_dense);
+  const auto b = ket_from_dense(mgr, 3, b_dense);
+  const cplx expect = test::to_vec(a_dense).dot(test::to_vec(b_dense));
+  EXPECT_TRUE(approx_equal(inner(mgr, a, b, 3), expect, 1e-9));
+  EXPECT_NEAR(norm(mgr, a, 3), 1.0, 1e-9);
+}
+
+TEST(States, InnerProductCountsReducedVariables) {
+  tdd::Manager mgr;
+  // |+⟩^10 reduces to a terminal-only TDD; the norm must still be 1.
+  const std::vector<std::array<cplx, 2>> amps(
+      10, std::array<cplx, 2>{cplx{1 / kS2, 0}, cplx{1 / kS2, 0}});
+  const auto e = ket_product(mgr, amps);
+  EXPECT_NEAR(norm(mgr, e, 10), 1.0, 1e-9);
+}
+
+TEST(States, OuterAndTrace) {
+  tdd::Manager mgr;
+  Prng rng(2);
+  const auto v = random_ket(mgr, rng, 2);
+  const auto p = outer(mgr, v, v, 2);
+  EXPECT_NEAR(operator_trace(mgr, p, 2).real(), 1.0, 1e-9);
+  const auto m = operator_to_dense(p, 2);
+  EXPECT_TRUE(m.is_projector(1e-8));
+}
+
+TEST(States, ApplyOperatorMatchesDense) {
+  tdd::Manager mgr;
+  Prng rng(3);
+  const auto vd = rng.unit_vector(8);
+  const auto wd = rng.unit_vector(8);
+  const auto v = ket_from_dense(mgr, 3, vd);
+  const auto w = ket_from_dense(mgr, 3, wd);
+  const auto p = outer(mgr, v, w, 3);  // |v⟩⟨w|
+  const auto x = random_ket(mgr, rng, 3);
+  const auto applied = apply_operator(mgr, p, x, 3);
+  // |v⟩⟨w|x⟩ densely:
+  const cplx overlap = test::to_vec(wd).dot(test::to_vec(ket_to_dense(x, 3)));
+  const auto expect = test::to_vec(vd) * overlap;
+  test::expect_dense_eq(ket_to_dense(applied, 3), expect.data(), 1e-8);
+}
+
+TEST(States, OperatorDenseRoundTrip) {
+  tdd::Manager mgr;
+  Prng rng(4);
+  la::Matrix m(8, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) m(r, c) = rng.complex_unit_box();
+  }
+  const auto op = operator_from_dense(mgr, m, 3);
+  EXPECT_TRUE(operator_to_dense(op, 3).approx(m, 1e-9));
+  EXPECT_TRUE(approx_equal(operator_trace(mgr, op, 3), m.trace(), 1e-8));
+}
+
+TEST(Subspace, StartsEmpty) {
+  tdd::Manager mgr;
+  const Subspace s(mgr, 3);
+  EXPECT_EQ(s.dim(), 0u);
+  EXPECT_TRUE(s.projector().is_zero());
+}
+
+TEST(Subspace, AddStateGrowsAndRejectsDependents) {
+  tdd::Manager mgr;
+  Subspace s(mgr, 2);
+  const auto v0 = ket_basis(mgr, 2, 0);
+  const auto v1 = ket_basis(mgr, 2, 1);
+  EXPECT_TRUE(s.add_state(v0));
+  EXPECT_FALSE(s.add_state(v0));
+  EXPECT_FALSE(s.add_state(mgr.scale(v0, cplx{0.0, 2.0})));  // same ray
+  EXPECT_TRUE(s.add_state(v1));
+  EXPECT_EQ(s.dim(), 2u);
+  // |+⟩ on qubit 1 ⊗ |0⟩ lives inside span{|00⟩, |01⟩}.
+  const auto mixed = mgr.add(mgr.scale(v0, cplx{1 / kS2, 0}), mgr.scale(v1, cplx{1 / kS2, 0}));
+  EXPECT_FALSE(s.add_state(mixed));
+  EXPECT_TRUE(s.contains(mixed));
+  EXPECT_FALSE(s.contains(ket_basis(mgr, 2, 2)));
+}
+
+TEST(Subspace, AddStateIgnoresZero) {
+  tdd::Manager mgr;
+  Subspace s(mgr, 2);
+  EXPECT_FALSE(s.add_state(mgr.zero()));
+  EXPECT_TRUE(s.contains(mgr.zero()));
+}
+
+TEST(Subspace, ProjectorIsProjectorMatrix) {
+  tdd::Manager mgr;
+  Prng rng(7);
+  Subspace s(mgr, 3);
+  for (int i = 0; i < 3; ++i) s.add_state(random_ket(mgr, rng, 3));
+  EXPECT_EQ(s.dim(), 3u);
+  const auto m = operator_to_dense(s.projector(), 3);
+  EXPECT_TRUE(m.is_projector(1e-7));
+  EXPECT_NEAR(m.trace().real(), 3.0, 1e-8);
+}
+
+TEST(Subspace, BasisIsOrthonormal) {
+  tdd::Manager mgr;
+  Prng rng(8);
+  Subspace s(mgr, 3);
+  for (int i = 0; i < 4; ++i) s.add_state(random_ket(mgr, rng, 3));
+  const auto& basis = s.basis();
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    for (std::size_t j = 0; j < basis.size(); ++j) {
+      const double expect = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(inner(mgr, basis[i], basis[j], 3)), expect, 1e-7);
+    }
+  }
+}
+
+TEST(Subspace, JoinMatchesPaperExample2) {
+  // §IV-B Example 2: joining span{|++−⟩} and span{|11−⟩} must produce the
+  // projector of Fig. 1 and a second basis vector proportional to
+  // (|00⟩+|01⟩+|10⟩−3|11⟩)|−⟩ (the paper's |v⟩ up to global phase).
+  tdd::Manager mgr;
+  const std::array<cplx, 2> plus{cplx{1 / kS2, 0}, cplx{1 / kS2, 0}};
+  const std::array<cplx, 2> one{cplx{0, 0}, cplx{1, 0}};
+  const std::array<cplx, 2> minus{cplx{1 / kS2, 0}, cplx{-1 / kS2, 0}};
+  const std::vector<std::array<cplx, 2>> ppm{plus, plus, minus};
+  const std::vector<std::array<cplx, 2>> oom{one, one, minus};
+
+  Subspace s = Subspace::from_states(mgr, 3, {ket_product(mgr, ppm)});
+  const Subspace t = Subspace::from_states(mgr, 3, {ket_product(mgr, oom)});
+  s.join(t);
+  ASSERT_EQ(s.dim(), 2u);
+
+  // Second basis vector ∝ (|00⟩+|01⟩+|10⟩−3|11⟩)|−⟩ normalised by 1/(2√3·√2):
+  const auto got = ket_to_dense(s.basis()[1], 3);
+  const double a = 1.0 / (2.0 * std::sqrt(3.0) * kS2);
+  const std::vector<double> pattern{a, -a, a, -a, a, -a, -3 * a, 3 * a};
+  // Compare up to global phase via the inner product magnitude.
+  cplx overlap{0, 0};
+  for (std::size_t i = 0; i < 8; ++i) overlap += std::conj(got[i]) * cplx{pattern[i], 0};
+  EXPECT_NEAR(std::abs(overlap), 1.0, 1e-8);
+
+  // The joint projector equals the Fig. 1 matrix P.
+  const auto p = operator_to_dense(s.projector(), 3);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      const double expect = ((r + c) % 2 == 0 ? 1.0 : -1.0) / 6.0;
+      EXPECT_NEAR(p(r, c).real(), expect, 1e-8) << r << "," << c;
+    }
+  }
+  EXPECT_NEAR(p(6, 6).real(), 0.5, 1e-8);
+  EXPECT_NEAR(p(7, 6).real(), -0.5, 1e-8);
+  EXPECT_NEAR(p(6, 7).real(), -0.5, 1e-8);
+  EXPECT_NEAR(p(7, 7).real(), 0.5, 1e-8);
+}
+
+TEST(Subspace, FromProjectorRecoversExample1) {
+  // §IV-A Example 1: decomposing the Fig. 1 projector must yield
+  // |v1⟩ = (|00⟩+|01⟩+|10⟩)|−⟩/√3 first (leftmost non-zero column), then
+  // |v2⟩ = |11−⟩.
+  tdd::Manager mgr;
+  la::Matrix p(8, 8);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      p(r, c) = cplx{((r + c) % 2 == 0 ? 1.0 : -1.0) / 6.0, 0.0};
+    }
+  }
+  p(6, 6) = cplx{0.5, 0};
+  p(7, 7) = cplx{0.5, 0};
+  p(6, 7) = cplx{-0.5, 0};
+  p(7, 6) = cplx{-0.5, 0};
+  const auto proj = operator_from_dense(mgr, p, 3);
+  const Subspace s = Subspace::from_projector(mgr, 3, proj);
+  ASSERT_EQ(s.dim(), 2u);
+
+  const auto v1 = ket_to_dense(s.basis()[0], 3);
+  const double b = 1.0 / (std::sqrt(3.0) * kS2);
+  test::expect_dense_eq(
+      v1, {cplx{b, 0}, cplx{-b, 0}, cplx{b, 0}, cplx{-b, 0}, cplx{b, 0}, cplx{-b, 0},
+           cplx{0, 0}, cplx{0, 0}},
+      1e-8);
+  const auto v2 = ket_to_dense(s.basis()[1], 3);
+  test::expect_dense_eq(v2, {cplx{0, 0}, cplx{0, 0}, cplx{0, 0}, cplx{0, 0}, cplx{0, 0},
+                             cplx{0, 0}, cplx{1 / kS2, 0}, cplx{-1 / kS2, 0}},
+                        1e-8);
+}
+
+TEST(Subspace, FromProjectorRandomRoundTrip) {
+  tdd::Manager mgr;
+  Prng rng(11);
+  for (int iter = 0; iter < 5; ++iter) {
+    Subspace s(mgr, 3);
+    const int target = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    while (s.dim() < static_cast<std::size_t>(target)) s.add_state(random_ket(mgr, rng, 3));
+    const Subspace back = Subspace::from_projector(mgr, 3, s.projector());
+    EXPECT_EQ(back.dim(), s.dim());
+    EXPECT_TRUE(back.same_subspace(s));
+  }
+}
+
+TEST(Subspace, FromProjectorRejectsNonProjector) {
+  tdd::Manager mgr;
+  Prng rng(12);
+  la::Matrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = rng.complex_unit_box();
+  }
+  const auto e = operator_from_dense(mgr, m, 2);
+  EXPECT_THROW((void)Subspace::from_projector(mgr, 2, e), Error);
+}
+
+TEST(Subspace, SameSubspaceDistinguishes) {
+  tdd::Manager mgr;
+  const auto s1 = Subspace::from_states(mgr, 2, {ket_basis(mgr, 2, 0), ket_basis(mgr, 2, 1)});
+  // Same span, different generating vectors:
+  const auto mixed0 =
+      mgr.add(mgr.scale(ket_basis(mgr, 2, 0), cplx{1 / kS2, 0}),
+              mgr.scale(ket_basis(mgr, 2, 1), cplx{1 / kS2, 0}));
+  const auto mixed1 =
+      mgr.add(mgr.scale(ket_basis(mgr, 2, 0), cplx{1 / kS2, 0}),
+              mgr.scale(ket_basis(mgr, 2, 1), cplx{-1 / kS2, 0}));
+  const auto s2 = Subspace::from_states(mgr, 2, {mixed0, mixed1});
+  EXPECT_TRUE(s1.same_subspace(s2));
+  const auto s3 = Subspace::from_states(mgr, 2, {ket_basis(mgr, 2, 0), ket_basis(mgr, 2, 2)});
+  EXPECT_FALSE(s1.same_subspace(s3));
+}
+
+TEST(Subspace, FullSpaceSaturates) {
+  tdd::Manager mgr;
+  Prng rng(13);
+  Subspace s(mgr, 2);
+  for (int i = 0; i < 10; ++i) s.add_state(random_ket(mgr, rng, 2));
+  EXPECT_EQ(s.dim(), 4u);
+  const auto m = operator_to_dense(s.projector(), 2);
+  EXPECT_TRUE(m.approx(la::Matrix::identity(4), 1e-7));
+}
+
+}  // namespace
+}  // namespace qts

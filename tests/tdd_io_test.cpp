@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qts/states.hpp"
+#include "qts/workloads.hpp"
+#include "tdd/io.hpp"
+#include "test_helpers.hpp"
+
+namespace qts::tdd {
+namespace {
+
+TEST(TddIo, RoundTripRandomTensor) {
+  Manager mgr;
+  Prng rng(31);
+  const std::vector<Level> idx{0, 3, 5, 8};
+  const auto dense = test::random_dense(rng, 4);
+  const Edge e = from_dense(mgr, dense, idx);
+  const Edge back = load_string(mgr, save_string(e));
+  EXPECT_TRUE(same_tensor(back, e, 1e-12));
+}
+
+TEST(TddIo, RoundTripAcrossManagers) {
+  Manager a;
+  Manager b;
+  Prng rng(32);
+  const std::vector<Level> idx{1, 2, 4};
+  const auto dense = test::random_dense(rng, 3);
+  const Edge e = from_dense(a, dense, idx);
+  const Edge moved = load_string(b, save_string(e));
+  test::expect_tdd_matches(moved, idx, dense, 1e-12);
+}
+
+TEST(TddIo, ZeroAndTerminal) {
+  Manager mgr;
+  const Edge z = load_string(mgr, save_string(mgr.zero()));
+  EXPECT_TRUE(z.is_zero());
+  const Edge t = load_string(mgr, save_string(mgr.terminal(cplx{0.25, -1.5})));
+  ASSERT_TRUE(t.is_terminal());
+  EXPECT_TRUE(approx_equal(t.weight, cplx{0.25, -1.5}));
+}
+
+TEST(TddIo, ProjectorSurvivesRoundTrip) {
+  Manager mgr;
+  const auto sys = make_grover_system(mgr, 3);
+  const Edge p = sys.initial.projector();
+  Manager fresh;
+  const Edge back = load_string(fresh, save_string(p));
+  EXPECT_EQ(node_count(back), node_count(p));
+  EXPECT_TRUE(operator_to_dense(back, 3).approx(operator_to_dense(p, 3), 1e-10));
+}
+
+TEST(TddIo, SharedNodesStayShared) {
+  Manager mgr;
+  // |+⟩|ψ⟩ + |−⟩|ψ⟩-style sharing: both children point at the same node.
+  const Edge sub = mgr.literal(5, cplx{1, 0}, cplx{0.5, 0.5});
+  const Edge e = mgr.make_node(1, sub, mgr.scale(sub, cplx{0.25, 0}));
+  const std::string text = save_string(e);
+  Manager fresh;
+  const Edge back = load_string(fresh, text);
+  EXPECT_EQ(node_count(back), 2u);  // not 3: sharing preserved
+}
+
+TEST(TddIo, MalformedInputsThrow) {
+  Manager mgr;
+  EXPECT_THROW((void)load_string(mgr, ""), ParseError);
+  EXPECT_THROW((void)load_string(mgr, "qtdd v2\nnodes 0\nroot -1 1 0\n"), ParseError);
+  EXPECT_THROW((void)load_string(mgr, "qtdd v1\nnodes 1\n0 3 5 1 0 -1 0 0\nroot 0 1 0\n"),
+               ParseError);  // child id 5 is a forward/out-of-range reference
+  EXPECT_THROW((void)load_string(mgr, "qtdd v1\nnodes 1\n0 3 -1 1 0\nroot 0 1 0\n"),
+               ParseError);  // truncated node line
+  EXPECT_THROW((void)load_string(mgr, "qtdd v1\nnodes 0\nroot 4 1 0\n"), ParseError);
+}
+
+TEST(CacheStats, CountersAdvance) {
+  Manager mgr;
+  mgr.reset_cache_stats();
+  const Edge a = mgr.literal(0, cplx{1, 0}, cplx{2, 0});
+  (void)mgr.literal(0, cplx{1, 0}, cplx{2, 0});  // unique-table hit
+  EXPECT_GE(mgr.cache_stats().unique_hits, 1u);
+  EXPECT_GE(mgr.cache_stats().unique_misses, 1u);
+
+  const Edge b = mgr.literal(1, cplx{1, 0}, cplx{3, 0});
+  (void)mgr.add(a, b);
+  (void)mgr.add(a, b);  // add-cache hit
+  EXPECT_GE(mgr.cache_stats().add_hits, 1u);
+  EXPECT_GE(mgr.cache_stats().add_misses, 1u);
+
+  const std::vector<Level> gamma{0};
+  (void)mgr.contract(a, b, gamma);
+  EXPECT_GE(mgr.cache_stats().cont_misses, 1u);
+
+  mgr.reset_cache_stats();
+  EXPECT_EQ(mgr.cache_stats().add_hits, 0u);
+}
+
+}  // namespace
+}  // namespace qts::tdd

@@ -1,0 +1,234 @@
+/// Property-based tests: every TDD operation is cross-checked against its
+/// dense counterpart on random tensors, over a parameter sweep of ranks and
+/// seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tdd/dense.hpp"
+#include "tdd/manager.hpp"
+#include "test_helpers.hpp"
+
+namespace qts::tdd {
+namespace {
+
+using Param = std::tuple<int, int>;  // (rank, seed)
+
+class TddProps : public ::testing::TestWithParam<Param> {
+ protected:
+  [[nodiscard]] int rank() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] int seed() const { return std::get<1>(GetParam()); }
+
+  [[nodiscard]] std::vector<Level> indices() const {
+    std::vector<Level> idx;
+    for (int i = 0; i < rank(); ++i) idx.push_back(static_cast<Level>(2 * i + 1));
+    return idx;
+  }
+};
+
+TEST_P(TddProps, DenseRoundTrip) {
+  Manager mgr;
+  Prng rng(seed());
+  const auto idx = indices();
+  const auto dense = test::random_dense(rng, idx.size());
+  const Edge e = from_dense(mgr, dense, idx);
+  test::expect_tdd_matches(e, idx, dense);
+}
+
+TEST_P(TddProps, CanonicityAcrossConstructionOrders) {
+  Manager mgr;
+  Prng rng(seed());
+  const auto idx = indices();
+  const auto da = test::random_dense(rng, idx.size());
+  const auto db = test::random_dense(rng, idx.size());
+  // (A + B) built two ways must be the identical node.
+  const Edge sum1 = mgr.add(from_dense(mgr, da, idx), from_dense(mgr, db, idx));
+  const Edge sum2 = from_dense(mgr, test::dense_add(da, db), idx);
+  EXPECT_EQ(sum1.node, sum2.node);
+  EXPECT_TRUE(approx_equal(sum1.weight, sum2.weight, 1e-8));
+}
+
+TEST_P(TddProps, AddMatchesDense) {
+  Manager mgr;
+  Prng rng(seed() + 1000);
+  const auto idx = indices();
+  const auto da = test::random_dense(rng, idx.size());
+  const auto db = test::random_dense(rng, idx.size());
+  const Edge r = mgr.add(from_dense(mgr, da, idx), from_dense(mgr, db, idx));
+  test::expect_tdd_matches(r, idx, test::dense_add(da, db));
+}
+
+TEST_P(TddProps, AddAssociativity) {
+  Manager mgr;
+  Prng rng(seed() + 2000);
+  const auto idx = indices();
+  const Edge a = from_dense(mgr, test::random_dense(rng, idx.size()), idx);
+  const Edge b = from_dense(mgr, test::random_dense(rng, idx.size()), idx);
+  const Edge c = from_dense(mgr, test::random_dense(rng, idx.size()), idx);
+  const Edge l = mgr.add(mgr.add(a, b), c);
+  const Edge r = mgr.add(a, mgr.add(b, c));
+  test::expect_dense_eq(to_dense(l, idx), to_dense(r, idx), 1e-8);
+}
+
+TEST_P(TddProps, SliceMatchesDense) {
+  Manager mgr;
+  Prng rng(seed() + 3000);
+  const auto idx = indices();
+  if (idx.empty()) GTEST_SKIP();
+  const auto dense = test::random_dense(rng, idx.size());
+  const Edge e = from_dense(mgr, dense, idx);
+  const std::size_t pos = static_cast<std::size_t>(rng.uniform_int(0, rank() - 1));
+  const Level var = idx[pos];
+  std::vector<Level> rest = idx;
+  rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (int val = 0; val < 2; ++val) {
+    const Edge s = mgr.slice(e, var, val);
+    // Dense slice: keep entries whose bit at `pos` equals val.
+    std::vector<cplx> expect;
+    for (std::size_t a = 0; a < dense.size(); ++a) {
+      const std::size_t bit = (a >> (idx.size() - pos - 1)) & 1u;
+      if (static_cast<int>(bit) == val) expect.push_back(dense[a]);
+    }
+    test::expect_tdd_matches(s, rest, expect);
+  }
+}
+
+TEST_P(TddProps, SumOfSlicesIsSumOut) {
+  Manager mgr;
+  Prng rng(seed() + 3500);
+  const auto idx = indices();
+  if (idx.empty()) GTEST_SKIP();
+  const auto dense = test::random_dense(rng, idx.size());
+  const Edge e = from_dense(mgr, dense, idx);
+  const Level var = idx.front();
+  const Edge summed = mgr.add(mgr.slice(e, var, 0), mgr.slice(e, var, 1));
+  std::vector<Level> rest(idx.begin() + 1, idx.end());
+  std::vector<cplx> expect(dense.size() / 2);
+  for (std::size_t a = 0; a < expect.size(); ++a) {
+    expect[a] = dense[a] + dense[a + expect.size()];
+  }
+  test::expect_tdd_matches(summed, rest, expect);
+}
+
+TEST_P(TddProps, ConjugateMatchesDense) {
+  Manager mgr;
+  Prng rng(seed() + 4000);
+  const auto idx = indices();
+  const auto dense = test::random_dense(rng, idx.size());
+  const Edge e = mgr.conjugate(from_dense(mgr, dense, idx));
+  std::vector<cplx> expect(dense.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) expect[i] = std::conj(dense[i]);
+  test::expect_tdd_matches(e, idx, expect);
+}
+
+TEST_P(TddProps, ScaleMatchesDense) {
+  Manager mgr;
+  Prng rng(seed() + 5000);
+  const auto idx = indices();
+  const auto dense = test::random_dense(rng, idx.size());
+  const cplx s = rng.complex_unit_box();
+  const Edge e = mgr.scale(from_dense(mgr, dense, idx), s);
+  std::vector<cplx> expect(dense.size());
+  for (std::size_t i = 0; i < dense.size(); ++i) expect[i] = s * dense[i];
+  test::expect_tdd_matches(e, idx, expect);
+}
+
+TEST_P(TddProps, ContractionMatchesDense) {
+  Manager mgr;
+  Prng rng(seed() + 6000);
+  // Split the variables into A-only, shared-summed, shared-kept, B-only.
+  const int r = rank();
+  std::vector<Level> a_idx;
+  std::vector<Level> b_idx;
+  std::vector<Level> gamma;
+  std::vector<Level> out_idx;
+  for (int i = 0; i < r + 2; ++i) {
+    const Level l = static_cast<Level>(i);
+    switch (rng.uniform_int(0, 3)) {
+      case 0: a_idx.push_back(l); out_idx.push_back(l); break;
+      case 1: b_idx.push_back(l); out_idx.push_back(l); break;
+      case 2: a_idx.push_back(l); b_idx.push_back(l); gamma.push_back(l); break;
+      default: a_idx.push_back(l); b_idx.push_back(l); out_idx.push_back(l); break;
+    }
+  }
+  const auto da = test::random_dense(rng, a_idx.size(), 0.0);
+  const auto db = test::random_dense(rng, b_idx.size(), 0.0);
+  const Edge ea = from_dense(mgr, da, a_idx);
+  const Edge eb = from_dense(mgr, db, b_idx);
+  const Edge res = mgr.contract(ea, eb, gamma);
+
+  // Dense reference: iterate over assignments of the union of variables.
+  std::vector<Level> all = a_idx;
+  for (Level l : b_idx) {
+    if (std::find(all.begin(), all.end(), l) == all.end()) all.push_back(l);
+  }
+  std::sort(all.begin(), all.end());
+  auto value_of = [&](const std::vector<cplx>& dense, const std::vector<Level>& idx,
+                      std::uint64_t assign_all) {
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const auto pos_all = static_cast<std::size_t>(
+          std::find(all.begin(), all.end(), idx[i]) - all.begin());
+      const std::size_t bit = (assign_all >> (all.size() - pos_all - 1)) & 1u;
+      off = (off << 1) | bit;
+    }
+    return dense[off];
+  };
+  std::vector<cplx> expect(std::size_t{1} << out_idx.size(), cplx{0.0, 0.0});
+  for (std::uint64_t assign = 0; assign < (std::uint64_t{1} << all.size()); ++assign) {
+    std::size_t out_off = 0;
+    for (std::size_t i = 0; i < out_idx.size(); ++i) {
+      const auto pos_all = static_cast<std::size_t>(
+          std::find(all.begin(), all.end(), out_idx[i]) - all.begin());
+      const std::size_t bit = (assign >> (all.size() - pos_all - 1)) & 1u;
+      out_off = (out_off << 1) | bit;
+    }
+    expect[out_off] += value_of(da, a_idx, assign) * value_of(db, b_idx, assign);
+  }
+  // The TDD result counts each gamma variable exactly once; the dense loop
+  // above also sums each exactly once because gamma ⊆ all.  out entries for
+  // gamma-variable settings collapse onto the same out_off.
+  test::expect_tdd_matches(res, out_idx, expect, 1e-8);
+}
+
+TEST_P(TddProps, RenameRoundTrip) {
+  Manager mgr;
+  Prng rng(seed() + 7000);
+  const auto idx = indices();
+  const auto dense = test::random_dense(rng, idx.size());
+  const Edge e = from_dense(mgr, dense, idx);
+  std::vector<std::pair<Level, Level>> fwd;
+  std::vector<std::pair<Level, Level>> bwd;
+  std::vector<Level> shifted;
+  for (Level l : idx) {
+    fwd.emplace_back(l, l + 100);
+    bwd.emplace_back(l + 100, l);
+    shifted.push_back(l + 100);
+  }
+  const Edge moved = mgr.rename(e, fwd);
+  test::expect_tdd_matches(moved, shifted, dense);
+  EXPECT_TRUE(same_tensor(mgr.rename(moved, bwd), e));
+}
+
+TEST_P(TddProps, GcPreservesRoots) {
+  Manager mgr;
+  Prng rng(seed() + 8000);
+  const auto idx = indices();
+  const auto da = test::random_dense(rng, idx.size());
+  const Edge keep = from_dense(mgr, da, idx);
+  for (int i = 0; i < 5; ++i) (void)from_dense(mgr, test::random_dense(rng, idx.size()), idx);
+  const std::vector<Edge> roots{keep};
+  mgr.gc(roots);
+  test::expect_tdd_matches(keep, idx, da);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSeedSweep, TddProps,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                                            ::testing::Values(1, 2, 3)),
+                         [](const ::testing::TestParamInfo<Param>& info) {
+                           return "rank" + std::to_string(std::get<0>(info.param)) + "_seed" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace qts::tdd

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "tdd/dense.hpp"
+#include "tdd/dot.hpp"
+#include "tdd/levels.hpp"
+#include "tdd/manager.hpp"
+#include "tdd/paths.hpp"
+#include "test_helpers.hpp"
+
+namespace qts::tdd {
+namespace {
+
+const cplx kOne{1.0, 0.0};
+const cplx kZero{0.0, 0.0};
+
+TEST(Levels, WireLevelLayout) {
+  EXPECT_LT(wire_level(0, 5), wire_level(1, 0));
+  EXPECT_EQ(level_qubit(wire_level(3, 7)), 3u);
+  EXPECT_EQ(level_pos(wire_level(3, 7)), 7u);
+  EXPECT_LT(state_level(2), bra_level(2));
+  EXPECT_LT(bra_level(2), state_level(3));
+}
+
+TEST(Levels, Names) {
+  EXPECT_EQ(level_name(wire_level(2, 0)), "q2.t0");
+  EXPECT_EQ(level_name(bra_level(1)), "q1.bra");
+  EXPECT_EQ(level_name(kTermLevel), "term");
+}
+
+TEST(Manager, TerminalSnapsTinyWeights) {
+  Manager mgr;
+  EXPECT_TRUE(mgr.terminal(cplx{1e-14, 0.0}).is_zero());
+  EXPECT_FALSE(mgr.terminal(cplx{1e-6, 0.0}).is_zero());
+}
+
+TEST(Manager, MakeNodeEliminatesRedundantNode) {
+  Manager mgr;
+  const Edge e = mgr.make_node(0, mgr.one(), mgr.one());
+  EXPECT_TRUE(e.is_terminal());
+  EXPECT_TRUE(approx_equal(e.weight, kOne));
+}
+
+TEST(Manager, MakeNodeZeroChildrenGiveZero) {
+  Manager mgr;
+  EXPECT_TRUE(mgr.make_node(0, mgr.zero(), mgr.zero()).is_zero());
+}
+
+TEST(Manager, MakeNodeNormalisesByMaxMagnitude) {
+  Manager mgr;
+  const Edge e = mgr.make_node(0, mgr.terminal(cplx{0.5, 0.0}), mgr.terminal(cplx{-2.0, 0.0}));
+  ASSERT_FALSE(e.is_terminal());
+  // Pivot is the high edge (-2): root weight -2, children (−0.25, 1).
+  EXPECT_TRUE(approx_equal(e.weight, cplx{-2.0, 0.0}));
+  EXPECT_TRUE(approx_equal(e.node->low().weight, cplx{-0.25, 0.0}));
+  EXPECT_TRUE(approx_equal(e.node->high().weight, kOne));
+}
+
+TEST(Manager, HashConsingSharesStructure) {
+  Manager mgr;
+  const Edge a = mgr.literal(3, kOne, cplx{0.5, 0.5});
+  const Edge b = mgr.literal(3, kOne, cplx{0.5, 0.5});
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_TRUE(same_tensor(a, b));
+}
+
+TEST(Manager, HashConsingToleratesFloatNoise) {
+  Manager mgr;
+  const Edge a = mgr.literal(3, kOne, cplx{0.5, 0.5});
+  const Edge b = mgr.literal(3, kOne, cplx{0.5 + 1e-12, 0.5 - 1e-12});
+  EXPECT_EQ(a.node, b.node);
+}
+
+TEST(Manager, MakeNodeRejectsOutOfOrderChildren) {
+  Manager mgr;
+  const Edge deep = mgr.literal(1, kOne, kZero);
+  EXPECT_THROW((void)mgr.make_node(2, deep, mgr.zero()), InvalidArgument);
+}
+
+TEST(Add, TerminalArithmetic) {
+  Manager mgr;
+  const Edge r = mgr.add(mgr.terminal(cplx{1.0, 2.0}), mgr.terminal(cplx{0.5, -2.0}));
+  EXPECT_TRUE(r.is_terminal());
+  EXPECT_TRUE(approx_equal(r.weight, cplx{1.5, 0.0}));
+}
+
+TEST(Add, CancellationYieldsZero) {
+  Manager mgr;
+  const Edge a = mgr.literal(0, kOne, cplx{-1.0, 0.0});
+  const Edge b = mgr.scale(a, cplx{-1.0, 0.0});
+  EXPECT_TRUE(mgr.add(a, b).is_zero());
+}
+
+TEST(Add, RelativeCancellationAtTinyScale) {
+  Manager mgr;
+  // Operands with a legitimately tiny global scale must cancel relatively.
+  const Edge a = mgr.scale(mgr.literal(0, kOne, kOne), cplx{1e-20, 0.0});
+  const Edge b = mgr.scale(a, cplx{-0.5, 0.0});
+  const Edge r = mgr.add(a, b);
+  EXPECT_FALSE(r.is_zero());
+  EXPECT_TRUE(approx_equal(r.weight / a.weight, cplx{0.5, 0.0}, 1e-6));
+}
+
+TEST(Add, IsCommutative) {
+  Manager mgr;
+  Prng rng(5);
+  const std::vector<Level> idx{0, 1, 2};
+  const auto da = test::random_dense(rng, 3);
+  const auto db = test::random_dense(rng, 3);
+  const Edge a = from_dense(mgr, da, idx);
+  const Edge b = from_dense(mgr, db, idx);
+  EXPECT_TRUE(same_tensor(mgr.add(a, b), mgr.add(b, a)));
+}
+
+TEST(Slice, FixesAVariable) {
+  Manager mgr;
+  const std::vector<Level> idx{0, 1};
+  const std::vector<cplx> dense{kOne, cplx{2, 0}, cplx{3, 0}, cplx{4, 0}};
+  const Edge e = from_dense(mgr, dense, idx);
+  const Edge s0 = mgr.slice(e, 0, 0);
+  const Edge s1 = mgr.slice(e, 0, 1);
+  test::expect_tdd_matches(s0, std::vector<Level>{1}, {kOne, cplx{2, 0}});
+  test::expect_tdd_matches(s1, std::vector<Level>{1}, {cplx{3, 0}, cplx{4, 0}});
+}
+
+TEST(Slice, OnAbsentVariableIsIdentity) {
+  Manager mgr;
+  const Edge e = mgr.literal(5, kOne, cplx{0.0, 1.0});
+  EXPECT_TRUE(same_tensor(mgr.slice(e, 3, 0), e));
+  EXPECT_TRUE(same_tensor(mgr.slice(e, 9, 1), e));
+}
+
+TEST(Conjugate, Involution) {
+  Manager mgr;
+  Prng rng(6);
+  const std::vector<Level> idx{0, 1, 2, 3};
+  const Edge e = from_dense(mgr, test::random_dense(rng, 4), idx);
+  EXPECT_TRUE(same_tensor(mgr.conjugate(mgr.conjugate(e)), e));
+}
+
+TEST(Scale, ByZeroAndOne) {
+  Manager mgr;
+  const Edge e = mgr.literal(0, kOne, cplx{0.5, 0.0});
+  EXPECT_TRUE(mgr.scale(e, kZero).is_zero());
+  EXPECT_TRUE(same_tensor(mgr.scale(e, kOne), e));
+}
+
+TEST(Contract, InnerProductOfPlusStates) {
+  Manager mgr;
+  // |+>^n has a single-terminal TDD; contraction must still count the
+  // summed-out variables (factor 2 each).
+  const std::uint32_t n = 50;
+  const double amp = std::pow(0.5, n / 2.0);
+  const Edge plus = mgr.terminal(cplx{amp, 0.0});
+  std::vector<Level> gamma;
+  for (std::uint32_t q = 0; q < n; ++q) gamma.push_back(state_level(q));
+  const Edge r = mgr.contract(mgr.conjugate(plus), plus, gamma);
+  ASSERT_TRUE(r.is_terminal());
+  EXPECT_NEAR(r.weight.real(), 1.0, 1e-9);
+}
+
+TEST(Contract, MatrixVectorProduct) {
+  Manager mgr;
+  // ϕ(x,y) = [[1,2],[3,4]] with x = column, y = row; v(x) = (5,6).
+  const std::vector<Level> op_idx{0, 1};  // 0 = x (col), 1 = y (row)
+  const std::vector<cplx> m{kOne, cplx{3, 0}, cplx{2, 0}, cplx{4, 0}};  // [x][y]
+  const std::vector<cplx> v{cplx{5, 0}, cplx{6, 0}};
+  const Edge me = from_dense(mgr, m, op_idx);
+  const Edge ve = from_dense(mgr, v, std::vector<Level>{0});
+  const Edge r = mgr.contract(me, ve, std::vector<Level>{0});
+  test::expect_tdd_matches(r, std::vector<Level>{1}, {cplx{17, 0}, cplx{39, 0}});
+}
+
+TEST(Contract, SharedIndexNotInGammaIsPointwise) {
+  Manager mgr;
+  // Hyperedge semantics: a(x)·b(x) over the same x without summation.
+  const Edge a = mgr.literal(0, cplx{2, 0}, cplx{3, 0});
+  const Edge b = mgr.literal(0, cplx{5, 0}, cplx{7, 0});
+  const Edge r = mgr.contract(a, b, {});
+  test::expect_tdd_matches(r, std::vector<Level>{0}, {cplx{10, 0}, cplx{21, 0}});
+}
+
+TEST(Contract, GammaVariableMissingFromBothDoubles) {
+  Manager mgr;
+  const Edge a = mgr.terminal(cplx{3, 0});
+  const Edge b = mgr.terminal(cplx{5, 0});
+  const std::vector<Level> gamma{7};
+  const Edge r = mgr.contract(a, b, gamma);
+  ASSERT_TRUE(r.is_terminal());
+  EXPECT_TRUE(approx_equal(r.weight, cplx{30, 0}));  // 2 * 15
+}
+
+TEST(Contract, RejectsUnsortedGamma) {
+  Manager mgr;
+  const std::vector<Level> gamma{3, 1};
+  EXPECT_THROW((void)mgr.contract(mgr.one(), mgr.one(), gamma), InvalidArgument);
+}
+
+TEST(Rename, ShiftsLevelsPreservingValues) {
+  Manager mgr;
+  Prng rng(8);
+  const std::vector<Level> idx{0, 1, 2};
+  const auto dense = test::random_dense(rng, 3);
+  const Edge e = from_dense(mgr, dense, idx);
+  const std::vector<std::pair<Level, Level>> map{{0, 10}, {1, 11}, {2, 12}};
+  const Edge r = mgr.rename(e, map);
+  test::expect_tdd_matches(r, std::vector<Level>{10, 11, 12}, dense);
+}
+
+TEST(Rename, RejectsNonMonotoneMap) {
+  Manager mgr;
+  const std::vector<std::pair<Level, Level>> map{{0, 5}, {1, 4}};
+  EXPECT_THROW((void)mgr.rename(mgr.one(), map), InvalidArgument);
+}
+
+TEST(DenseRoundTrip, Random) {
+  Manager mgr;
+  Prng rng(13);
+  const std::vector<Level> idx{2, 5, 9, 11};
+  const auto dense = test::random_dense(rng, 4);
+  const Edge e = from_dense(mgr, dense, idx);
+  test::expect_tdd_matches(e, idx, dense);
+}
+
+TEST(DenseRoundTrip, ValueAtAgreesWithToDense) {
+  Manager mgr;
+  Prng rng(14);
+  const std::vector<Level> idx{0, 1, 2};
+  const auto dense = test::random_dense(rng, 3);
+  const Edge e = from_dense(mgr, dense, idx);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    EXPECT_TRUE(approx_equal(value_at(e, idx, a), dense[a], 1e-9));
+  }
+}
+
+TEST(NodeCount, CountsSharedNodesOnce) {
+  Manager mgr;
+  // f(x0, x1) = x0 XOR x1 style structure shares nothing; |0..0> chain shares
+  // the terminal. A 3-variable basis ket has 3 nodes.
+  Manager m2;
+  const std::vector<Level> idx{0, 1, 2};
+  std::vector<cplx> ket(8, kZero);
+  ket[0] = kOne;
+  const Edge e = from_dense(m2, ket, idx);
+  EXPECT_EQ(node_count(e), 3u);
+  EXPECT_EQ(node_count(m2.one()), 0u);
+}
+
+TEST(Paths, LeftmostNonzeroPrefersLowEdges) {
+  Manager mgr;
+  const std::vector<Level> idx{0, 1};
+  // f = [0, 0, 5, 7]: first non-zero assignment is (1, 0).
+  const std::vector<cplx> dense{kZero, kZero, cplx{5, 0}, cplx{7, 0}};
+  const Edge e = from_dense(mgr, dense, idx);
+  const auto path = leftmost_nonzero_assignment(e, idx);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ((*path)[0], 1);
+  EXPECT_EQ((*path)[1], 0);
+}
+
+TEST(Paths, ZeroTensorHasNoPath) {
+  Manager mgr;
+  const std::vector<Level> idx{0, 1};
+  EXPECT_FALSE(leftmost_nonzero_assignment(mgr.zero(), idx).has_value());
+}
+
+TEST(Paths, IndependentVariablesPickZero) {
+  Manager mgr;
+  const Edge e = mgr.literal(1, kZero, kOne);  // depends only on level 1
+  const std::vector<Level> idx{0, 1, 2};
+  const auto path = leftmost_nonzero_assignment(e, idx);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ((*path)[0], 0);
+  EXPECT_EQ((*path)[1], 1);
+  EXPECT_EQ((*path)[2], 0);
+}
+
+TEST(Gc, FreesUnreachableNodes) {
+  Manager mgr;
+  Prng rng(21);
+  const std::vector<Level> idx{0, 1, 2, 3, 4};
+  const Edge keep = from_dense(mgr, test::random_dense(rng, 5), idx);
+  const std::size_t before_live = mgr.live_nodes();
+  // Create garbage.
+  for (int i = 0; i < 10; ++i) {
+    (void)from_dense(mgr, test::random_dense(rng, 5), idx);
+  }
+  EXPECT_GT(mgr.live_nodes(), before_live);
+  const std::vector<Edge> roots{keep};
+  const std::size_t freed = mgr.gc(roots);
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(mgr.live_nodes(), node_count(keep));
+  // The kept TDD still evaluates correctly and new allocations reuse nodes.
+  const auto dense = to_dense(keep, idx);
+  EXPECT_EQ(dense.size(), 32u);
+  const Edge again = from_dense(mgr, dense, idx);
+  EXPECT_TRUE(same_tensor(again, keep));
+}
+
+TEST(Gc, InterningAfterGcReusesFreeList) {
+  Manager mgr;
+  const Edge a = mgr.literal(0, kOne, cplx{0.25, 0.0});
+  (void)a;
+  const std::size_t allocated = mgr.allocated_nodes();
+  const std::size_t freed = mgr.gc({});  // everything unreachable
+  EXPECT_EQ(freed, allocated);
+  const Edge b = mgr.literal(1, kOne, cplx{0.5, 0.0});
+  (void)b;
+  EXPECT_EQ(mgr.allocated_nodes(), allocated);  // node reused, no growth
+}
+
+TEST(Dot, ContainsLevelsAndWeights) {
+  Manager mgr;
+  const Edge e = mgr.make_node(
+      state_level(0), mgr.literal(state_level(1), kOne, cplx{-0.5, 0.0}), mgr.zero());
+  const auto dot = to_dot_string(e);
+  EXPECT_NE(dot.find("q0.t0"), std::string::npos);
+  EXPECT_NE(dot.find("q1.t0"), std::string::npos);
+  EXPECT_NE(dot.find("-0.5"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qts::tdd

@@ -1,0 +1,54 @@
+/// \file test_helpers.hpp
+/// Shared helpers for the test suite: dense/TDD round-trip utilities and
+/// random tensors/circuits.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.hpp"
+#include "linalg/vector.hpp"
+#include "qts/states.hpp"
+#include "tdd/dense.hpp"
+#include "tdd/manager.hpp"
+
+namespace qts::test {
+
+/// Dense random tensor of the given rank with O(1)-scale entries and a
+/// sprinkling of exact zeros (exercises the zero-edge invariants).
+inline std::vector<cplx> random_dense(Prng& rng, std::size_t rank, double zero_prob = 0.2) {
+  std::vector<cplx> out(std::size_t{1} << rank);
+  for (auto& v : out) {
+    v = rng.coin(zero_prob) ? cplx{0.0, 0.0} : rng.complex_unit_box();
+  }
+  return out;
+}
+
+/// EXPECT that two dense arrays agree within tolerance.
+inline void expect_dense_eq(const std::vector<cplx>& a, const std::vector<cplx>& b,
+                            double eps = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), eps) << "entry " << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), eps) << "entry " << i;
+  }
+}
+
+/// EXPECT that a TDD over `indices` equals a dense array.
+inline void expect_tdd_matches(const tdd::Edge& e, std::span<const tdd::Level> indices,
+                               const std::vector<cplx>& dense, double eps = 1e-9) {
+  expect_dense_eq(tdd::to_dense(e, indices), dense, eps);
+}
+
+/// Dense pointwise helpers on the flattened representation.
+inline std::vector<cplx> dense_add(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  std::vector<cplx> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+/// la::Vector from a dense array.
+inline la::Vector to_vec(const std::vector<cplx>& a) { return la::Vector(a); }
+
+}  // namespace qts::test

@@ -1,0 +1,145 @@
+/// Ablation-oriented tests for NetworkOptions::reuse_indices — the §V-A
+/// hyperedge rule.  Disabling reuse must not change the network's value,
+/// only its index structure.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "qts/states.hpp"
+#include "sim/circuit_matrix.hpp"
+#include "test_helpers.hpp"
+#include "tn/circuit_tensors.hpp"
+#include "tn/contract.hpp"
+#include "tn/index_graph.hpp"
+#include "tn/partition.hpp"
+
+namespace qts::tn {
+namespace {
+
+using tdd::Level;
+
+/// Value check: contract the whole network to the operator and compare with
+/// the dense matrix, being careful that with reuse OFF every wire has
+/// distinct input/output indices, so the mapping is the plain row/col one.
+void expect_matrix_no_reuse(tdd::Manager& mgr, const circ::Circuit& c) {
+  const NetworkOptions opts{.reuse_indices = false};
+  const auto net = build_network(mgr, c, opts);
+  const auto keep = net.external_indices();
+  const Tensor mono = contract_network(mgr, net.tensors, keep);
+  const auto m = sim::circuit_matrix(c);
+  const std::uint32_t n = c.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t col = 0; col < dim; ++col) {
+      std::uint64_t assign = 0;
+      for (std::size_t i = 0; i < keep.size(); ++i) {
+        const std::uint32_t q = tdd::level_qubit(keep[i]);
+        const bool is_input = keep[i] == net.inputs[q];
+        const std::size_t bit =
+            is_input ? ((col >> (n - 1 - q)) & 1u) : ((r >> (n - 1 - q)) & 1u);
+        assign |= bit << (keep.size() - 1 - i);
+      }
+      const cplx got = tdd::value_at(mono.edge, keep, assign) * net.factor;
+      EXPECT_TRUE(approx_equal(got, m(r, col), 1e-8)) << "(" << r << "," << col << ")";
+    }
+  }
+}
+
+TEST(NoReuse, EveryGateAdvancesEveryWire) {
+  tdd::Manager mgr;
+  circ::Circuit c(2);
+  c.z(0).cx(0, 1);  // diagonal gate and control wire both advance now
+  const NetworkOptions opts{.reuse_indices = false};
+  const auto net = build_network(mgr, c, opts);
+  EXPECT_EQ(net.outputs[0], tdd::wire_level(0, 2));  // z then cx-control
+  EXPECT_EQ(net.outputs[1], tdd::wire_level(1, 1));
+  EXPECT_EQ(net.tensors[0].indices.size(), 2u);  // Z now has in/out
+  EXPECT_EQ(net.tensors[1].indices.size(), 4u);  // CX has 2 wires × in/out
+}
+
+TEST(NoReuse, ValuePreservedOnGenerators) {
+  for (std::uint32_t n = 2; n <= 4; ++n) {
+    tdd::Manager mgr;
+    expect_matrix_no_reuse(mgr, circ::make_ghz(n));
+    expect_matrix_no_reuse(mgr, circ::make_qft(n));
+    expect_matrix_no_reuse(mgr, circ::make_grover_iteration(n));
+    expect_matrix_no_reuse(mgr, circ::make_qrw_step(n));
+  }
+}
+
+TEST(NoReuse, ValuePreservedOnRandomCircuits) {
+  Prng rng(88);
+  for (int i = 0; i < 6; ++i) {
+    tdd::Manager mgr;
+    expect_matrix_no_reuse(mgr, circ::make_random(3, 14, rng));
+  }
+}
+
+TEST(NoReuse, HyperedgeDegreesDrop) {
+  // The CX-fanout control vertex has degree 4 with reuse; without reuse the
+  // same wire splits into several low-degree vertices.
+  circ::Circuit c(3);
+  c.cx(0, 1).cx(0, 2);
+  tdd::Manager mgr;
+  const auto with = IndexGraph::from_network(build_network(mgr, c));
+  const auto without =
+      IndexGraph::from_network(build_network(mgr, c, NetworkOptions{.reuse_indices = false}));
+  EXPECT_EQ(with.degree(tdd::wire_level(0, 0)), 4u);
+  EXPECT_EQ(without.degree(tdd::wire_level(0, 0)), 3u);  // clique of one CX only
+  EXPECT_GT(without.num_vertices(), with.num_vertices());
+}
+
+TEST(NoReuse, AdditionPartitionStillSums) {
+  Prng rng(89);
+  tdd::Manager mgr;
+  const auto c = circ::make_random(3, 10, rng);
+  const NetworkOptions opts{.reuse_indices = false};
+  const auto net = build_network(mgr, c, opts);
+  const auto keep = net.external_indices();
+  const Tensor whole = contract_network(mgr, net.tensors, keep);
+  const auto part = addition_partition(mgr, net, 1);
+  tdd::Edge sum = mgr.zero();
+  for (const auto& slice : part.slices) {
+    sum = mgr.add(sum, contract_network(mgr, slice.tensors, keep).edge);
+  }
+  EXPECT_TRUE(tdd::same_tensor(sum, whole.edge, 1e-8));
+}
+
+TEST(NoReuse, ContractionBlocksStillRecontract) {
+  Prng rng(90);
+  tdd::Manager mgr;
+  const auto c = circ::make_random(4, 14, rng);
+  const NetworkOptions opts{.reuse_indices = false};
+  const auto net = build_network(mgr, c, opts);
+  const auto keep = net.external_indices();
+  const Tensor whole = contract_network(mgr, net.tensors, keep);
+  const auto blocks = contraction_partition(mgr, net, 2, 2);
+  std::vector<Tensor> ts;
+  for (const auto& b : blocks) ts.push_back(b.tensor);
+  const Tensor re = contract_network(mgr, ts, keep);
+  EXPECT_TRUE(tdd::same_tensor(re.edge, whole.edge, 1e-8));
+}
+
+TEST(NoReuse, QftOperatorGetsBigger) {
+  // The hyperedge encoding is strictly more compact for diagonal-heavy
+  // circuits: the QFT operator TDD has more nodes without index reuse...
+  // at equal final indices the reduced operator is the same tensor, but the
+  // network carries more intermediate indices, so the PEAK grows.
+  tdd::Manager mgr;
+  const auto c = circ::make_qft(8);
+  PeakStats with_stats;
+  PeakStats without_stats;
+  {
+    const auto net = build_network(mgr, c);
+    (void)contract_network(mgr, net.tensors, net.external_indices(), &with_stats);
+  }
+  {
+    const auto net = build_network(mgr, c, NetworkOptions{.reuse_indices = false});
+    (void)contract_network(mgr, net.tensors, net.external_indices(), &without_stats);
+  }
+  EXPECT_GE(without_stats.peak_nodes, with_stats.peak_nodes);
+}
+
+}  // namespace
+}  // namespace qts::tn

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qts/image.hpp"
+#include "qts/workloads.hpp"
+
+namespace qts {
+namespace {
+
+TEST(Workloads, GhzSystemShape) {
+  tdd::Manager mgr;
+  const auto sys = make_ghz_system(mgr, 5);
+  sys.validate();
+  EXPECT_EQ(sys.num_qubits, 5u);
+  EXPECT_EQ(sys.initial.dim(), 1u);
+  ASSERT_EQ(sys.operations.size(), 1u);
+  EXPECT_EQ(sys.operations[0].kraus.size(), 1u);
+  EXPECT_EQ(sys.operations[0].kraus[0].size(), 5u);  // H + 4 CX
+}
+
+TEST(Workloads, BvSystemShape) {
+  tdd::Manager mgr;
+  const auto sys = make_bv_system(mgr, 6);
+  sys.validate();
+  EXPECT_EQ(sys.initial.dim(), 1u);
+  EXPECT_TRUE(sys.initial.contains(ket_basis(mgr, 6, 0)));
+}
+
+TEST(Workloads, QftSystemShape) {
+  tdd::Manager mgr;
+  const auto sys = make_qft_system(mgr, 4);
+  sys.validate();
+  // QFT(4): 4 H + 6 CP gates.
+  EXPECT_EQ(sys.operations[0].kraus[0].size(), 10u);
+}
+
+TEST(Workloads, GroverInitialIsTwoDimensional) {
+  tdd::Manager mgr;
+  const auto sys = make_grover_system(mgr, 4);
+  sys.validate();
+  EXPECT_EQ(sys.initial.dim(), 2u);
+  // |111⟩|−⟩ basis vector: check the all-ones ket with minus phase is inside.
+  const auto dense = ket_to_dense(sys.initial.basis()[1], 4);
+  EXPECT_GT(std::abs(dense[14]), 0.1);  // |1110⟩ component
+}
+
+TEST(Workloads, QrwNoisyHasTwoKraus) {
+  tdd::Manager mgr;
+  const auto sys = make_qrw_system(mgr, 4, 0.2, true, 3);
+  sys.validate();
+  ASSERT_EQ(sys.operations.size(), 1u);
+  EXPECT_EQ(sys.operations[0].kraus.size(), 2u);
+  // Kraus factors √0.8 and √0.2.
+  EXPECT_NEAR(std::abs(sys.operations[0].kraus[0].global_factor()), std::sqrt(0.8), 1e-12);
+  EXPECT_NEAR(std::abs(sys.operations[0].kraus[1].global_factor()), std::sqrt(0.2), 1e-12);
+  EXPECT_TRUE(sys.initial.contains(ket_basis(mgr, 4, 3)));
+}
+
+TEST(Workloads, QrwNoiselessHasOneKraus) {
+  tdd::Manager mgr;
+  const auto sys = make_qrw_system(mgr, 4, 0.0, false);
+  EXPECT_EQ(sys.operations[0].kraus.size(), 1u);
+}
+
+TEST(Workloads, QrwValidatesPosition) {
+  tdd::Manager mgr;
+  EXPECT_THROW((void)make_qrw_system(mgr, 3, 0.1, true, 4), InvalidArgument);
+  EXPECT_THROW((void)make_qrw_system(mgr, 3, 1.5, true, 0), InvalidArgument);
+}
+
+TEST(Workloads, BitFlipCodeShape) {
+  tdd::Manager mgr;
+  const auto sys = make_bitflip_code_system(mgr);
+  sys.validate();
+  EXPECT_EQ(sys.num_qubits, 6u);
+  EXPECT_EQ(sys.operations.size(), 4u);
+  EXPECT_EQ(sys.initial.dim(), 3u);
+  for (const auto& op : sys.operations) {
+    EXPECT_EQ(op.kraus.size(), 1u);
+  }
+  EXPECT_EQ(sys.operations[0].symbol, "T000");
+}
+
+}  // namespace
+}  // namespace qts
+
+namespace qts {
+namespace {
+
+TEST(Workloads, GroverDecomposedSystemShape) {
+  tdd::Manager mgr;
+  const auto sys = make_grover_decomposed_system(mgr, 9);
+  sys.validate();
+  EXPECT_EQ(sys.num_qubits, 9u);
+  EXPECT_EQ(sys.initial.dim(), 2u);
+  EXPECT_THROW((void)make_grover_decomposed_system(mgr, 8), InvalidArgument);
+}
+
+TEST(Workloads, GroverDecomposedInvarianceHolds) {
+  for (std::uint32_t n : {5u, 7u, 9u}) {
+    tdd::Manager mgr;
+    const auto sys = make_grover_decomposed_system(mgr, n);
+    ContractionImage computer(mgr, 4, 4);
+    const Subspace img = computer.image(sys, sys.initial);
+    EXPECT_TRUE(img.same_subspace(sys.initial)) << "n = " << n;
+  }
+}
+
+}  // namespace
+}  // namespace qts

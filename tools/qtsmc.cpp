@@ -1,0 +1,216 @@
+/// \file qtsmc.cpp
+/// qtsmc — a small command-line model checker for quantum circuits built on
+/// the library's image computation engines.
+///
+///   qtsmc image  [options] circuit.qasm     one forward image of |0…0⟩
+///   qtsmc reach  [options] circuit.qasm     reachable-subspace fixpoint
+///   qtsmc back   [options] circuit.qasm     backward fixpoint from |0…0⟩
+///   qtsmc invar  [options] circuit.qasm     check span{|0…0⟩} invariant
+///
+/// Options:
+///   --method basic|addition|contraction   (default contraction)
+///   --k K                                  addition slices (default 1)
+///   --k1 K --k2 K                          contraction cut (default 4 4)
+///   --initial BITSTRING[,BITSTRING...]     initial basis kets (default 0…0)
+///   --noise CHANNEL:P:QUBIT                append a noise channel, e.g.
+///                                          bitflip:0.1:0 or depol:0.05:2
+///   --steps N                              fixpoint iteration cap (default 64)
+///   --timeout S                            wall-clock budget in seconds
+///   --stats                                print TDD statistics
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "circuit/noise.hpp"
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "qts/backward.hpp"
+#include "qts/image.hpp"
+#include "qts/reachability.hpp"
+
+namespace {
+
+using namespace qts;
+
+struct Options {
+  std::string command;
+  std::string path;
+  std::string method = "contraction";
+  std::size_t k = 1;
+  std::uint32_t k1 = 4;
+  std::uint32_t k2 = 4;
+  std::vector<std::string> initial;
+  std::vector<std::string> noise;
+  std::size_t steps = 64;
+  double timeout_s = 0.0;
+  bool stats = false;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n";
+  std::cerr <<
+      R"(usage: qtsmc <image|reach|back|invar> [options] circuit.qasm
+  --method basic|addition|contraction    image algorithm (default contraction)
+  --k K                                  addition-partition slices (default 1)
+  --k1 K --k2 K                          contraction cut parameters (default 4 4)
+  --initial BITS[,BITS...]               initial basis kets (default all zeros)
+  --noise CHANNEL:P:QUBIT                bitflip|phaseflip|depol|damp channel
+  --steps N                              fixpoint iteration cap (default 64)
+  --timeout S                            wall-clock budget in seconds
+  --stats                                print TDD statistics
+)";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  if (argc < 3) usage();
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--method") {
+      opt.method = next();
+    } else if (a == "--k") {
+      opt.k = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--k1") {
+      opt.k1 = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--k2") {
+      opt.k2 = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "--initial") {
+      opt.initial = split(next(), ",");
+    } else if (a == "--noise") {
+      opt.noise.push_back(next());
+    } else if (a == "--steps") {
+      opt.steps = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--timeout") {
+      opt.timeout_s = std::stod(next());
+    } else if (a == "--stats") {
+      opt.stats = true;
+    } else if (!a.empty() && a[0] == '-') {
+      usage("unknown option " + a);
+    } else {
+      if (!opt.path.empty()) usage("multiple circuit files");
+      opt.path = a;
+    }
+  }
+  if (opt.path.empty()) usage("no circuit file given");
+  return opt;
+}
+
+std::uint64_t parse_bits(const std::string& bits, std::uint32_t n) {
+  require(bits.size() == n, "initial bit string '" + bits + "' must have one bit per qubit");
+  std::uint64_t v = 0;
+  for (char c : bits) {
+    require(c == '0' || c == '1', "initial bit strings are binary");
+    v = (v << 1) | static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+circ::Channel parse_channel(const std::string& spec, std::uint32_t& qubit) {
+  const auto parts = split(spec, ":");
+  require(parts.size() == 3, "noise spec must be CHANNEL:P:QUBIT");
+  const double p = std::stod(parts[1]);
+  qubit = static_cast<std::uint32_t>(std::stoul(parts[2]));
+  if (parts[0] == "bitflip") return circ::bit_flip(p);
+  if (parts[0] == "phaseflip") return circ::phase_flip(p);
+  if (parts[0] == "depol") return circ::depolarizing(p);
+  if (parts[0] == "damp") return circ::amplitude_damping(p);
+  throw InvalidArgument("unknown channel '" + parts[0] + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_args(argc, argv);
+
+    std::ifstream in(opt.path);
+    if (!in) {
+      std::cerr << "cannot open " << opt.path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const circ::Circuit circuit = circ::from_qasm(text.str());
+    const std::uint32_t n = circuit.num_qubits();
+
+    // Kraus family: the circuit, then any requested noise channels.
+    std::vector<circ::Circuit> kraus{circuit};
+    for (const auto& spec : opt.noise) {
+      std::uint32_t q = 0;
+      const circ::Channel ch = parse_channel(spec, q);
+      require(q < n, "noise qubit out of range");
+      kraus = circ::apply_channel(kraus, ch, q);
+    }
+
+    tdd::Manager mgr;
+    std::vector<tdd::Edge> kets;
+    if (opt.initial.empty()) {
+      kets.push_back(ket_basis(mgr, n, 0));
+    } else {
+      for (const auto& bits : opt.initial) kets.push_back(ket_basis(mgr, n, parse_bits(bits, n)));
+    }
+    TransitionSystem sys{n, Subspace::from_states(mgr, n, kets),
+                         {QuantumOperation{"step", kraus}}};
+
+    std::unique_ptr<ImageComputer> computer;
+    if (opt.method == "basic") {
+      computer = std::make_unique<BasicImage>(mgr);
+    } else if (opt.method == "addition") {
+      computer = std::make_unique<AdditionImage>(mgr, opt.k);
+    } else if (opt.method == "contraction") {
+      computer = std::make_unique<ContractionImage>(mgr, opt.k1, opt.k2);
+    } else {
+      usage("unknown method " + opt.method);
+    }
+    if (opt.timeout_s > 0) computer->set_deadline(Deadline::after(opt.timeout_s));
+
+    std::cout << "circuit: " << opt.path << " (" << n << " qubits, " << circuit.size()
+              << " gates, " << kraus.size() << " Kraus operator(s))\n"
+              << "method:  " << computer->name() << "\n"
+              << "initial: dimension " << sys.initial.dim() << "\n";
+
+    if (opt.command == "image") {
+      const Subspace img = computer->image(sys, sys.initial);
+      std::cout << "image:   dimension " << img.dim() << "\n";
+    } else if (opt.command == "reach") {
+      const auto r = reachable_space(*computer, sys, opt.steps);
+      std::cout << "reach:   dimension " << r.space.dim() << " of " << (1ull << std::min(n, 63u))
+                << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
+                << r.iterations << " steps\n";
+    } else if (opt.command == "back") {
+      const auto r = backward_reachable(*computer, sys, sys.initial, opt.steps);
+      std::cout << "back:    dimension " << r.space.dim()
+                << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
+                << r.iterations << " steps\n";
+    } else if (opt.command == "invar") {
+      const auto r = check_invariant(*computer, sys, sys.initial, opt.steps);
+      std::cout << "invar:   " << (r.holds ? "HOLDS" : "VIOLATED") << " after " << r.iterations
+                << " steps" << (r.converged ? "" : " (iteration cap hit)") << "\n";
+    } else {
+      usage("unknown command " + opt.command);
+    }
+
+    if (opt.stats) {
+      const auto& s = computer->stats();
+      std::cout << "stats:   " << format_fixed(s.seconds, 3) << " s in image computation, peak "
+                << s.peak_nodes << " TDD nodes, " << s.kraus_applications
+                << " Kraus applications, " << mgr.live_nodes() << " live nodes\n";
+    }
+    return 0;
+  } catch (const qts::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const qts::DeadlineExceeded&) {
+    std::cerr << "error: timeout exceeded\n";
+    return 3;
+  }
+}
