@@ -13,7 +13,7 @@
 
 #include "common/strings.hpp"
 #include "common/timer.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "circuit/generators.hpp"
 #include "qts/workloads.hpp"
 #include "tn/circuit_tensors.hpp"
@@ -46,9 +46,9 @@ void ablation_hyperedges() {
       tdd::Manager mgr;
       const tn::NetworkOptions opts{.reuse_indices = naive == 0};
       const auto net = tn::build_network(mgr, c.circuit, opts);
-      tn::PeakStats stats;
-      (void)tn::contract_network(mgr, net.tensors, net.external_indices(), &stats);
-      peak[naive] = stats.peak_nodes;
+      ExecutionContext ctx;
+      (void)tn::contract_network(mgr, net.tensors, net.external_indices(), &ctx);
+      peak[naive] = ctx.stats().peak_nodes;
       const auto graph = tn::IndexGraph::from_network(net);
       std::size_t top = 0;
       for (auto v : graph.top_degree(1)) top = graph.degree(v);
@@ -73,11 +73,11 @@ void ablation_mcx() {
       tdd::Manager mgr;
       const TransitionSystem sys =
           dec == 0 ? make_grover_system(mgr, n) : make_grover_decomposed_system(mgr, n);
-      BasicImage computer(mgr);
+      const auto computer = make_engine(mgr, "basic");
       WallTimer timer;
-      (void)computer.image(sys, sys.initial);
+      (void)computer->image(sys, sys.initial);
       secs[dec] = timer.seconds();
-      peak[dec] = computer.stats().peak_nodes;
+      peak[dec] = computer->stats().peak_nodes;
     }
     std::cout << pad_right(std::to_string(n), 8) << pad_left(format_fixed(secs[0], 4), 14)
               << pad_left(std::to_string(peak[0]), 10)
@@ -92,19 +92,18 @@ void ablation_contraction_cache() {
   std::cout << pad_right("qubits", 8) << pad_left("add hit%", 10) << pad_left("cont hit%", 11)
             << pad_left("unique hit%", 13) << "\n";
   for (std::uint32_t n : {8u, 10u, 12u}) {
+    ExecutionContext ctx;
     tdd::Manager mgr;
+    mgr.bind_context(&ctx);
     const auto sys = make_qft_system(mgr, n);
-    BasicImage computer(mgr);
-    mgr.reset_cache_stats();
-    (void)computer.image(sys, sys.initial);
-    const auto& s = mgr.cache_stats();
-    auto pct = [](std::size_t h, std::size_t m) {
-      return h + m == 0 ? 0.0 : 100.0 * static_cast<double>(h) / static_cast<double>(h + m);
-    };
+    const auto computer = make_engine(mgr, "basic", &ctx);
+    (void)computer->image(sys, sys.initial);
+    const auto& s = ctx.stats();
     std::cout << pad_right(std::to_string(n), 8)
-              << pad_left(format_fixed(pct(s.add_hits, s.add_misses), 1), 10)
-              << pad_left(format_fixed(pct(s.cont_hits, s.cont_misses), 1), 11)
-              << pad_left(format_fixed(pct(s.unique_hits, s.unique_misses), 1), 13) << "\n";
+              << pad_left(format_fixed(hit_rate_pct(s.add_hits, s.add_misses), 1), 10)
+              << pad_left(format_fixed(hit_rate_pct(s.cont_hits, s.cont_misses), 1), 11)
+              << pad_left(format_fixed(hit_rate_pct(s.unique_hits, s.unique_misses), 1), 13)
+              << "\n";
   }
   std::cout << "\n";
 }

@@ -5,7 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/prng.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/subspace.hpp"
 #include "qts/workloads.hpp"
 
@@ -58,38 +58,18 @@ void BM_Join(benchmark::State& state) {
 }
 BENCHMARK(BM_Join)->Arg(4)->Arg(6);
 
-void BM_ImageBasic(benchmark::State& state) {
+void BM_Image(benchmark::State& state, const std::string& engine) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
     tdd::Manager mgr;
     const auto sys = make_grover_system(mgr, n);
-    BasicImage computer(mgr);
-    benchmark::DoNotOptimize(computer.image(sys, sys.initial).dim());
+    const auto computer = make_engine(mgr, engine);
+    benchmark::DoNotOptimize(computer->image(sys, sys.initial).dim());
   }
 }
-BENCHMARK(BM_ImageBasic)->Arg(6)->Arg(9);
-
-void BM_ImageAddition(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  for (auto _ : state) {
-    tdd::Manager mgr;
-    const auto sys = make_grover_system(mgr, n);
-    AdditionImage computer(mgr, 1);
-    benchmark::DoNotOptimize(computer.image(sys, sys.initial).dim());
-  }
-}
-BENCHMARK(BM_ImageAddition)->Arg(6)->Arg(9);
-
-void BM_ImageContraction(benchmark::State& state) {
-  const auto n = static_cast<std::uint32_t>(state.range(0));
-  for (auto _ : state) {
-    tdd::Manager mgr;
-    const auto sys = make_grover_system(mgr, n);
-    ContractionImage computer(mgr, 4, 4);
-    benchmark::DoNotOptimize(computer.image(sys, sys.initial).dim());
-  }
-}
-BENCHMARK(BM_ImageContraction)->Arg(6)->Arg(9)->Arg(12);
+BENCHMARK_CAPTURE(BM_Image, basic, "basic")->Arg(6)->Arg(9);
+BENCHMARK_CAPTURE(BM_Image, addition, "addition:1")->Arg(6)->Arg(9);
+BENCHMARK_CAPTURE(BM_Image, contraction, "contraction:4,4")->Arg(6)->Arg(9)->Arg(12);
 
 }  // namespace
 

@@ -20,7 +20,7 @@
 
 #include "common/strings.hpp"
 #include "common/timer.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/workloads.hpp"
 
 namespace {
@@ -51,23 +51,20 @@ TransitionSystem make_system(tdd::Manager& mgr, Family f, std::uint32_t n) {
   return make_ghz_system(mgr, n);
 }
 
-/// One (benchmark, method) cell: fresh manager, fresh computer, one image.
-Cell run_cell(Family f, std::uint32_t n, int method, double timeout_s) {
+/// One (benchmark, engine) cell: fresh manager, fresh engine, one image.
+Cell run_cell(Family f, std::uint32_t n, const std::string& engine, double timeout_s) {
+  ExecutionContext ctx;
+  ctx.set_deadline(Deadline::after(timeout_s));
   tdd::Manager mgr;
+  mgr.bind_context(&ctx);
   const TransitionSystem sys = make_system(mgr, f, n);
-  std::unique_ptr<ImageComputer> computer;
-  switch (method) {
-    case 0: computer = std::make_unique<BasicImage>(mgr); break;
-    case 1: computer = std::make_unique<AdditionImage>(mgr, 1); break;
-    default: computer = std::make_unique<ContractionImage>(mgr, 4, 4); break;
-  }
-  computer->set_deadline(Deadline::after(timeout_s));
+  const auto computer = make_engine(mgr, engine, &ctx);
   Cell cell;
   try {
     WallTimer timer;
     (void)computer->image(sys, sys.initial);
     cell.seconds = timer.seconds();
-    cell.peak_nodes = computer->stats().peak_nodes;
+    cell.peak_nodes = ctx.stats().peak_nodes;
   } catch (const DeadlineExceeded&) {
     cell.seconds = std::nullopt;  // '-' in the table
   }
@@ -144,9 +141,9 @@ int main(int argc, char** argv) {
     for (std::uint32_t n : plan.cheap_sizes) {
       Row row;
       row.name = plan.prefix + std::to_string(n);
-      row.basic = run_cell(plan.family, n, 0, timeout_s);
-      row.addition = run_cell(plan.family, n, 1, timeout_s);
-      row.contraction = run_cell(plan.family, n, 2, timeout_s);
+      row.basic = run_cell(plan.family, n, "basic", timeout_s);
+      row.addition = run_cell(plan.family, n, "addition:1", timeout_s);
+      row.contraction = run_cell(plan.family, n, "contraction:4,4", timeout_s);
       std::cout << pad_right(row.name, 12) << fmt(row.basic) << fmt(row.addition)
                 << fmt(row.contraction) << "\n"
                 << std::flush;
@@ -156,7 +153,7 @@ int main(int argc, char** argv) {
       row.name = plan.prefix + std::to_string(n);
       // The paper's '-' zone: basic/addition are known to blow past the
       // timeout; only contraction is attempted.
-      row.contraction = run_cell(plan.family, n, 2, timeout_s);
+      row.contraction = run_cell(plan.family, n, "contraction:4,4", timeout_s);
       std::cout << pad_right(row.name, 12) << fmt(Cell{}) << fmt(Cell{})
                 << fmt(row.contraction) << "\n"
                 << std::flush;

@@ -15,7 +15,7 @@
 
 #include "common/strings.hpp"
 #include "common/timer.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/workloads.hpp"
 
 int main(int argc, char** argv) {
@@ -56,15 +56,21 @@ int main(int argc, char** argv) {
   for (std::uint32_t k1 = 1; k1 <= kmax; ++k1) {
     std::cout << pad_right(std::to_string(k1), 7);
     for (std::uint32_t k2 = 1; k2 <= kmax; ++k2) {
+      ExecutionContext ctx;
+      ctx.set_deadline(Deadline::after(timeout_s));
       tdd::Manager mgr;
+      mgr.bind_context(&ctx);
       const TransitionSystem sys =
           primitive ? make_grover_system(mgr, n) : make_grover_decomposed_system(mgr, n);
-      ContractionImage computer(mgr, k1, k2);
-      computer.set_deadline(Deadline::after(timeout_s));
+      EngineSpec spec;
+      spec.method = "contraction";
+      spec.k1 = k1;
+      spec.k2 = k2;
+      const auto computer = make_engine(mgr, spec, &ctx);
       std::optional<double> secs;
       try {
         WallTimer timer;
-        (void)computer.image(sys, sys.initial);
+        (void)computer->image(sys, sys.initial);
         secs = timer.seconds();
       } catch (const DeadlineExceeded&) {
         secs = std::nullopt;

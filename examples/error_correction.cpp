@@ -7,7 +7,7 @@
 /// states pass through untouched.
 #include <iostream>
 
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/workloads.hpp"
 
 int main() {
@@ -15,14 +15,14 @@ int main() {
 
   tdd::Manager mgr;
   const TransitionSystem sys = make_bitflip_code_system(mgr);
-  ContractionImage computer(mgr, /*k1=*/3, /*k2=*/2);  // the Fig. 3 cut
+  const auto computer = make_engine(mgr, "contraction:3,2");  // the Fig. 3 cut
 
   std::cout << "Bit-flip code transition system: 3 data + 3 syndrome qubits, "
             << sys.operations.size() << " measurement branches\n\n";
 
   // 1. All single-error corrupted codewords are driven to |000⟩|000⟩.
   const Subspace errors = sys.initial;
-  const Subspace corrected = computer.image(sys, errors);
+  const Subspace corrected = computer->image(sys, errors);
   std::cout << "image(span{|100>,|010>,|001>} (x) |000>) has dimension " << corrected.dim()
             << "\n";
   std::cout << "  contains |000000>: "
@@ -31,14 +31,14 @@ int main() {
   // 2. Encoded logical states are preserved.
   const Subspace logical = Subspace::from_states(
       mgr, 6, {ket_basis(mgr, 6, 0b000000), ket_basis(mgr, 6, 0b111000)});
-  const Subspace after = computer.image(sys, logical);
+  const Subspace after = computer->image(sys, logical);
   std::cout << "image(logical code space) == logical code space: "
             << (after.same_subspace(logical) ? "yes" : "no") << "\n\n";
 
   // 3. A two-bit error is NOT corrected — the image leaves the code space.
   const Subspace double_error =
       Subspace::from_states(mgr, 6, {ket_basis(mgr, 6, 0b110000)});
-  const Subspace wrong = computer.image(sys, double_error);
+  const Subspace wrong = computer->image(sys, double_error);
   std::cout << "image(|110000>) inside code space: "
             << (wrong.contains(ket_basis(mgr, 6, 0)) && wrong.dim() == 1 ? "yes" : "no")
             << "  (expected: no — the code only handles single flips)\n";

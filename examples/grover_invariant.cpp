@@ -7,7 +7,7 @@
 #include <memory>
 
 #include "common/strings.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/reachability.hpp"
 #include "qts/workloads.hpp"
 
@@ -21,15 +21,10 @@ int main(int argc, char** argv) {
             << pad_right("time[s]", 10) << "peak nodes\n";
 
   for (std::uint32_t n = 3; n <= max_n; n += 3) {
-    for (int algo = 0; algo < 3; ++algo) {
+    for (const char* engine : {"basic", "addition:1", "contraction:4,4"}) {
       tdd::Manager mgr;
       const TransitionSystem sys = make_grover_system(mgr, n);
-      std::unique_ptr<ImageComputer> computer;
-      switch (algo) {
-        case 0: computer = std::make_unique<BasicImage>(mgr); break;
-        case 1: computer = std::make_unique<AdditionImage>(mgr, 1); break;
-        default: computer = std::make_unique<ContractionImage>(mgr, 4, 4); break;
-      }
+      const auto computer = make_engine(mgr, engine);
       const auto result = check_invariant(*computer, sys, sys.initial, 4);
       std::cout << pad_right(std::to_string(n), 5) << pad_right(computer->name(), 14)
                 << pad_right(result.holds ? "holds" : "VIOLATED", 11)

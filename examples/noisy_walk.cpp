@@ -6,7 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/reachability.hpp"
 #include "qts/workloads.hpp"
 
@@ -19,13 +19,13 @@ int main(int argc, char** argv) {
   for (const bool noisy : {false, true}) {
     tdd::Manager mgr;
     const TransitionSystem sys = make_qrw_system(mgr, n, 0.25, noisy, 0);
-    ContractionImage computer(mgr, 4, 4);
+    const auto computer = make_engine(mgr, "contraction:4,4");
 
     std::cout << (noisy ? "noisy" : "noiseless") << " walk on a " << (1u << (n - 1))
               << "-cycle:\n  step 0: dim = " << sys.initial.dim() << "\n";
     Subspace current = sys.initial;
     for (int step = 1; step <= 8; ++step) {
-      Subspace next = computer.image(sys, current);
+      Subspace next = computer->image(sys, current);
       // Accumulate (reachability would do the same; here we show the growth).
       for (const auto& v : current.basis()) next.add_state(v);
       std::cout << "  step " << step << ": dim = " << next.dim() << "\n";
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       }
       current = std::move(next);
     }
-    const auto reach = reachable_space(computer, sys, 64);
+    const auto reach = reachable_space(*computer, sys, 64);
     std::cout << "  reachable subspace dimension: " << reach.space.dim() << " (of "
               << (1u << n) << "), converged = " << (reach.converged ? "yes" : "no")
               << ", image steps = " << reach.iterations << "\n\n";

@@ -1,0 +1,8 @@
+// Diagonal circuit: every computational basis state is an eigenstate, so
+// span{|00>} is an invariant — `qtsmc invar` reports HOLDS (exit 0).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+z q[0];
+cz q[0], q[1];
+t q[1];

@@ -5,7 +5,7 @@
 /// the three algorithms, and dump the Fig. 1 projector TDD as Graphviz DOT.
 #include <iostream>
 
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/workloads.hpp"
 #include "tdd/dot.hpp"
 
@@ -22,13 +22,10 @@ int main() {
             << "Projector TDD nodes (Fig. 1): " << tdd::node_count(sys.initial.projector())
             << "\n\n";
 
-  // The three image computation algorithms of the paper.
-  BasicImage basic(mgr);
-  AdditionImage addition(mgr, /*k=*/1);
-  ContractionImage contraction(mgr, /*k1=*/2, /*k2=*/2);
-
-  for (ImageComputer* computer :
-       std::initializer_list<ImageComputer*>{&basic, &addition, &contraction}) {
+  // The three image computation algorithms of the paper, via the engine
+  // factory (the spec strings are what qtsmc --engine accepts too).
+  for (const char* spec : {"basic", "addition:1", "contraction:2,2"}) {
+    const auto computer = make_engine(mgr, spec);
     const Subspace img = computer->image(sys, sys.initial);
     std::cout << computer->name() << ": image dimension = " << img.dim()
               << ", invariant holds = " << (img.same_subspace(sys.initial) ? "yes" : "no")

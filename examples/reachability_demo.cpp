@@ -10,7 +10,7 @@
 #include "circuit/generators.hpp"
 #include "common/error.hpp"
 #include "circuit/qasm.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/reachability.hpp"
 #include "qts/workloads.hpp"
 
@@ -42,16 +42,16 @@ int main(int argc, char** argv) {
                        Subspace::from_states(mgr, n, {ket_basis(mgr, n, 0)}),
                        {QuantumOperation{"step", {circuit}}}};
 
-  ContractionImage computer(mgr, 4, 4);
-  const auto result = reachable_space(computer, sys, 128);
+  const auto computer = make_engine(mgr, "contraction:4,4");
+  const auto result = reachable_space(*computer, sys, 128);
 
   std::cout << "circuit:   " << source << "  (" << n << " qubits, " << circuit.size()
             << " gates)\n"
             << "reachable: dimension " << result.space.dim() << " of " << (1ull << n) << "\n"
             << "converged: " << (result.converged ? "yes" : "no") << " after "
             << result.iterations << " image steps\n"
-            << "peak TDD:  " << computer.stats().peak_nodes << " nodes, "
-            << computer.stats().seconds << " s in image computation\n";
+            << "peak TDD:  " << computer->stats().peak_nodes << " nodes, "
+            << computer->stats().seconds << " s in image computation\n";
 
   std::cout << "reachable-basis states (dense amplitudes, up to 4 qubits):\n";
   if (n <= 4) {

@@ -8,6 +8,7 @@
 
 #include "circuit/generators.hpp"
 #include "qts/backward.hpp"
+#include "qts/engine.hpp"
 #include "qts/properties.hpp"
 #include "qts/reachability.hpp"
 #include "qts/workloads.hpp"
@@ -19,13 +20,13 @@ int main() {
 
   // System: repeated noisy quantum-walk steps on an 8-cycle from |0⟩|000⟩.
   const TransitionSystem sys = make_qrw_system(mgr, 4, 0.2, /*noisy=*/true, 0);
-  ContractionImage computer(mgr, 2, 2);
+  const auto computer = make_engine(mgr, "contraction:2,2");
 
   // φ1: "the walker can eventually stand on position 4".
   Subspace at4(mgr, 4);
   at4.add_state(ket_basis(mgr, 4, 4));      // coin 0
   at4.add_state(ket_basis(mgr, 4, 8 + 4));  // coin 1
-  const auto ef = eventually_reaches(computer, sys, at4, 32);
+  const auto ef = eventually_reaches(*computer, sys, at4, 32);
   std::cout << "EF(position = 4): " << (ef.possible ? "possible" : "impossible") << " after "
             << ef.iterations << " image steps\n";
 
@@ -36,14 +37,14 @@ int main() {
     even.add_state(ket_basis(mgr, 4, pos));
     even.add_state(ket_basis(mgr, 4, 8 + pos));
   }
-  const auto ag = check_invariant(computer, sys, even, 32);
+  const auto ag = check_invariant(*computer, sys, even, 32);
   std::cout << "AG(position even):  " << (ag.holds ? "holds" : "violated") << " at step "
             << ag.iterations << "\n";
 
   // φ3: which states can reach "position 0, coin 0" in up to 8 steps?
   Subspace home(mgr, 4);
   home.add_state(ket_basis(mgr, 4, 0));
-  const auto back = backward_reachable(computer, sys, home, 8);
+  const auto back = backward_reachable(*computer, sys, home, 8);
   std::cout << "pre^8(|0,0>):       dimension " << back.space.dim() << " of 16\n";
 
   // Lattice operations on propositions: meet of "position in {0,1}" and

@@ -1,0 +1,11 @@
+#include "common/execution_context.hpp"
+
+namespace qts {
+
+double hit_rate_pct(std::size_t hits, std::size_t misses) {
+  const std::size_t total = hits + misses;
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace qts

@@ -1,0 +1,96 @@
+/// \file execution_context.hpp
+/// The single run-control spine threaded through every engine layer.
+///
+/// One ExecutionContext travels with a computation through the TDD manager,
+/// the tensor-network contractor, the image computers and the fixpoint
+/// loops, so every engine reports wall-clock time, peak TDD size, cache
+/// effectiveness and deadline state through one object instead of the
+/// historical trio of ImageStats / PeakStats / Manager::CacheStats.
+#pragma once
+
+#include <cstddef>
+
+#include "common/timer.hpp"
+
+namespace qts {
+
+/// Aggregated counters for one run.  `peak_nodes` is the paper's "max
+/// #node": the largest TDD observed at any point of the computation,
+/// including pre-contracted operators and intermediate contractions.
+struct RunStats {
+  double seconds = 0.0;               ///< wall-clock spent in timed regions
+  std::size_t peak_nodes = 0;         ///< largest single TDD seen (paper's "max #node")
+  std::size_t kraus_applications = 0; ///< Kraus-operator applications to basis kets
+  std::size_t gc_runs = 0;            ///< mark-sweep collections triggered
+
+  // TDD manager cache counters (unique table / add cache / cont cache).
+  std::size_t unique_hits = 0;
+  std::size_t unique_misses = 0;
+  std::size_t add_hits = 0;
+  std::size_t add_misses = 0;
+  std::size_t cont_hits = 0;
+  std::size_t cont_misses = 0;
+};
+
+/// hits / (hits + misses) as a percentage; 0 when no lookups happened.
+double hit_rate_pct(std::size_t hits, std::size_t misses);
+
+/// Run-control state shared by every layer of an engine: a cooperative
+/// wall-clock deadline, the aggregated RunStats, and the GC policy for
+/// long-running fixpoint loops.  Single-threaded, like the tdd::Manager it
+/// usually rides along with; use one per engine.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+
+  // -- deadline -------------------------------------------------------------
+
+  void set_deadline(const Deadline& d) { deadline_ = d; }
+  [[nodiscard]] const Deadline& deadline() const { return deadline_; }
+  [[nodiscard]] bool deadline_expired() const { return deadline_.expired(); }
+
+  /// Throws DeadlineExceeded when the budget is spent.
+  void check_deadline() const { deadline_.check(); }
+
+  // -- statistics -----------------------------------------------------------
+
+  [[nodiscard]] RunStats& stats() { return stats_; }
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = RunStats{}; }
+
+  void record_peak(std::size_t nodes) {
+    if (nodes > stats_.peak_nodes) stats_.peak_nodes = nodes;
+  }
+  void add_seconds(double s) { stats_.seconds += s; }
+
+  // -- GC policy ------------------------------------------------------------
+
+  /// When non-zero, fixpoint loops run a mark-sweep GC whenever the
+  /// manager's live node count exceeds this threshold (roots: the live
+  /// subspaces plus the engine's prepared operators).
+  void set_gc_threshold_nodes(std::size_t n) { gc_threshold_nodes_ = n; }
+  [[nodiscard]] std::size_t gc_threshold_nodes() const { return gc_threshold_nodes_; }
+
+ private:
+  Deadline deadline_;
+  RunStats stats_;
+  std::size_t gc_threshold_nodes_ = 0;
+};
+
+/// RAII region timer: adds the scope's wall-clock time to the context's
+/// `stats().seconds` (null context: no-op).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ExecutionContext* ctx) : ctx_(ctx) {}
+  ~ScopedTimer() {
+    if (ctx_ != nullptr) ctx_->add_seconds(timer_.seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  ExecutionContext* ctx_;
+  WallTimer timer_;
+};
+
+}  // namespace qts

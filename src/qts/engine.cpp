@@ -1,0 +1,125 @@
+#include "qts/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qts {
+
+namespace {
+
+/// Strict unsigned parse: the whole piece must be digits.
+std::size_t parse_count(std::string_view piece, const std::string& spec) {
+  if (piece.empty() || piece.find_first_not_of("0123456789") != std::string_view::npos) {
+    throw InvalidArgument("engine spec '" + spec + "': expected a number, got '" +
+                          std::string(piece) + "'");
+  }
+  try {
+    return std::stoull(std::string(piece));
+  } catch (const std::out_of_range&) {
+    throw InvalidArgument("engine spec '" + spec + "': parameter out of range");
+  }
+}
+
+std::map<std::string, EngineFactory>& registry() {
+  static std::map<std::string, EngineFactory> factories = [] {
+    std::map<std::string, EngineFactory> m;
+    m["basic"] = [](tdd::Manager& mgr, const EngineSpec&, ExecutionContext* ctx) {
+      return std::make_unique<BasicImage>(mgr, ctx);
+    };
+    m["addition"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
+      return std::make_unique<AdditionImage>(mgr, spec.k, ctx);
+    };
+    m["contraction"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
+      return std::make_unique<ContractionImage>(mgr, spec.k1, spec.k2, ctx);
+    };
+    return m;
+  }();
+  return factories;
+}
+
+}  // namespace
+
+EngineSpec EngineSpec::parse(const std::string& text) {
+  const std::string_view trimmed = trim(text);
+  const auto colon = trimmed.find(':');
+  EngineSpec spec;
+  spec.method = std::string(trimmed.substr(0, colon));
+  if (colon != std::string_view::npos) spec.args = std::string(trimmed.substr(colon + 1));
+  require(!spec.method.empty(), "engine spec '" + text + "': empty method name");
+  require(colon == std::string_view::npos || !spec.args.empty(),
+          "engine spec '" + text + "': trailing ':' without parameters");
+
+  if (spec.method == "basic") {
+    require(spec.args.empty(), "engine spec '" + text + "': basic takes no parameters");
+  } else if (spec.method == "addition") {
+    if (!spec.args.empty()) {
+      spec.k = parse_count(spec.args, text);
+      require(spec.k >= 1, "engine spec '" + text + "': addition needs k >= 1");
+    }
+  } else if (spec.method == "contraction") {
+    if (!spec.args.empty()) {
+      const auto parts = split(spec.args, ",");
+      require(parts.size() == 2 && spec.args.find(",,") == std::string::npos &&
+                  spec.args.front() != ',' && spec.args.back() != ',',
+              "engine spec '" + text + "': contraction takes k1,k2");
+      spec.k1 = static_cast<std::uint32_t>(parse_count(parts[0], text));
+      spec.k2 = static_cast<std::uint32_t>(parse_count(parts[1], text));
+      require(spec.k1 >= 1 && spec.k2 >= 1,
+              "engine spec '" + text + "': contraction needs k1, k2 >= 1");
+    }
+  }
+  // Unknown methods keep their raw args; make_engine rejects them unless a
+  // factory was registered.
+  return spec;
+}
+
+std::string EngineSpec::to_string() const {
+  if (method == "basic") return method;
+  if (method == "addition") return method + ":" + std::to_string(k);
+  if (method == "contraction") {
+    return method + ":" + std::to_string(k1) + "," + std::to_string(k2);
+  }
+  return args.empty() ? method : method + ":" + args;
+}
+
+bool register_engine(const std::string& method, EngineFactory factory) {
+  require(!method.empty() && method.find(':') == std::string::npos,
+          "engine method names must be non-empty and colon-free");
+  auto& factories = registry();
+  const bool replaced = factories.count(method) != 0;
+  factories[method] = std::move(factory);
+  return replaced;
+}
+
+std::vector<std::string> registered_engines() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+std::unique_ptr<ImageComputer> make_engine(tdd::Manager& mgr, const EngineSpec& spec,
+                                           ExecutionContext* ctx) {
+  const auto& factories = registry();
+  const auto it = factories.find(spec.method);
+  if (it == factories.end()) {
+    std::string known;
+    for (const auto& name : registered_engines()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw InvalidArgument("unknown engine '" + spec.method + "' (registered: " + known + ")");
+  }
+  return it->second(mgr, spec, ctx);
+}
+
+std::unique_ptr<ImageComputer> make_engine(tdd::Manager& mgr, const std::string& spec,
+                                           ExecutionContext* ctx) {
+  return make_engine(mgr, EngineSpec::parse(spec), ctx);
+}
+
+}  // namespace qts

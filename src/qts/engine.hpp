@@ -1,0 +1,67 @@
+/// \file engine.hpp
+/// Engine factory and registry: one seam through which every tool, bench,
+/// example and test constructs an image computation engine.
+///
+/// An engine is named by a compact spec string:
+///
+///   "basic"                the §IV-C monolithic-operator algorithm
+///   "addition:k"           the §V-A addition partition with k sliced indices
+///   "contraction:k1,k2"    the §V-B contraction partition with cut (k1, k2)
+///
+/// ("addition" and "contraction" without parameters use the defaults below.)
+/// Later backends (statevector cross-check, parallel contraction, ...) plug
+/// in through register_engine without touching any call site.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qts/image.hpp"
+
+namespace qts {
+
+/// Parsed engine specification.  `method` selects the registered factory;
+/// the numeric parameters carry the method's tuning knobs; `args` keeps the
+/// raw text after the first ':' for custom registered engines with their own
+/// parameter syntax.
+struct EngineSpec {
+  std::string method = "contraction";
+  std::size_t k = 1;       ///< addition: number of sliced indices
+  std::uint32_t k1 = 4;    ///< contraction: qubit band height
+  std::uint32_t k2 = 4;    ///< contraction: crossings per vertical cut
+  std::string args;        ///< raw parameter text (custom engines)
+
+  /// Parse "basic" | "addition[:k]" | "contraction[:k1,k2]" | "name[:args]"
+  /// for registered custom engines.  Throws InvalidArgument on malformed
+  /// input (unknown built-in parameter shapes, non-numeric or zero counts).
+  static EngineSpec parse(const std::string& text);
+
+  /// Canonical spec string; parse(to_string()) round-trips.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Factory signature: build an engine on `mgr`, reporting through `ctx`
+/// (nullptr = the engine's private context).
+using EngineFactory =
+    std::function<std::unique_ptr<ImageComputer>(tdd::Manager&, const EngineSpec&,
+                                                 ExecutionContext*)>;
+
+/// Register (or replace) a factory under `method`.  The three built-ins are
+/// pre-registered.  Returns true if a previous registration was replaced.
+bool register_engine(const std::string& method, EngineFactory factory);
+
+/// Sorted names of every registered engine method.
+std::vector<std::string> registered_engines();
+
+/// Construct the engine described by `spec`.  Throws InvalidArgument for an
+/// unregistered method.
+std::unique_ptr<ImageComputer> make_engine(tdd::Manager& mgr, const EngineSpec& spec,
+                                           ExecutionContext* ctx = nullptr);
+
+/// Convenience: parse + construct in one call.
+std::unique_ptr<ImageComputer> make_engine(tdd::Manager& mgr, const std::string& spec,
+                                           ExecutionContext* ctx = nullptr);
+
+}  // namespace qts

@@ -10,34 +10,32 @@ using tdd::Edge;
 using tdd::Level;
 
 Subspace ImageComputer::image(const QuantumOperation& op, const Subspace& s) {
-  WallTimer timer;
+  ScopedTimer timer(ctx_);
   Subspace out(mgr_, s.num_qubits());
   for (const auto& kraus : op.kraus) {
     const Prepared& prep = prepared_for(kraus);
     for (const auto& b : s.basis()) {
-      deadline_.check();
+      ctx_->check_deadline();
       const Edge phi = apply(prep, b, s.num_qubits());
-      peak_.record(phi);
-      ++stats_.kraus_applications;
+      tdd::record_peak(ctx_, phi);
+      ++ctx_->stats().kraus_applications;
       out.add_state(phi);
-      peak_.record(out.projector());
+      tdd::record_peak(ctx_, out.projector());
     }
   }
-  stats_.seconds += timer.seconds();
-  stats_.peak_nodes = peak_.peak_nodes;
   return out;
 }
 
 Subspace ImageComputer::image(const TransitionSystem& sys, const Subspace& s) {
-  WallTimer timer;
+  // image(op, s) accounts its own time; the ScopedTimer here adds the join
+  // cost on top of the per-op time.
   Subspace out(mgr_, s.num_qubits());
   for (const auto& op : sys.operations) {
     const Subspace part = image(op, s);
+    ScopedTimer timer(ctx_);
     out.join(part);
-    peak_.record(out.projector());
+    tdd::record_peak(ctx_, out.projector());
   }
-  stats_.seconds += timer.seconds();  // join cost on top of per-op time
-  stats_.peak_nodes = peak_.peak_nodes;
   return out;
 }
 
@@ -72,7 +70,7 @@ Edge ImageComputer::push_through(const tn::CircuitNetwork& net,
     std::vector<Level> keep = net.outputs;
     std::sort(keep.begin(), keep.end());
     keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
-    tn::Tensor out = tn::contract_network(mgr_, tensors, keep, &peak_, &deadline_);
+    tn::Tensor out = tn::contract_network(mgr_, tensors, keep, ctx_);
     result = mgr_.rename(out.edge, tn::output_to_state_map(net));
   }
   return mgr_.scale(result, net.factor);
@@ -95,7 +93,7 @@ std::unique_ptr<ImageComputer::Prepared> BasicImage::prepare(const circ::Circuit
   mono->net = tn::build_network(mgr_, kraus);
   if (!mono->net.tensors.empty()) {
     const auto keep = mono->net.external_indices();
-    mono->op.push_back(tn::contract_network(mgr_, mono->net.tensors, keep, &peak_, &deadline_));
+    mono->op.push_back(tn::contract_network(mgr_, mono->net.tensors, keep, ctx_));
   }
   mono->net.tensors.clear();
   return mono;
@@ -125,8 +123,8 @@ std::unique_ptr<ImageComputer::Prepared> AdditionImage::prepare(const circ::Circ
     const auto part = tn::addition_partition(mgr_, out->net, k_);
     const auto keep = out->net.external_indices();
     for (const auto& slice : part.slices) {
-      deadline_.check();
-      out->parts.push_back(tn::contract_network(mgr_, slice.tensors, keep, &peak_, &deadline_));
+      ctx_->check_deadline();
+      out->parts.push_back(tn::contract_network(mgr_, slice.tensors, keep, ctx_));
     }
   }
   out->net.tensors.clear();
@@ -140,10 +138,10 @@ Edge AdditionImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) 
   // independently and the (already renamed) results are accumulated.
   Edge acc = mgr_.zero();
   for (const auto& part : pp.parts) {
-    deadline_.check();
+    ctx_->check_deadline();
     const Edge contribution = push_through(pp.net, {part}, ket);
     acc = mgr_.add(acc, contribution);
-    peak_.record(acc);
+    tdd::record_peak(ctx_, acc);
   }
   return acc;
 }
@@ -164,7 +162,7 @@ std::unique_ptr<ImageComputer::Prepared> ContractionImage::prepare(const circ::C
   auto out = std::make_unique<Blocks>();
   out->net = tn::build_network(mgr_, kraus);
   if (!out->net.tensors.empty()) {
-    const auto blocks = tn::contraction_partition(mgr_, out->net, k1_, k2_, &peak_, &deadline_);
+    const auto blocks = tn::contraction_partition(mgr_, out->net, k1_, k2_, ctx_);
     for (const auto& b : blocks) out->blocks.push_back(b.tensor);
   }
   out->net.tensors.clear();

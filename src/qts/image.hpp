@@ -20,7 +20,7 @@
 #include <string>
 #include <unordered_map>
 
-#include "common/timer.hpp"
+#include "common/execution_context.hpp"
 #include "qts/system.hpp"
 #include "tn/circuit_tensors.hpp"
 #include "tn/contract.hpp"
@@ -28,19 +28,14 @@
 
 namespace qts {
 
-/// Statistics for the most recent sequence of image computations (reset via
-/// reset_stats()).  `peak_nodes` is the paper's "max #node": the largest
-/// TDD produced at any point, including the pre-contracted operators.
-struct ImageStats {
-  double seconds = 0.0;
-  std::size_t peak_nodes = 0;
-  std::size_t kraus_applications = 0;
-};
-
-/// Common machinery for the three algorithms.
+/// Common machinery for the three algorithms.  Every computer reports time,
+/// peak #node, cache behaviour and deadline state through one
+/// ExecutionContext: either an external one passed at construction (shared
+/// with a fixpoint loop or a whole pipeline) or a private default.
 class ImageComputer {
  public:
-  explicit ImageComputer(tdd::Manager& mgr) : mgr_(mgr) {}
+  explicit ImageComputer(tdd::Manager& mgr, ExecutionContext* ctx = nullptr)
+      : mgr_(mgr), ctx_(ctx != nullptr ? ctx : &own_ctx_) {}
   virtual ~ImageComputer() = default;
   ImageComputer(const ImageComputer&) = delete;
   ImageComputer& operator=(const ImageComputer&) = delete;
@@ -53,11 +48,18 @@ class ImageComputer {
   /// T(S) = ⋁_σ T_σ(S) over every operation of the system.
   Subspace image(const TransitionSystem& sys, const Subspace& s);
 
-  /// Cooperative wall-clock budget; DeadlineExceeded is thrown when spent.
-  void set_deadline(const Deadline& d) { deadline_ = d; }
+  /// The run-control spine this computer reports through.
+  [[nodiscard]] ExecutionContext& context() const { return *ctx_; }
 
-  [[nodiscard]] const ImageStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = ImageStats{}; }
+  /// Point the computer at a different spine (nullptr restores the private
+  /// default).  Does not rebind the manager.
+  void set_context(ExecutionContext* ctx) { ctx_ = ctx != nullptr ? ctx : &own_ctx_; }
+
+  /// Cooperative wall-clock budget; DeadlineExceeded is thrown when spent.
+  void set_deadline(const Deadline& d) { ctx_->set_deadline(d); }
+
+  [[nodiscard]] const RunStats& stats() const { return ctx_->stats(); }
+  void reset_stats() { ctx_->reset_stats(); }
 
   /// Drop cached pre-contracted operators (they key on Circuit addresses,
   /// so call this if a system's circuits are destroyed or mutated).
@@ -93,9 +95,8 @@ class ImageComputer {
   const Prepared& prepared_for(const circ::Circuit& kraus);
 
   tdd::Manager& mgr_;
-  Deadline deadline_;
-  ImageStats stats_;
-  tn::PeakStats peak_;
+  ExecutionContext own_ctx_;
+  ExecutionContext* ctx_;
 
  private:
   std::unordered_map<const circ::Circuit*, std::unique_ptr<Prepared>> prepared_;
@@ -116,7 +117,8 @@ class BasicImage final : public ImageComputer {
 /// §V-A: addition partition with k sliced indices (2^k parts).
 class AdditionImage final : public ImageComputer {
  public:
-  AdditionImage(tdd::Manager& mgr, std::size_t k) : ImageComputer(mgr), k_(k) {}
+  AdditionImage(tdd::Manager& mgr, std::size_t k, ExecutionContext* ctx = nullptr)
+      : ImageComputer(mgr, ctx), k_(k) {}
   [[nodiscard]] std::string name() const override { return "addition"; }
   [[nodiscard]] std::size_t k() const { return k_; }
 
@@ -132,8 +134,9 @@ class AdditionImage final : public ImageComputer {
 /// §V-B: contraction partition with parameters (k1, k2).
 class ContractionImage final : public ImageComputer {
  public:
-  ContractionImage(tdd::Manager& mgr, std::uint32_t k1, std::uint32_t k2)
-      : ImageComputer(mgr), k1_(k1), k2_(k2) {}
+  ContractionImage(tdd::Manager& mgr, std::uint32_t k1, std::uint32_t k2,
+                   ExecutionContext* ctx = nullptr)
+      : ImageComputer(mgr, ctx), k1_(k1), k2_(k2) {}
   [[nodiscard]] std::string name() const override { return "contraction"; }
   [[nodiscard]] std::uint32_t k1() const { return k1_; }
   [[nodiscard]] std::uint32_t k2() const { return k2_; }

@@ -15,11 +15,6 @@ bool extend(Subspace& acc, const Subspace& extra) {
 
 }  // namespace
 
-ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
-                                   std::size_t max_iterations) {
-  return reachable_space(computer, sys, ReachabilityOptions{.max_iterations = max_iterations});
-}
-
 namespace {
 
 /// Mark-sweep over everything the loop still needs.
@@ -39,9 +34,9 @@ void collect_and_gc(ImageComputer& computer, const TransitionSystem& sys, const 
 }  // namespace
 
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
-                                   const ReachabilityOptions& options) {
-  const std::size_t max_iterations = options.max_iterations;
+                                   std::size_t max_iterations) {
   sys.validate();
+  ExecutionContext& ctx = computer.context();
   Subspace acc = sys.initial;
   Subspace frontier = sys.initial;
   std::size_t iters = 0;
@@ -49,8 +44,9 @@ ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSyst
                                                         : (std::size_t{1} << sys.num_qubits);
   while (iters < max_iterations && acc.dim() < full_dim_cap) {
     ++iters;
-    if (options.gc_threshold_nodes != 0 &&
-        computer.manager().live_nodes() > options.gc_threshold_nodes) {
+    ctx.check_deadline();
+    if (ctx.gc_threshold_nodes() != 0 &&
+        computer.manager().live_nodes() > ctx.gc_threshold_nodes()) {
       collect_and_gc(computer, sys, acc, frontier);
     }
     // Imaging only the frontier is sound because T(A ∨ B) = T(A) ∨ T(B)
@@ -86,6 +82,7 @@ InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem&
   Subspace acc = sys.initial;
   Subspace frontier = sys.initial;
   for (std::size_t i = 1; i <= max_iterations; ++i) {
+    computer.context().check_deadline();
     const Subspace next = computer.image(sys, frontier);
     if (!inside(next)) return {false, i, true};
     Subspace fresh(computer.manager(), sys.num_qubits);

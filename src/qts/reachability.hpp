@@ -16,22 +16,17 @@ struct ReachabilityResult {
   bool converged;          ///< true iff a fixpoint was reached
 };
 
-struct ReachabilityOptions {
-  std::size_t max_iterations = 100;
-  /// When non-zero, run a mark-sweep GC whenever the manager's live node
-  /// count exceeds this threshold; the roots are the accumulated/frontier
-  /// subspaces, the system's initial subspace and the computer's prepared
-  /// operators, so the loop is semantically unaffected.
-  std::size_t gc_threshold_nodes = 0;
-};
-
 /// Least fixpoint of S ↦ S ∨ T(S) above the initial subspace.
+///
+/// Run control comes from the computer's ExecutionContext: its deadline is
+/// honoured between (and, via the manager, within) image steps, and when
+/// `context().gc_threshold_nodes()` is non-zero a mark-sweep GC runs
+/// whenever the manager's live node count exceeds the threshold — the roots
+/// are the accumulated/frontier subspaces, the system's initial subspace
+/// and the computer's prepared operators, so the loop is semantically
+/// unaffected.
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
                                    std::size_t max_iterations = 100);
-
-/// As above with explicit options (GC-bounded long runs).
-ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
-                                   const ReachabilityOptions& options);
 
 struct InvariantResult {
   bool holds;              ///< no reachable state leaves `invariant`

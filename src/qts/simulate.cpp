@@ -8,8 +8,7 @@
 namespace qts {
 
 tdd::Edge apply_circuit_tdd(tdd::Manager& mgr, const circ::Circuit& circuit,
-                            const tdd::Edge& ket, tn::PeakStats* stats,
-                            const Deadline* deadline) {
+                            const tdd::Edge& ket, ExecutionContext* ctx) {
   const std::uint32_t n = circuit.num_qubits();
   const tn::CircuitNetwork net = tn::build_network(mgr, circuit);
   tdd::Edge result;
@@ -23,7 +22,7 @@ tdd::Edge apply_circuit_tdd(tdd::Manager& mgr, const circ::Circuit& circuit,
     std::vector<tdd::Level> keep = net.outputs;
     std::sort(keep.begin(), keep.end());
     keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
-    const tn::Tensor out = tn::contract_network(mgr, tensors, keep, stats, deadline);
+    const tn::Tensor out = tn::contract_network(mgr, tensors, keep, ctx);
     result = mgr.rename(out.edge, tn::output_to_state_map(net));
   }
   return mgr.scale(result, net.factor);
@@ -31,8 +30,7 @@ tdd::Edge apply_circuit_tdd(tdd::Manager& mgr, const circ::Circuit& circuit,
 
 cplx amplitude(tdd::Manager& mgr, const circ::Circuit& circuit, std::uint64_t basis_index) {
   const std::uint32_t n = circuit.num_qubits();
-  const tdd::Edge out =
-      apply_circuit_tdd(mgr, circuit, ket_basis(mgr, n, 0), nullptr, nullptr);
+  const tdd::Edge out = apply_circuit_tdd(mgr, circuit, ket_basis(mgr, n, 0));
   return inner(mgr, ket_basis(mgr, n, basis_index), out, n);
 }
 

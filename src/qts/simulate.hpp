@@ -8,17 +8,16 @@
 #include <cstdint>
 
 #include "circuit/circuit.hpp"
-#include "common/timer.hpp"
+#include "common/execution_context.hpp"
 #include "tdd/manager.hpp"
 #include "tn/contract.hpp"
 
 namespace qts {
 
 /// |out⟩ = C |ket⟩ with |ket⟩ on the canonical state levels; the result is
-/// renamed back onto the state levels.  `stats`/`deadline` may be null.
+/// renamed back onto the state levels.  `ctx` may be null.
 tdd::Edge apply_circuit_tdd(tdd::Manager& mgr, const circ::Circuit& circuit,
-                            const tdd::Edge& ket, tn::PeakStats* stats = nullptr,
-                            const Deadline* deadline = nullptr);
+                            const tdd::Edge& ket, ExecutionContext* ctx = nullptr);
 
 /// Probability amplitude ⟨basis|C|0…0⟩ without expanding the state densely.
 cplx amplitude(tdd::Manager& mgr, const circ::Circuit& circuit, std::uint64_t basis_index);

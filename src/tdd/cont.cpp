@@ -39,10 +39,11 @@ Edge Manager::cont_rec(const Node* a, const Node* b, std::span<const Level> gamm
 
   ContKey key{a, b, pos};
   if (auto it = cache.find(key); it != cache.end()) {
-    ++cache_stats_.cont_hits;
+    if (ctx_ != nullptr) ++ctx_->stats().cont_hits;
     return it->second;
   }
-  ++cache_stats_.cont_misses;
+  if (ctx_ != nullptr) ++ctx_->stats().cont_misses;
+  tick();
 
   const Level la = (a == nullptr) ? kTermLevel : a->level();
   const Level lb = (b == nullptr) ? kTermLevel : b->level();

@@ -39,10 +39,10 @@ std::size_t Manager::ContKeyHash::operator()(const ContKey& k) const {
 const Node* Manager::intern(Level level, const Edge& low, const Edge& high) {
   NodeKey key{level, low.node, high.node, bucketed(low.weight), bucketed(high.weight)};
   if (auto it = unique_.find(key); it != unique_.end()) {
-    ++cache_stats_.unique_hits;
+    if (ctx_ != nullptr) ++ctx_->stats().unique_hits;
     return it->second;
   }
-  ++cache_stats_.unique_misses;
+  if (ctx_ != nullptr) ++ctx_->stats().unique_misses;
   Node* n;
   if (!free_.empty()) {
     n = free_.back();
@@ -141,10 +141,11 @@ Edge Manager::add_norm(const Node* a, const Node* b, const cplx& ratio) {
   }
   AddKey key{a, b, bucketed(ratio)};
   if (auto it = add_cache_.find(key); it != add_cache_.end()) {
-    ++cache_stats_.add_hits;
+    if (ctx_ != nullptr) ++ctx_->stats().add_hits;
     return it->second;
   }
-  ++cache_stats_.add_misses;
+  if (ctx_ != nullptr) ++ctx_->stats().add_misses;
+  tick();
 
   const Level la = (a == nullptr) ? kTermLevel : a->level();
   const Level lb = (b == nullptr) ? kTermLevel : b->level();
@@ -174,6 +175,7 @@ void Manager::mark(const Node* n, std::uint64_t epoch) const {
 }
 
 std::size_t Manager::gc(std::span<const Edge> roots) {
+  if (ctx_ != nullptr) ++ctx_->stats().gc_runs;
   const std::uint64_t epoch = ++gc_epoch_;
   for (const Edge& r : roots) mark(r.node, epoch);
 

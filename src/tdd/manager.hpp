@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/complex.hpp"
+#include "common/execution_context.hpp"
 #include "tdd/node.hpp"
 
 namespace qts::tdd {
@@ -76,17 +77,12 @@ class Manager {
 
   // -- storage management ---------------------------------------------------
 
-  /// Operation-cache and unique-table counters (diagnostics / ablations).
-  struct CacheStats {
-    std::size_t unique_hits = 0;
-    std::size_t unique_misses = 0;
-    std::size_t add_hits = 0;
-    std::size_t add_misses = 0;
-    std::size_t cont_hits = 0;
-    std::size_t cont_misses = 0;
-  };
-  [[nodiscard]] const CacheStats& cache_stats() const { return cache_stats_; }
-  void reset_cache_stats() { cache_stats_ = CacheStats{}; }
+  /// Bind the run-control spine.  While bound, the manager reports cache
+  /// counters into `ctx->stats()` and polls the context's deadline from deep
+  /// inside long contractions/additions, so DeadlineExceeded surfaces even
+  /// when a single TDD operation dominates the run.  Pass nullptr to unbind.
+  void bind_context(ExecutionContext* ctx) { ctx_ = ctx; }
+  [[nodiscard]] ExecutionContext* context() const { return ctx_; }
 
   /// Number of live (allocated, not freed) nodes.
   [[nodiscard]] std::size_t live_nodes() const { return pool_.size() - free_.size(); }
@@ -136,6 +132,12 @@ class Manager {
   const Node* intern(Level level, const Edge& low, const Edge& high);
   void mark(const Node* n, std::uint64_t epoch) const;
 
+  /// Cooperative deadline poll for the hot recursions: cheap counter, one
+  /// real clock read every ~16k cache misses.
+  void tick() {
+    if (ctx_ != nullptr && (++tick_counter_ & 0x3FFF) == 0) ctx_->check_deadline();
+  }
+
   // Recursion helpers; see the .cpp files.
   Edge add_norm(const Node* a, const Node* b, const cplx& ratio);
   Edge cont_rec(const Node* a, const Node* b, std::span<const Level> gamma, std::size_t pos,
@@ -146,11 +148,17 @@ class Manager {
   std::unordered_map<NodeKey, const Node*, NodeKeyHash> unique_;
   std::unordered_map<AddKey, Edge, AddKeyHash> add_cache_;
   std::uint64_t gc_epoch_ = 0;
-  CacheStats cache_stats_;
+  ExecutionContext* ctx_ = nullptr;
+  std::uint64_t tick_counter_ = 0;
 };
 
 /// Number of non-terminal nodes reachable from `root` (the paper's "#node").
 std::size_t node_count(const Edge& root);
+
+/// Record the size of `e` as a peak-node candidate on `ctx` (null-safe).
+inline void record_peak(ExecutionContext* ctx, const Edge& e) {
+  if (ctx != nullptr) ctx->record_peak(node_count(e));
+}
 
 /// True if the two edges denote approximately the same tensor.  Thanks to
 /// hash-consing this is pointer equality plus a weight comparison.

@@ -15,8 +15,7 @@ Edge sum_out(tdd::Manager& mgr, const Edge& e, Level level) {
 }
 
 Tensor contract_network(tdd::Manager& mgr, const std::vector<Tensor>& tensors,
-                        const std::vector<Level>& keep, PeakStats* stats,
-                        const Deadline* deadline) {
+                        const std::vector<Level>& keep, ExecutionContext* ctx) {
   require(!tensors.empty(), "contract_network needs at least one tensor");
 
   // remaining[l] = number of NOT-yet-merged tensors whose index set mentions
@@ -27,16 +26,14 @@ Tensor contract_network(tdd::Manager& mgr, const std::vector<Tensor>& tensors,
   }
   for (Level l : keep) remaining[l] += 1;
 
-  auto record = [&](const Edge& e) {
-    if (stats != nullptr) stats->record(e);
-  };
+  auto record = [&](const Edge& e) { tdd::record_peak(ctx, e); };
 
   Tensor acc = tensors.front();
   for (Level l : acc.indices) remaining[l] -= 1;
   record(acc.edge);
 
   for (std::size_t i = 1; i < tensors.size(); ++i) {
-    if (deadline != nullptr) deadline->check();
+    if (ctx != nullptr) ctx->check_deadline();
     const Tensor& t = tensors[i];
     for (Level l : t.indices) remaining[l] -= 1;
 

@@ -5,31 +5,19 @@
 #include <cstddef>
 #include <vector>
 
-#include "common/timer.hpp"
+#include "common/execution_context.hpp"
 #include "tn/tensor.hpp"
 
 namespace qts::tn {
-
-/// Records the peak TDD size observed during a computation — the paper's
-/// "max #node" column of Table I.
-struct PeakStats {
-  std::size_t peak_nodes = 0;
-
-  void record(const tdd::Edge& e) {
-    const std::size_t n = tdd::node_count(e);
-    if (n > peak_nodes) peak_nodes = n;
-  }
-};
 
 /// Contract the tensors *in the given order* into a single tensor whose
 /// index set is exactly `keep` (sorted).  A shared index is summed out at
 /// the merge after which no remaining tensor (and not `keep`) mentions it;
 /// indices private to one tensor and absent from `keep` are summed at the
-/// end.  Records every intermediate in `stats` and honours `deadline`
-/// (either may be null).
+/// end.  Records every intermediate's size on `ctx` and honours its
+/// deadline (ctx may be null).
 Tensor contract_network(tdd::Manager& mgr, const std::vector<Tensor>& tensors,
-                        const std::vector<tdd::Level>& keep, PeakStats* stats = nullptr,
-                        const Deadline* deadline = nullptr);
+                        const std::vector<tdd::Level>& keep, ExecutionContext* ctx = nullptr);
 
 /// Σ over one index: slice at 0 and 1 and add.
 tdd::Edge sum_out(tdd::Manager& mgr, const tdd::Edge& e, tdd::Level level);

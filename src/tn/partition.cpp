@@ -50,8 +50,8 @@ AdditionPartition addition_partition(tdd::Manager& mgr, const CircuitNetwork& ne
 }
 
 std::vector<Block> contraction_partition(tdd::Manager& mgr, const CircuitNetwork& net,
-                                         std::uint32_t k1, std::uint32_t k2, PeakStats* stats,
-                                         const Deadline* deadline) {
+                                         std::uint32_t k1, std::uint32_t k2,
+                                         ExecutionContext* ctx) {
   require(k1 >= 1 && k2 >= 1, "contraction partition needs k1, k2 >= 1");
 
   // Assign every gate tensor to a (group, window) block per §V-B: groups are
@@ -117,7 +117,7 @@ std::vector<Block> contraction_partition(tdd::Manager& mgr, const CircuitNetwork
   std::vector<Block> blocks;
   blocks.reserve(by_block.size());
   for (const auto& [key, tensors] : by_block) {
-    if (deadline != nullptr) deadline->check();
+    if (ctx != nullptr) ctx->check_deadline();
     if (tensors.empty()) {
       Block b;
       b.window = key.first;
@@ -138,7 +138,7 @@ std::vector<Block> contraction_partition(tdd::Manager& mgr, const CircuitNetwork
     Block b;
     b.window = key.first;
     b.group = key.second;
-    b.tensor = contract_network(mgr, tensors, keep, stats, deadline);
+    b.tensor = contract_network(mgr, tensors, keep, ctx);
     blocks.push_back(std::move(b));
   }
   // `by_block` is already ordered by (window, group) thanks to the map key.

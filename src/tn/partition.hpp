@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/timer.hpp"
+#include "common/execution_context.hpp"
 #include "tn/circuit_tensors.hpp"
 #include "tn/contract.hpp"
 
@@ -48,10 +48,9 @@ struct Block {
 /// Cut the network into blocks per the (k1, k2) rule and pre-contract each
 /// block, keeping exactly the indices visible outside the block.  Blocks are
 /// returned ordered by (window, group) — a good contraction order for image
-/// computation.  `stats`/`deadline` may be null.
+/// computation.  `ctx` may be null.
 std::vector<Block> contraction_partition(tdd::Manager& mgr, const CircuitNetwork& net,
                                          std::uint32_t k1, std::uint32_t k2,
-                                         PeakStats* stats = nullptr,
-                                         const Deadline* deadline = nullptr);
+                                         ExecutionContext* ctx = nullptr);
 
 }  // namespace qts::tn

@@ -4,7 +4,7 @@
 #include "circuit/generators.hpp"
 #include "common/error.hpp"
 #include "common/prng.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/workloads.hpp"
 #include "test_helpers.hpp"
 #include "tn/circuit_tensors.hpp"
@@ -41,11 +41,8 @@ TEST(EdgeCases, GatelessKrausCircuitActsAsScaledIdentity) {
   xc.set_global_factor(cplx{std::sqrt(0.75), 0.0});
   QuantumOperation op{"mix", {idc, xc}};
   const Subspace s = Subspace::from_states(mgr, 2, {ket_basis(mgr, 2, 0)});
-  for (int algo = 0; algo < 3; ++algo) {
-    std::unique_ptr<ImageComputer> computer;
-    if (algo == 0) computer = std::make_unique<BasicImage>(mgr);
-    if (algo == 1) computer = std::make_unique<AdditionImage>(mgr, 1);
-    if (algo == 2) computer = std::make_unique<ContractionImage>(mgr, 1, 1);
+  for (const char* algo : {"basic", "addition:1", "contraction:1,1"}) {
+    const auto computer = make_engine(mgr, algo);
     const Subspace img = computer->image(op, s);
     EXPECT_EQ(img.dim(), 2u) << algo;
     EXPECT_TRUE(img.contains(ket_basis(mgr, 2, 0))) << algo;

@@ -9,7 +9,7 @@
 #include "circuit/generators.hpp"
 #include "common/prng.hpp"
 #include "linalg/gram_schmidt.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/workloads.hpp"
 #include "sim/circuit_matrix.hpp"
 #include "sim/statevector.hpp"
@@ -18,11 +18,12 @@
 namespace qts {
 namespace {
 
+/// Engine spec per test parameter; the parameter doubles as the test name.
 std::unique_ptr<ImageComputer> make_computer(tdd::Manager& mgr, const std::string& kind) {
-  if (kind == "basic") return std::make_unique<BasicImage>(mgr);
-  if (kind == "addition") return std::make_unique<AdditionImage>(mgr, 1);
-  if (kind == "addition2") return std::make_unique<AdditionImage>(mgr, 2);
-  return std::make_unique<ContractionImage>(mgr, 2, 2);
+  if (kind == "basic") return make_engine(mgr, "basic");
+  if (kind == "addition") return make_engine(mgr, "addition:1");
+  if (kind == "addition2") return make_engine(mgr, "addition:2");
+  return make_engine(mgr, "contraction:2,2");
 }
 
 /// Dense oracle image of a subspace under an operation.
@@ -204,12 +205,12 @@ TEST_P(CrossAlgo, AllThreeAgree) {
   s.add_state(ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << n)));
   s.add_state(ket_from_dense(mgr, n, rng.unit_vector(std::size_t{1} << n)));
 
-  BasicImage basic(mgr);
-  AdditionImage addition(mgr, 1);
-  ContractionImage contraction(mgr, 2, 3);
-  const Subspace ib = basic.image(op, s);
-  const Subspace ia = addition.image(op, s);
-  const Subspace ic = contraction.image(op, s);
+  const auto basic = make_engine(mgr, "basic");
+  const auto addition = make_engine(mgr, "addition:1");
+  const auto contraction = make_engine(mgr, "contraction:2,3");
+  const Subspace ib = basic->image(op, s);
+  const Subspace ia = addition->image(op, s);
+  const Subspace ic = contraction->image(op, s);
   EXPECT_TRUE(ib.same_subspace(ia));
   EXPECT_TRUE(ib.same_subspace(ic));
 }
@@ -224,14 +225,14 @@ INSTANTIATE_TEST_SUITE_P(WidthSeedSweep, CrossAlgo,
 
 TEST(ImageComputers, PreparedOperatorsAreReused) {
   tdd::Manager mgr;
-  BasicImage basic(mgr);
+  const auto basic = make_engine(mgr, "basic");
   const auto sys = make_ghz_system(mgr, 5);
-  (void)basic.image(sys, sys.initial);
-  const auto apps1 = basic.stats().kraus_applications;
-  (void)basic.image(sys, sys.initial);
-  EXPECT_EQ(basic.stats().kraus_applications, 2 * apps1);
-  basic.clear_prepared();  // must not break subsequent calls
-  const Subspace img = basic.image(sys, sys.initial);
+  (void)basic->image(sys, sys.initial);
+  const auto apps1 = basic->stats().kraus_applications;
+  (void)basic->image(sys, sys.initial);
+  EXPECT_EQ(basic->stats().kraus_applications, 2 * apps1);
+  basic->clear_prepared();  // must not break subsequent calls
+  const Subspace img = basic->image(sys, sys.initial);
   EXPECT_EQ(img.dim(), 1u);
 }
 

@@ -87,11 +87,9 @@ TEST(Properties, GcBoundedReachabilityMatchesPlain) {
 
   tdd::Manager mgr2;
   ContractionImage computer2(mgr2, 2, 2);
+  computer2.context().set_gc_threshold_nodes(1);  // GC every iteration — worst case
   const auto sys2 = make_qrw_system(mgr2, 3, 0.3, true, 0);
-  ReachabilityOptions opts;
-  opts.max_iterations = 40;
-  opts.gc_threshold_nodes = 1;  // GC every iteration — worst case
-  const auto gced = reachable_space(computer2, sys2, opts);
+  const auto gced = reachable_space(computer2, sys2, 40);
   EXPECT_TRUE(gced.converged);
   EXPECT_EQ(gced.space.dim(), plain.space.dim());
   EXPECT_EQ(gced.iterations, plain.iterations);

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# End-to-end contract test for the qtsmc CLI exit codes:
+#   0 success / invariant holds      1 property violated
+#   2 usage or parse error           3 timeout        4 internal error
+# Usage: qtsmc_cli_test.sh <path-to-qtsmc> <examples-dir>
+set -u
+
+QTSMC=$1
+EXAMPLES=$2
+failures=0
+
+check() {
+  local expected=$1
+  shift
+  "$@" >/dev/null 2>&1
+  local actual=$?
+  if [ "$actual" -ne "$expected" ]; then
+    echo "FAIL: expected exit $expected, got $actual: $*" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok ($expected): $*"
+  fi
+}
+
+# 0 — successful analyses, every engine spelling.
+check 0 "$QTSMC" reach --method contraction "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine contraction:2,2 --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" image --engine basic "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" back --engine addition:1 --steps 4 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --noise bitflip:0.1:0 --steps 8 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" invar "$EXAMPLES/phase_oracle.qasm"
+
+# 1 — property violated: the GHZ step leaves span{|000>}.
+check 1 "$QTSMC" invar "$EXAMPLES/ghz.qasm"
+
+# 2 — CLI and input errors.
+check 2 "$QTSMC"
+check 2 "$QTSMC" reach
+check 2 "$QTSMC" frobnicate "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --bogus-flag "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach /nonexistent/circuit.qasm
+check 2 "$QTSMC" reach --engine bogus "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine contraction:1 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --initial 01 "$EXAMPLES/ghz.qasm"   # wrong width
+check 2 "$QTSMC" reach --noise bogus:0.1:0 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --noise bitflip:0.1:99 "$EXAMPLES/ghz.qasm"
+
+# 3 — wall-clock budget exceeded.
+check 3 "$QTSMC" reach --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures qtsmc CLI check(s) failed" >&2
+  exit 1
+fi
+echo "all qtsmc CLI exit-code checks passed"

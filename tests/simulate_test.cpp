@@ -67,11 +67,10 @@ TEST(Simulate, EmptyCircuitAndFactors) {
 TEST(Simulate, DeadlineAborts) {
   tdd::Manager mgr;
   const auto c = circ::make_qft(12);
-  const Deadline expired = Deadline::after(1e-12);
-  tn::PeakStats stats;
-  EXPECT_THROW(
-      (void)apply_circuit_tdd(mgr, c, ket_basis(mgr, 12, 0), &stats, &expired),
-      DeadlineExceeded);
+  ExecutionContext ctx;
+  ctx.set_deadline(Deadline::after(1e-12));
+  EXPECT_THROW((void)apply_circuit_tdd(mgr, c, ket_basis(mgr, 12, 0), &ctx),
+               DeadlineExceeded);
 }
 
 // Proposition 1 of the paper, tested directly: T(⋁ᵢ Sᵢ) = ⋁ᵢ T(Sᵢ), and

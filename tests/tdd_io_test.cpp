@@ -71,26 +71,32 @@ TEST(TddIo, MalformedInputsThrow) {
   EXPECT_THROW((void)load_string(mgr, "qtdd v1\nnodes 0\nroot 4 1 0\n"), ParseError);
 }
 
-TEST(CacheStats, CountersAdvance) {
+TEST(CacheStats, CountersAdvanceThroughBoundContext) {
+  qts::ExecutionContext ctx;
   Manager mgr;
-  mgr.reset_cache_stats();
+  mgr.bind_context(&ctx);
   const Edge a = mgr.literal(0, cplx{1, 0}, cplx{2, 0});
   (void)mgr.literal(0, cplx{1, 0}, cplx{2, 0});  // unique-table hit
-  EXPECT_GE(mgr.cache_stats().unique_hits, 1u);
-  EXPECT_GE(mgr.cache_stats().unique_misses, 1u);
+  EXPECT_GE(ctx.stats().unique_hits, 1u);
+  EXPECT_GE(ctx.stats().unique_misses, 1u);
 
   const Edge b = mgr.literal(1, cplx{1, 0}, cplx{3, 0});
   (void)mgr.add(a, b);
   (void)mgr.add(a, b);  // add-cache hit
-  EXPECT_GE(mgr.cache_stats().add_hits, 1u);
-  EXPECT_GE(mgr.cache_stats().add_misses, 1u);
+  EXPECT_GE(ctx.stats().add_hits, 1u);
+  EXPECT_GE(ctx.stats().add_misses, 1u);
 
   const std::vector<Level> gamma{0};
   (void)mgr.contract(a, b, gamma);
-  EXPECT_GE(mgr.cache_stats().cont_misses, 1u);
+  EXPECT_GE(ctx.stats().cont_misses, 1u);
 
-  mgr.reset_cache_stats();
-  EXPECT_EQ(mgr.cache_stats().add_hits, 0u);
+  ctx.reset_stats();
+  EXPECT_EQ(ctx.stats().add_hits, 0u);
+
+  // Unbound managers count nothing.
+  mgr.bind_context(nullptr);
+  (void)mgr.add(a, b);
+  EXPECT_EQ(ctx.stats().add_hits, 0u);
 }
 
 }  // namespace

@@ -128,8 +128,8 @@ TEST(NoReuse, QftOperatorGetsBigger) {
   // network carries more intermediate indices, so the PEAK grows.
   tdd::Manager mgr;
   const auto c = circ::make_qft(8);
-  PeakStats with_stats;
-  PeakStats without_stats;
+  ExecutionContext with_stats;
+  ExecutionContext without_stats;
   {
     const auto net = build_network(mgr, c);
     (void)contract_network(mgr, net.tensors, net.external_indices(), &with_stats);
@@ -138,7 +138,7 @@ TEST(NoReuse, QftOperatorGetsBigger) {
     const auto net = build_network(mgr, c, NetworkOptions{.reuse_indices = false});
     (void)contract_network(mgr, net.tensors, net.external_indices(), &without_stats);
   }
-  EXPECT_GE(without_stats.peak_nodes, with_stats.peak_nodes);
+  EXPECT_GE(without_stats.stats().peak_nodes, with_stats.stats().peak_nodes);
 }
 
 }  // namespace

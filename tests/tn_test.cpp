@@ -188,14 +188,14 @@ TEST(ContractNetwork, RecordsPeakAndHonoursDeadline) {
   tdd::Manager mgr;
   const auto c = circ::make_qft(5);
   const auto net = build_network(mgr, c);
-  PeakStats stats;
-  (void)contract_network(mgr, net.tensors, net.external_indices(), &stats);
-  EXPECT_GT(stats.peak_nodes, 0u);
+  ExecutionContext ctx;
+  (void)contract_network(mgr, net.tensors, net.external_indices(), &ctx);
+  EXPECT_GT(ctx.stats().peak_nodes, 0u);
 
-  const Deadline expired = Deadline::after(1e-12);
-  EXPECT_THROW(
-      (void)contract_network(mgr, net.tensors, net.external_indices(), nullptr, &expired),
-      DeadlineExceeded);
+  ExecutionContext expired;
+  expired.set_deadline(Deadline::after(1e-12));
+  EXPECT_THROW((void)contract_network(mgr, net.tensors, net.external_indices(), &expired),
+               DeadlineExceeded);
 }
 
 TEST(IndexGraph, GroverFig5HighestDegrees) {

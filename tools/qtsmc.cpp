@@ -8,7 +8,9 @@
 ///   qtsmc invar  [options] circuit.qasm     check span{|0…0⟩} invariant
 ///
 /// Options:
-///   --method basic|addition|contraction   (default contraction)
+///   --engine SPEC                          engine spec: basic | addition:k |
+///                                          contraction:k1,k2 (default contraction:4,4)
+///   --method basic|addition|contraction    shorthand for --engine METHOD
 ///   --k K                                  addition slices (default 1)
 ///   --k1 K --k2 K                          contraction cut (default 4 4)
 ///   --initial BITSTRING[,BITSTRING...]     initial basis kets (default 0…0)
@@ -16,7 +18,17 @@
 ///                                          bitflip:0.1:0 or depol:0.05:2
 ///   --steps N                              fixpoint iteration cap (default 64)
 ///   --timeout S                            wall-clock budget in seconds
-///   --stats                                print TDD statistics
+///   --stats                                print run statistics (time, peak
+///                                          #node, cache hit rates, GC runs)
+///
+/// Exit codes:
+///   0  success; for `invar`, the invariant HOLDS
+///   1  property violated (`invar` found a reachable state outside the
+///      invariant subspace)
+///   2  CLI or input errors: bad flags, unknown engine, unreadable file,
+///      QASM parse failure, malformed --initial/--noise
+///   3  wall-clock budget exceeded (--timeout)
+///   4  internal error (library bug)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,20 +40,23 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "qts/backward.hpp"
-#include "qts/image.hpp"
+#include "qts/engine.hpp"
 #include "qts/reachability.hpp"
 
 namespace {
 
 using namespace qts;
 
+constexpr int kExitSuccess = 0;
+constexpr int kExitViolated = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTimeout = 3;
+constexpr int kExitInternal = 4;
+
 struct Options {
   std::string command;
   std::string path;
-  std::string method = "contraction";
-  std::size_t k = 1;
-  std::uint32_t k1 = 4;
-  std::uint32_t k2 = 4;
+  EngineSpec engine;
   std::vector<std::string> initial;
   std::vector<std::string> noise;
   std::size_t steps = 64;
@@ -53,16 +68,19 @@ struct Options {
   if (!error.empty()) std::cerr << "error: " << error << "\n";
   std::cerr <<
       R"(usage: qtsmc <image|reach|back|invar> [options] circuit.qasm
-  --method basic|addition|contraction    image algorithm (default contraction)
+  --engine SPEC                          basic | addition:k | contraction:k1,k2
+  --method basic|addition|contraction    shorthand for --engine METHOD
   --k K                                  addition-partition slices (default 1)
   --k1 K --k2 K                          contraction cut parameters (default 4 4)
   --initial BITS[,BITS...]               initial basis kets (default all zeros)
   --noise CHANNEL:P:QUBIT                bitflip|phaseflip|depol|damp channel
   --steps N                              fixpoint iteration cap (default 64)
   --timeout S                            wall-clock budget in seconds
-  --stats                                print TDD statistics
+  --stats                                print run statistics
+exit codes: 0 success/holds, 1 property violated, 2 usage or parse error,
+            3 timeout, 4 internal error
 )";
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -75,14 +93,16 @@ Options parse_args(int argc, char** argv) {
       if (i + 1 >= argc) usage("missing value for " + a);
       return argv[++i];
     };
-    if (a == "--method") {
-      opt.method = next();
+    if (a == "--engine") {
+      opt.engine = EngineSpec::parse(next());
+    } else if (a == "--method") {
+      opt.engine.method = next();
     } else if (a == "--k") {
-      opt.k = static_cast<std::size_t>(std::stoul(next()));
+      opt.engine.k = static_cast<std::size_t>(std::stoul(next()));
     } else if (a == "--k1") {
-      opt.k1 = static_cast<std::uint32_t>(std::stoul(next()));
+      opt.engine.k1 = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (a == "--k2") {
-      opt.k2 = static_cast<std::uint32_t>(std::stoul(next()));
+      opt.engine.k2 = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (a == "--initial") {
       opt.initial = split(next(), ",");
     } else if (a == "--noise") {
@@ -134,8 +154,8 @@ int main(int argc, char** argv) {
 
     std::ifstream in(opt.path);
     if (!in) {
-      std::cerr << "cannot open " << opt.path << "\n";
-      return 1;
+      std::cerr << "error: cannot open " << opt.path << "\n";
+      return kExitUsage;
     }
     std::ostringstream text;
     text << in.rdbuf();
@@ -151,7 +171,13 @@ int main(int argc, char** argv) {
       kraus = circ::apply_channel(kraus, ch, q);
     }
 
+    // One run-control spine for the whole invocation: the manager, the
+    // engine and the fixpoint loop all report through `ctx`.
+    ExecutionContext ctx;
+    if (opt.timeout_s > 0) ctx.set_deadline(Deadline::after(opt.timeout_s));
     tdd::Manager mgr;
+    mgr.bind_context(&ctx);
+
     std::vector<tdd::Edge> kets;
     if (opt.initial.empty()) {
       kets.push_back(ket_basis(mgr, n, 0));
@@ -161,23 +187,14 @@ int main(int argc, char** argv) {
     TransitionSystem sys{n, Subspace::from_states(mgr, n, kets),
                          {QuantumOperation{"step", kraus}}};
 
-    std::unique_ptr<ImageComputer> computer;
-    if (opt.method == "basic") {
-      computer = std::make_unique<BasicImage>(mgr);
-    } else if (opt.method == "addition") {
-      computer = std::make_unique<AdditionImage>(mgr, opt.k);
-    } else if (opt.method == "contraction") {
-      computer = std::make_unique<ContractionImage>(mgr, opt.k1, opt.k2);
-    } else {
-      usage("unknown method " + opt.method);
-    }
-    if (opt.timeout_s > 0) computer->set_deadline(Deadline::after(opt.timeout_s));
+    const std::unique_ptr<ImageComputer> computer = make_engine(mgr, opt.engine, &ctx);
 
     std::cout << "circuit: " << opt.path << " (" << n << " qubits, " << circuit.size()
               << " gates, " << kraus.size() << " Kraus operator(s))\n"
-              << "method:  " << computer->name() << "\n"
+              << "engine:  " << opt.engine.to_string() << "\n"
               << "initial: dimension " << sys.initial.dim() << "\n";
 
+    int exit_code = kExitSuccess;
     if (opt.command == "image") {
       const Subspace img = computer->image(sys, sys.initial);
       std::cout << "image:   dimension " << img.dim() << "\n";
@@ -195,22 +212,40 @@ int main(int argc, char** argv) {
       const auto r = check_invariant(*computer, sys, sys.initial, opt.steps);
       std::cout << "invar:   " << (r.holds ? "HOLDS" : "VIOLATED") << " after " << r.iterations
                 << " steps" << (r.converged ? "" : " (iteration cap hit)") << "\n";
+      if (!r.holds) exit_code = kExitViolated;
     } else {
       usage("unknown command " + opt.command);
     }
 
     if (opt.stats) {
-      const auto& s = computer->stats();
+      const auto& s = ctx.stats();
       std::cout << "stats:   " << format_fixed(s.seconds, 3) << " s in image computation, peak "
                 << s.peak_nodes << " TDD nodes, " << s.kraus_applications
-                << " Kraus applications, " << mgr.live_nodes() << " live nodes\n";
+                << " Kraus applications, " << mgr.live_nodes() << " live nodes, " << s.gc_runs
+                << " GC runs\n"
+                << "caches:  add " << format_fixed(hit_rate_pct(s.add_hits, s.add_misses), 1)
+                << "% hit, cont " << format_fixed(hit_rate_pct(s.cont_hits, s.cont_misses), 1)
+                << "% hit, unique "
+                << format_fixed(hit_rate_pct(s.unique_hits, s.unique_misses), 1) << "% hit\n";
     }
-    return 0;
-  } catch (const qts::Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return exit_code;
   } catch (const qts::DeadlineExceeded&) {
     std::cerr << "error: timeout exceeded\n";
-    return 3;
+    return kExitTimeout;
+  } catch (const qts::InternalError& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
+  } catch (const qts::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitUsage;
+  } catch (const std::invalid_argument&) {  // std::stoul/stod on bad numbers
+    std::cerr << "error: option expects a numeric value\n";
+    return kExitUsage;
+  } catch (const std::out_of_range&) {
+    std::cerr << "error: numeric option value out of range\n";
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
   }
 }
