@@ -11,6 +11,7 @@
 ///     paper's exploding ones in Table I.
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "common/strings.hpp"
 #include "common/timer.hpp"
 #include "qts/engine.hpp"
@@ -24,7 +25,7 @@ namespace {
 
 using namespace qts;
 
-void ablation_hyperedges() {
+void ablation_hyperedges(bench::JsonWriter& json) {
   std::cout << "Ablation A — hyperedge index reuse (monolithic operator contraction)\n";
   std::cout << pad_right("circuit", 12) << pad_left("reuse peak", 12)
             << pad_left("naive peak", 12) << pad_left("reuse deg*", 12)
@@ -47,8 +48,11 @@ void ablation_hyperedges() {
       const tn::NetworkOptions opts{.reuse_indices = naive == 0};
       const auto net = tn::build_network(mgr, c.circuit, opts);
       ExecutionContext ctx;
+      WallTimer timer;
       (void)tn::contract_network(mgr, net.tensors, net.external_indices(), &ctx);
       peak[naive] = ctx.stats().peak_nodes;
+      json.add({"ablationA/" + c.name + (naive == 0 ? "/reuse" : "/naive"),
+                timer.seconds() * 1e3, peak[naive], 1, false});
       const auto graph = tn::IndexGraph::from_network(net);
       std::size_t top = 0;
       for (auto v : graph.top_degree(1)) top = graph.degree(v);
@@ -61,7 +65,7 @@ void ablation_hyperedges() {
   std::cout << "\n";
 }
 
-void ablation_mcx() {
+void ablation_mcx(bench::JsonWriter& json) {
   std::cout << "Ablation B — MCX encoding on the Grover image (basic algorithm)\n";
   std::cout << pad_right("qubits", 8) << pad_left("primitive[s]", 14)
             << pad_left("peak", 10) << pad_left("decomposed[s]", 14) << pad_left("peak", 10)
@@ -78,6 +82,8 @@ void ablation_mcx() {
       (void)computer->image(sys, sys.initial);
       secs[dec] = timer.seconds();
       peak[dec] = computer->stats().peak_nodes;
+      json.add({"ablationB/grover" + std::to_string(n) + (dec == 0 ? "/primitive" : "/decomposed"),
+                secs[dec] * 1e3, peak[dec], 1, false});
     }
     std::cout << pad_right(std::to_string(n), 8) << pad_left(format_fixed(secs[0], 4), 14)
               << pad_left(std::to_string(peak[0]), 10)
@@ -87,7 +93,7 @@ void ablation_mcx() {
   std::cout << "\n";
 }
 
-void ablation_contraction_cache() {
+void ablation_contraction_cache(bench::JsonWriter& json) {
   std::cout << "Ablation C — operation-cache effectiveness (QFT image, basic algorithm)\n";
   std::cout << pad_right("qubits", 8) << pad_left("add hit%", 10) << pad_left("cont hit%", 11)
             << pad_left("unique hit%", 13) << "\n";
@@ -97,7 +103,10 @@ void ablation_contraction_cache() {
     mgr.bind_context(&ctx);
     const auto sys = make_qft_system(mgr, n);
     const auto computer = make_engine(mgr, "basic", &ctx);
+    WallTimer timer;
     (void)computer->image(sys, sys.initial);
+    json.add({"ablationC/qft" + std::to_string(n), timer.seconds() * 1e3,
+              ctx.stats().peak_nodes, 1, false});
     const auto& s = ctx.stats();
     std::cout << pad_right(std::to_string(n), 8)
               << pad_left(format_fixed(hit_rate_pct(s.add_hits, s.add_misses), 1), 10)
@@ -111,8 +120,9 @@ void ablation_contraction_cache() {
 }  // namespace
 
 int main() {
-  ablation_hyperedges();
-  ablation_mcx();
-  ablation_contraction_cache();
+  qts::bench::JsonWriter json("ablation");
+  ablation_hyperedges(json);
+  ablation_mcx(json);
+  ablation_contraction_cache(json);
   return 0;
 }

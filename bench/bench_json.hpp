@@ -1,0 +1,86 @@
+/// \file bench_json.hpp
+/// Machine-readable benchmark output shared by every harness.
+///
+/// Each bench prints its human table as before and additionally writes
+/// `BENCH_<bench>.json` into the working directory on exit:
+///
+///   {"bench": "parallel",
+///    "records": [
+///      {"name": "grover11x16/parallel:4", "wall_ms": 812.4,
+///       "peak_nodes": 1234, "threads": 4, "timeout": false},
+///      ...]}
+///
+/// so the perf trajectory can be tracked across PRs without scraping the
+/// formatted tables.  A timed-out cell keeps wall_ms = the budget it burned
+/// and sets "timeout": true.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qts::bench {
+
+struct Record {
+  std::string name;
+  double wall_ms = 0.0;
+  std::size_t peak_nodes = 0;
+  std::size_t threads = 1;
+  bool timeout = false;
+};
+
+/// Collects records and writes BENCH_<bench>.json when destroyed.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench) : bench_(std::move(bench)) {}
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void add(Record r) { records_.push_back(std::move(r)); }
+
+  ~JsonWriter() {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return;
+    }
+    os << "{\"bench\": \"" << escaped(bench_) << "\", \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      if (i != 0) os << ",";
+      os << "\n  {\"name\": \"" << escaped(r.name) << "\", \"wall_ms\": " << fmt(r.wall_ms)
+         << ", \"peak_nodes\": " << r.peak_nodes << ", \"threads\": " << r.threads
+         << ", \"timeout\": " << (r.timeout ? "true" : "false") << "}";
+    }
+    os << "\n]}\n";
+    std::cerr << "wrote " << path << " (" << records_.size() << " record(s))\n";
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string fmt(double ms) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << ms;
+    return os.str();
+  }
+
+  std::string bench_;
+  std::vector<Record> records_;
+};
+
+}  // namespace qts::bench

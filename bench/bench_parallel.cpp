@@ -1,0 +1,150 @@
+/// \file bench_parallel.cpp
+/// Thread-count sweep of the parallel image engine on a multi-Kraus noise
+/// workload: a Grover iteration composed with depolarizing channels, so the
+/// Kraus family (4^noisy_qubits circuits) × the 2-dimensional invariant
+/// basis yields plenty of independent Kraus×basis tasks to shard.
+///
+/// Usage:
+///   bench_parallel [--n QUBITS] [--noisy-qubits Q] [--p PROB]
+///                  [--threads LIST] [--inner SPEC] [--timeout S]
+///
+/// Defaults: Grover11, depolarizing(0.05) on 2 qubits (16 Kraus circuits,
+/// 32 tasks), threads 1,2,4,8, inner engine contraction:4,4.  Every row
+/// reports wall-clock time and speedup versus the 1-thread row; a
+/// sequential reference row (the inner engine run directly, no worker pool)
+/// is printed first.  Results land in BENCH_parallel.json.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "circuit/noise.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "qts/engine.hpp"
+#include "qts/workloads.hpp"
+
+namespace {
+
+using namespace qts;
+
+TransitionSystem make_noisy_grover(tdd::Manager& mgr, std::uint32_t n, double p,
+                                   std::uint32_t noisy_qubits) {
+  TransitionSystem sys = make_grover_system(mgr, n);
+  std::vector<circ::Circuit> kraus = sys.operations.at(0).kraus;
+  for (std::uint32_t q = 0; q < noisy_qubits; ++q) {
+    kraus = circ::apply_channel(kraus, circ::depolarizing(p), q);
+  }
+  sys.operations.at(0).kraus = std::move(kraus);
+  return sys;
+}
+
+struct Measurement {
+  std::optional<double> ms;
+  std::size_t peak_nodes = 0;
+};
+
+Measurement run_once(const std::string& engine_spec, std::uint32_t n, double p,
+                     std::uint32_t noisy_qubits, double timeout_s) {
+  ExecutionContext ctx;
+  if (timeout_s > 0) ctx.set_deadline(Deadline::after(timeout_s));
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = make_noisy_grover(mgr, n, p, noisy_qubits);
+  const auto computer = make_engine(mgr, engine_spec, &ctx);
+  Measurement m;
+  WallTimer timer;
+  try {
+    (void)computer->image(sys, sys.initial);
+    m.ms = timer.seconds() * 1e3;
+  } catch (const DeadlineExceeded&) {
+    m.ms = std::nullopt;
+  }
+  m.peak_nodes = ctx.stats().peak_nodes;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t n = 11;
+  std::uint32_t noisy_qubits = 2;
+  double p = 0.05;
+  double timeout_s = 600.0;
+  std::string inner = "contraction:4,4";
+  std::vector<std::size_t> threads{1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--noisy-qubits") == 0 && i + 1 < argc) {
+      noisy_qubits = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--p") == 0 && i + 1 < argc) {
+      p = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--inner") == 0 && i + 1 < argc) {
+      inner = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads.clear();
+      for (const auto& piece : split(argv[++i], ",")) {
+        bool ok = !piece.empty() && piece.find_first_not_of("0123456789") == std::string::npos;
+        if (ok) {
+          try {
+            threads.push_back(static_cast<std::size_t>(std::stoul(piece)));
+          } catch (const std::out_of_range&) {
+            ok = false;
+          }
+        }
+        if (!ok) {
+          std::cerr << "bench_parallel: --threads expects a comma-separated list of "
+                       "numbers, got '"
+                    << piece << "'\n";
+          return 1;
+        }
+      }
+    } else {
+      std::cerr << "usage: bench_parallel [--n QUBITS] [--noisy-qubits Q] [--p PROB] "
+                   "[--threads LIST] [--inner SPEC] [--timeout S]\n";
+      return 1;
+    }
+  }
+
+  const std::size_t kraus_count = std::size_t{1} << (2 * noisy_qubits);  // depol = 4 Kraus
+  const std::string workload =
+      "grover" + std::to_string(n) + "x" + std::to_string(kraus_count);
+  std::cout << "Parallel image engine sweep — Grover" << n << " + depolarizing(" << p << ") on "
+            << noisy_qubits << " qubit(s): " << kraus_count
+            << " Kraus circuits, inner engine " << inner << "\n\n";
+  std::cout << pad_right("engine", 28) << pad_left("wall[ms]", 12) << pad_left("peak", 10)
+            << pad_left("speedup", 10) << "\n";
+
+  bench::JsonWriter json("parallel");
+  const auto report = [&](const std::string& spec, std::size_t nthreads, const Measurement& m,
+                          std::optional<double> base_ms) {
+    std::string speedup = "-";
+    if (m.ms && base_ms) speedup = format_fixed(*base_ms / *m.ms, 2) + "x";
+    std::cout << pad_right(spec, 28) << pad_left(m.ms ? format_fixed(*m.ms, 1) : "-", 12)
+              << pad_left(std::to_string(m.peak_nodes), 10) << pad_left(speedup, 10) << "\n"
+              << std::flush;
+    json.add({workload + "/" + spec, m.ms.value_or(timeout_s * 1e3), m.peak_nodes, nthreads,
+              !m.ms.has_value()});
+  };
+
+  // Sequential reference: the inner engine run directly in the parent
+  // manager, no worker pool, no transfer overhead.
+  const Measurement seq = run_once(inner, n, p, noisy_qubits, timeout_s);
+  report(inner, 1, seq, seq.ms);
+
+  // Speedups are reported against parallel:1 when the sweep includes it,
+  // falling back to the sequential reference otherwise.
+  std::optional<double> base_ms = seq.ms;
+  for (std::size_t t : threads) {
+    const std::string spec = "parallel:" + std::to_string(t) + "," + inner;
+    const Measurement m = run_once(spec, n, p, noisy_qubits, timeout_s);
+    if (t == 1 && m.ms) base_ms = m.ms;
+    report(spec, t, m, base_ms);
+  }
+  return 0;
+}

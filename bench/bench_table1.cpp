@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/strings.hpp"
 #include "common/timer.hpp"
 #include "qts/engine.hpp"
@@ -128,6 +129,15 @@ int main(int argc, char** argv) {
     };
   }
 
+  bench::JsonWriter json("table1");
+  const auto cell = [&](const std::string& row, Family f, std::uint32_t n,
+                        const std::string& engine) {
+    const Cell c = run_cell(f, n, engine, timeout_s);
+    json.add({row + "/" + engine, c.seconds.value_or(timeout_s) * 1e3, c.peak_nodes, 1,
+              !c.seconds.has_value()});
+    return c;
+  };
+
   std::cout << "Table I — image computation: time [s] and max TDD nodes\n"
             << "(addition: k = 1; contraction: k1 = k2 = 4; timeout "
             << format_fixed(timeout_s, 0) << " s per cell; '-' = timeout)\n\n";
@@ -141,9 +151,9 @@ int main(int argc, char** argv) {
     for (std::uint32_t n : plan.cheap_sizes) {
       Row row;
       row.name = plan.prefix + std::to_string(n);
-      row.basic = run_cell(plan.family, n, "basic", timeout_s);
-      row.addition = run_cell(plan.family, n, "addition:1", timeout_s);
-      row.contraction = run_cell(plan.family, n, "contraction:4,4", timeout_s);
+      row.basic = cell(row.name, plan.family, n, "basic");
+      row.addition = cell(row.name, plan.family, n, "addition:1");
+      row.contraction = cell(row.name, plan.family, n, "contraction:4,4");
       std::cout << pad_right(row.name, 12) << fmt(row.basic) << fmt(row.addition)
                 << fmt(row.contraction) << "\n"
                 << std::flush;
@@ -153,7 +163,7 @@ int main(int argc, char** argv) {
       row.name = plan.prefix + std::to_string(n);
       // The paper's '-' zone: basic/addition are known to blow past the
       // timeout; only contraction is attempted.
-      row.contraction = run_cell(plan.family, n, "contraction:4,4", timeout_s);
+      row.contraction = cell(row.name, plan.family, n, "contraction:4,4");
       std::cout << pad_right(row.name, 12) << fmt(Cell{}) << fmt(Cell{})
                 << fmt(row.contraction) << "\n"
                 << std::flush;

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <optional>
 
+#include "bench_json.hpp"
 #include "common/strings.hpp"
 #include "common/timer.hpp"
 #include "qts/engine.hpp"
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  bench::JsonWriter json("table2");
+  const std::string workload =
+      "grover" + std::to_string(n) + (primitive ? "" : "d");
 
   std::cout << "Table II — contraction partition on Grover" << n
             << (primitive ? " (hyperedge-primitive MCX)" : " (Toffoli-decomposed MCX)")
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
       } catch (const DeadlineExceeded&) {
         secs = std::nullopt;
       }
+      json.add({workload + "/contraction:" + std::to_string(k1) + "," + std::to_string(k2),
+                secs.value_or(timeout_s) * 1e3, ctx.stats().peak_nodes, 1, !secs.has_value()});
       std::cout << pad_left(secs ? format_fixed(*secs, 3) : "-", 8) << std::flush;
     }
     std::cout << "\n";

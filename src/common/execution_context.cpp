@@ -8,4 +8,26 @@ double hit_rate_pct(std::size_t hits, std::size_t misses) {
   return 100.0 * static_cast<double>(hits) / static_cast<double>(total);
 }
 
+ExecutionContext ExecutionContext::worker_view() const {
+  ExecutionContext view;
+  view.deadline_ = deadline_;
+  view.cancel_ = cancel_;  // one flag for the whole fork/join group
+  view.gc_threshold_nodes_ = gc_threshold_nodes_;
+  return view;
+}
+
+void ExecutionContext::join_worker(const ExecutionContext& worker) {
+  const RunStats& w = worker.stats_;
+  stats_.seconds += w.seconds;
+  if (w.peak_nodes > stats_.peak_nodes) stats_.peak_nodes = w.peak_nodes;
+  stats_.kraus_applications += w.kraus_applications;
+  stats_.gc_runs += w.gc_runs;
+  stats_.unique_hits += w.unique_hits;
+  stats_.unique_misses += w.unique_misses;
+  stats_.add_hits += w.add_hits;
+  stats_.add_misses += w.add_misses;
+  stats_.cont_hits += w.cont_hits;
+  stats_.cont_misses += w.cont_misses;
+}
+
 }  // namespace qts

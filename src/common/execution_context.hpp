@@ -8,7 +8,9 @@
 /// historical trio of ImageStats / PeakStats / Manager::CacheStats.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 
 #include "common/timer.hpp"
 
@@ -36,9 +38,13 @@ struct RunStats {
 double hit_rate_pct(std::size_t hits, std::size_t misses);
 
 /// Run-control state shared by every layer of an engine: a cooperative
-/// wall-clock deadline, the aggregated RunStats, and the GC policy for
-/// long-running fixpoint loops.  Single-threaded, like the tdd::Manager it
-/// usually rides along with; use one per engine.
+/// wall-clock deadline, the aggregated RunStats, cooperative cancellation,
+/// and the GC policy for long-running fixpoint loops.  Single-threaded like
+/// the tdd::Manager it usually rides along with — use one per engine — with
+/// two deliberate exceptions for fork/join parallelism: the cancellation
+/// flag (request_cancel / cancel_requested are atomic) and the deadline
+/// (an immutable absolute expiry once set) may be shared across threads
+/// through worker_view().
 class ExecutionContext {
  public:
   ExecutionContext() = default;
@@ -49,8 +55,39 @@ class ExecutionContext {
   [[nodiscard]] const Deadline& deadline() const { return deadline_; }
   [[nodiscard]] bool deadline_expired() const { return deadline_.expired(); }
 
-  /// Throws DeadlineExceeded when the budget is spent.
-  void check_deadline() const { deadline_.check(); }
+  /// Throws DeadlineExceeded when the budget is spent or a cancellation was
+  /// requested (a cancelled computation's result is never used, so stopping
+  /// through the same exception path keeps every layer's unwind identical).
+  void check_deadline() const {
+    if (cancel_->load(std::memory_order_relaxed)) throw DeadlineExceeded{};
+    deadline_.check();
+  }
+
+  // -- cooperative cancellation ---------------------------------------------
+
+  /// Ask every computation polling this context (or any worker_view of it)
+  /// to stop at its next deadline check.  Safe from any thread.
+  void request_cancel() { cancel_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_->load(std::memory_order_relaxed);
+  }
+  /// Re-arm after a cancelled fork/join round.  Single-threaded: only call
+  /// once every sharing worker has stopped.
+  void clear_cancel() { cancel_->store(false, std::memory_order_relaxed); }
+
+  // -- fork/join ------------------------------------------------------------
+
+  /// A worker's private view of this context: shares the deadline (absolute
+  /// expiry) and the cancellation flag, starts with fresh stats, and copies
+  /// the GC policy.  One worker_view per worker thread; fold the worker's
+  /// stats back with join_worker once its thread has joined.
+  [[nodiscard]] ExecutionContext worker_view() const;
+
+  /// Merge a joined worker's stats into this context: counters are summed,
+  /// peak_nodes is the maximum.  `seconds` is summed too — workers time
+  /// nothing by default, and a fork/join parent accounts wall-clock with its
+  /// own ScopedTimer around the whole round.
+  void join_worker(const ExecutionContext& worker);
 
   // -- statistics -----------------------------------------------------------
 
@@ -74,6 +111,7 @@ class ExecutionContext {
  private:
   Deadline deadline_;
   RunStats stats_;
+  std::shared_ptr<std::atomic<bool>> cancel_ = std::make_shared<std::atomic<bool>>(false);
   std::size_t gc_threshold_nodes_ = 0;
 };
 

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <chrono>
-#include <optional>
 
 namespace qts {
 
@@ -50,9 +49,7 @@ class Deadline {
     return d;
   }
 
-  [[nodiscard]] bool expired() const {
-    return expiry_.has_value() && clock::now() >= *expiry_;
-  }
+  [[nodiscard]] bool expired() const { return clock::now() >= expiry_; }
 
   /// Throws DeadlineExceeded if the budget is spent.
   void check() const {
@@ -61,7 +58,8 @@ class Deadline {
 
  private:
   using clock = std::chrono::steady_clock;
-  std::optional<clock::time_point> expiry_;
+  // "Never" is the sentinel expiry, so expired() is a single comparison.
+  clock::time_point expiry_ = clock::time_point::max();
 };
 
 }  // namespace qts

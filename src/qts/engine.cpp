@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "qts/parallel.hpp"
 
 namespace qts {
 
@@ -35,6 +36,10 @@ std::map<std::string, EngineFactory>& registry() {
     };
     m["contraction"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
       return std::make_unique<ContractionImage>(mgr, spec.k1, spec.k2, ctx);
+    };
+    m["parallel"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
+      return std::make_unique<ParallelImage>(mgr, spec.threads, EngineSpec::parse(spec.inner),
+                                             ctx);
     };
     return m;
   }();
@@ -71,6 +76,21 @@ EngineSpec EngineSpec::parse(const std::string& text) {
       require(spec.k1 >= 1 && spec.k2 >= 1,
               "engine spec '" + text + "': contraction needs k1, k2 >= 1");
     }
+  } else if (spec.method == "parallel") {
+    if (!spec.args.empty()) {
+      // parallel:<threads>[,inner-spec]; the inner spec may itself carry
+      // commas (contraction:4,4), so split only on the first one.
+      const auto comma = spec.args.find(',');
+      spec.threads = parse_count(std::string_view(spec.args).substr(0, comma), text);
+      if (comma != std::string::npos) {
+        const std::string inner_text(trim(spec.args.substr(comma + 1)));
+        require(!inner_text.empty(), "engine spec '" + text + "': empty inner engine spec");
+        const EngineSpec inner = EngineSpec::parse(inner_text);
+        require(inner.method != "parallel",
+                "engine spec '" + text + "': parallel cannot nest itself");
+        spec.inner = inner.to_string();  // canonicalised
+      }
+    }
   }
   // Unknown methods keep their raw args; make_engine rejects them unless a
   // factory was registered.
@@ -82,6 +102,9 @@ std::string EngineSpec::to_string() const {
   if (method == "addition") return method + ":" + std::to_string(k);
   if (method == "contraction") {
     return method + ":" + std::to_string(k1) + "," + std::to_string(k2);
+  }
+  if (method == "parallel") {
+    return method + ":" + std::to_string(threads) + "," + inner;
   }
   return args.empty() ? method : method + ":" + args;
 }

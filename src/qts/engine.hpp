@@ -4,13 +4,17 @@
 ///
 /// An engine is named by a compact spec string:
 ///
-///   "basic"                the §IV-C monolithic-operator algorithm
-///   "addition:k"           the §V-A addition partition with k sliced indices
-///   "contraction:k1,k2"    the §V-B contraction partition with cut (k1, k2)
+///   "basic"                    the §IV-C monolithic-operator algorithm
+///   "addition:k"               the §V-A addition partition with k sliced indices
+///   "contraction:k1,k2"        the §V-B contraction partition with cut (k1, k2)
+///   "parallel:t[,spec]"        the Kraus×basis loop sharded across t worker
+///                              threads (0 = hardware concurrency), each
+///                              running the nested sequential engine `spec`
+///                              (default contraction:4,4) on a private manager
 ///
-/// ("addition" and "contraction" without parameters use the defaults below.)
-/// Later backends (statevector cross-check, parallel contraction, ...) plug
-/// in through register_engine without touching any call site.
+/// (Methods without parameters use the defaults below.)  Later backends
+/// (statevector cross-check, ...) plug in through register_engine without
+/// touching any call site.
 #pragma once
 
 #include <functional>
@@ -31,11 +35,14 @@ struct EngineSpec {
   std::size_t k = 1;       ///< addition: number of sliced indices
   std::uint32_t k1 = 4;    ///< contraction: qubit band height
   std::uint32_t k2 = 4;    ///< contraction: crossings per vertical cut
+  std::size_t threads = 0; ///< parallel: worker count (0 = hardware concurrency)
+  std::string inner = "contraction:4,4";  ///< parallel: nested sequential engine spec
   std::string args;        ///< raw parameter text (custom engines)
 
-  /// Parse "basic" | "addition[:k]" | "contraction[:k1,k2]" | "name[:args]"
-  /// for registered custom engines.  Throws InvalidArgument on malformed
-  /// input (unknown built-in parameter shapes, non-numeric or zero counts).
+  /// Parse "basic" | "addition[:k]" | "contraction[:k1,k2]" |
+  /// "parallel[:t[,spec]]" | "name[:args]" for registered custom engines.
+  /// Throws InvalidArgument on malformed input (unknown built-in parameter
+  /// shapes, non-numeric or zero counts, a nested parallel spec).
   static EngineSpec parse(const std::string& text);
 
   /// Canonical spec string; parse(to_string()) round-trips.

@@ -13,17 +13,22 @@ Subspace ImageComputer::image(const QuantumOperation& op, const Subspace& s) {
   ScopedTimer timer(ctx_);
   Subspace out(mgr_, s.num_qubits());
   for (const auto& kraus : op.kraus) {
-    const Prepared& prep = prepared_for(kraus);
     for (const auto& b : s.basis()) {
-      ctx_->check_deadline();
-      const Edge phi = apply(prep, b, s.num_qubits());
-      tdd::record_peak(ctx_, phi);
-      ++ctx_->stats().kraus_applications;
+      const Edge phi = apply_kraus(kraus, b, s.num_qubits());
       out.add_state(phi);
       tdd::record_peak(ctx_, out.projector());
     }
   }
   return out;
+}
+
+Edge ImageComputer::apply_kraus(const circ::Circuit& kraus, const Edge& ket,
+                                std::uint32_t num_qubits) {
+  ctx_->check_deadline();
+  const Edge phi = apply(prepared_for(kraus), ket, num_qubits);
+  tdd::record_peak(ctx_, phi);
+  ++ctx_->stats().kraus_applications;
+  return phi;
 }
 
 Subspace ImageComputer::image(const TransitionSystem& sys, const Subspace& s) {

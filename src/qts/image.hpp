@@ -43,10 +43,20 @@ class ImageComputer {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// T_σ(S): the join of span{E|b⟩} over Kraus operators E and basis kets b.
-  Subspace image(const QuantumOperation& op, const Subspace& s);
+  /// Virtual so engines that shard the whole Kraus×basis loop (the parallel
+  /// engine) can replace the sequential iteration; the default runs it in
+  /// Kraus-major, basis-minor order on this computer's manager.
+  virtual Subspace image(const QuantumOperation& op, const Subspace& s);
 
   /// T(S) = ⋁_σ T_σ(S) over every operation of the system.
   Subspace image(const TransitionSystem& sys, const Subspace& s);
+
+  /// One cell of the Kraus×basis loop: apply a single Kraus circuit to a ket
+  /// (preparing and caching the operator on first use) and account for it —
+  /// deadline poll, peak record, kraus_applications counter.  The public
+  /// building block for engines that shard the loop across workers.
+  tdd::Edge apply_kraus(const circ::Circuit& kraus, const tdd::Edge& ket,
+                        std::uint32_t num_qubits);
 
   /// The run-control spine this computer reports through.
   [[nodiscard]] ExecutionContext& context() const { return *ctx_; }
@@ -62,8 +72,10 @@ class ImageComputer {
   void reset_stats() { ctx_->reset_stats(); }
 
   /// Drop cached pre-contracted operators (they key on Circuit addresses,
-  /// so call this if a system's circuits are destroyed or mutated).
-  void clear_prepared() { prepared_.clear(); }
+  /// so call this if a system's circuits are destroyed or mutated).  Virtual
+  /// so delegating engines forward it to the caches they actually fill (the
+  /// parallel engine's workers).
+  virtual void clear_prepared() { prepared_.clear(); }
 
   /// TDD roots held by the prepared-operator cache.  Long-running fixpoint
   /// loops pass these (plus their own live subspaces) to Manager::gc so the

@@ -1,0 +1,174 @@
+#include "qts/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tdd/transfer.hpp"
+
+namespace qts {
+
+using tdd::Edge;
+
+/// One worker: a private manager, a private context view and a private inner
+/// engine.  The engine's prepared-operator cache lives in the worker manager
+/// and survives across image() calls, exactly like a sequential engine's.
+struct ParallelImage::Worker {
+  tdd::Manager mgr;
+  ExecutionContext ctx;
+  std::unique_ptr<ImageComputer> engine;
+};
+
+ParallelImage::ParallelImage(tdd::Manager& mgr, std::size_t threads, EngineSpec inner,
+                             ExecutionContext* ctx)
+    : ImageComputer(mgr, ctx), inner_(std::move(inner)) {
+  require(inner_.method != "parallel", "parallel engine cannot nest itself");
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->mgr.bind_context(&w->ctx);
+    w->engine = make_engine(w->mgr, inner_, &w->ctx);
+    workers_.push_back(std::move(w));
+  }
+}
+
+ParallelImage::~ParallelImage() = default;
+
+Subspace ParallelImage::image(const QuantumOperation& op, const Subspace& s) {
+  ScopedTimer timer(ctx_);
+  const std::uint32_t n = s.num_qubits();
+
+  // Fix the task list in the sequential loop's order (Kraus-major,
+  // basis-minor) before any worker starts; the reduction below consumes
+  // results in exactly this order, making the output independent of the
+  // worker count and of which worker computed what.
+  struct Task {
+    const circ::Circuit* kraus;
+    const Edge* ket;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(op.kraus.size() * s.basis().size());
+  for (const auto& kraus : op.kraus) {
+    for (const auto& ket : s.basis()) tasks.push_back({&kraus, &ket});
+  }
+
+  Subspace out(mgr_, n);
+  if (tasks.empty()) return out;
+
+  // Fresh context views each round: workers share this round's deadline and
+  // cancel flag and start with zeroed stats (last round's were merged).
+  // Assignment keeps every Worker::ctx address stable, which the worker's
+  // manager and engine hold pointers to.
+  for (auto& w : workers_) w->ctx = ctx_->worker_view();
+
+  std::vector<Edge> results(tasks.size());  // each owned by its worker's manager
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  bool first_error_cancel_induced = false;
+  std::mutex error_mutex;
+
+  auto run_worker = [&](Worker& w) {
+    try {
+      // Between-round GC under the parent's policy: only the inner engine's
+      // prepared operators survive (earlier results were already shipped to
+      // the parent manager).
+      if (w.ctx.gc_threshold_nodes() != 0 && w.mgr.live_nodes() > w.ctx.gc_threshold_nodes()) {
+        const auto roots = w.engine->prepared_roots();
+        w.mgr.gc(roots);
+      }
+      // Per-round transfer memo: the task list holds #kraus × #basis entries
+      // but only #basis distinct kets, so ship each ket in once per worker.
+      std::unordered_map<const Edge*, Edge> ket_cache;
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) break;
+        auto it = ket_cache.find(tasks[i].ket);
+        if (it == ket_cache.end()) {
+          // The parent manager is quiescent while workers run, so
+          // transferring out of it concurrently is safe (transfer only
+          // reads the source).
+          it = ket_cache.emplace(tasks[i].ket, tdd::transfer(*tasks[i].ket, w.mgr)).first;
+        }
+        results[i] = w.engine->apply_kraus(*tasks[i].kraus, it->second, n);
+      }
+    } catch (...) {
+      // If the shared flag was already set when this worker failed, the stop
+      // originated elsewhere (an external request_cancel, or a sibling that
+      // recorded the real error first); remember the distinction so the
+      // parent only re-arms stops this round itself initiated.
+      const bool cancel_induced = w.ctx.cancel_requested();
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_error_cancel_induced = cancel_induced;
+        }
+      }
+      // Stop the siblings at their next deadline poll — including polls deep
+      // inside Manager contractions via Manager::tick().
+      w.ctx.request_cancel();
+    }
+  };
+
+  // Worker state (manager, inner engine, prepared caches) persists across
+  // rounds; the threads themselves are per-round, which is noise next to the
+  // Kraus applications they run.  A single-worker round skips the spawn and
+  // runs inline on the calling thread — same worker state, same results.
+  const std::size_t active = std::min(workers_.size(), tasks.size());
+  if (active == 1) {
+    run_worker(*workers_[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(active);
+    for (std::size_t i = 0; i < active; ++i) {
+      pool.emplace_back(run_worker, std::ref(*workers_[i]));
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  for (const auto& w : workers_) ctx_->join_worker(w->ctx);
+  if (first_error) {
+    // Re-arm a stop THIS round's failing worker initiated (its deadline or
+    // error), so later rounds are not poisoned, and hand the original error
+    // to the caller.  A cancellation that was already pending when the first
+    // worker failed — i.e. requested externally — is deliberately left set:
+    // it must keep stopping the computation until its owner handles it.
+    if (!first_error_cancel_induced) ctx_->clear_cancel();
+    std::rethrow_exception(first_error);
+  }
+
+  // Deterministic join: ship every result into the parent manager and reduce
+  // in task order, mirroring the sequential loop body.
+  for (const Edge& result : results) {
+    const Edge phi = tdd::transfer(result, mgr_);
+    out.add_state(phi);
+    tdd::record_peak(ctx_, out.projector());
+  }
+  return out;
+}
+
+void ParallelImage::clear_prepared() {
+  ImageComputer::clear_prepared();
+  for (const auto& w : workers_) w->engine->clear_prepared();
+}
+
+std::unique_ptr<ImageComputer::Prepared> ParallelImage::prepare(const circ::Circuit&) {
+  throw InternalError("ParallelImage::prepare: the parallel engine shards whole "
+                      "Kraus×basis loops; per-circuit preparation lives in its workers");
+}
+
+Edge ParallelImage::apply(const Prepared&, const Edge&, std::uint32_t) {
+  throw InternalError("ParallelImage::apply: the parallel engine shards whole "
+                      "Kraus×basis loops; per-circuit application lives in its workers");
+}
+
+}  // namespace qts

@@ -1,0 +1,76 @@
+/// \file parallel.hpp
+/// The parallel image engine: shard the Kraus×basis loop across per-thread
+/// TDD managers.
+///
+/// `ImageComputer::image(op, s)` is embarrassingly parallel at the
+/// Kraus×basis grain — every `apply` is independent and the results are only
+/// combined at the end — but a tdd::Manager is single-threaded by design.
+/// ParallelImage therefore runs a pool of workers, each owning a *private*
+/// Manager, a private inner engine (any registered sequential engine; default
+/// contraction) and a private ExecutionContext view:
+///
+///   1. the task list (one task per Kraus operator × basis ket) is fixed in
+///      the sequential loop's order before any worker starts;
+///   2. workers claim tasks from an atomic cursor, `tdd::transfer` the input
+///      ket from the (quiescent) parent manager into their own, and apply
+///      the Kraus operator there;
+///   3. after all workers join, the parent transfers the result kets back
+///      and reduces them *in task order*, so the output subspace is
+///      bit-for-bit independent of the worker count.
+///
+/// The workers' context views share the parent's deadline and cancellation
+/// flag: a DeadlineExceeded inside one worker's contraction cancels the
+/// siblings cooperatively, and the parent rethrows after the join.  Worker
+/// stats are merged into the parent (counters summed, peak = max).
+///
+/// Worker *state* — manager, inner engine, prepared-operator caches — is
+/// persistent across image() calls; the OS threads are spawned per round
+/// (their cost is noise against the Kraus applications they run), and a
+/// round with a single active worker executes inline on the caller's thread.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "qts/engine.hpp"
+
+namespace qts {
+
+class ParallelImage final : public ImageComputer {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency (at least 1).
+  /// `inner` names the sequential engine each worker runs; it must not be
+  /// "parallel" itself.  `mgr` stays the parent manager: inputs are shipped
+  /// out of it and results land back in it, so callers (fixpoint loops, GC)
+  /// see the usual single-manager contract.
+  ParallelImage(tdd::Manager& mgr, std::size_t threads, EngineSpec inner,
+                ExecutionContext* ctx = nullptr);
+  ~ParallelImage() override;
+
+  [[nodiscard]] std::string name() const override { return "parallel"; }
+  [[nodiscard]] std::size_t threads() const { return workers_.size(); }
+  [[nodiscard]] const EngineSpec& inner_spec() const { return inner_; }
+
+  using ImageComputer::image;
+  Subspace image(const QuantumOperation& op, const Subspace& s) override;
+
+  /// The prepared-operator caches live in the workers' inner engines (keyed
+  /// on Circuit addresses, like any sequential engine's); forward the drop.
+  void clear_prepared() override;
+
+ protected:
+  // The parallel engine shards at the image level; per-circuit preparation
+  // and application live in the workers' inner engines.  Reaching these
+  // indicates a library bug.
+  std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) override;
+  tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override;
+
+ private:
+  struct Worker;
+
+  EngineSpec inner_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace qts

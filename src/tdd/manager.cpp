@@ -1,6 +1,8 @@
 #include "tdd/manager.hpp"
 
 #include <cmath>
+#include <unordered_set>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -168,10 +170,21 @@ Edge Manager::add_norm(const Node* a, const Node* b, const cplx& ratio) {
 void Manager::clear_caches() { add_cache_.clear(); }
 
 void Manager::mark(const Node* n, std::uint64_t epoch) const {
+  // Iterative with an explicit stack: recursion depth equals diagram depth,
+  // which overflows the call stack on deep (high-qubit) diagrams during GC.
   if (n == nullptr || n->mark_ == epoch) return;
   n->mark_ = epoch;
-  mark(n->low().node, epoch);
-  mark(n->high().node, epoch);
+  std::vector<const Node*> stack{n};
+  while (!stack.empty()) {
+    const Node* cur = stack.back();
+    stack.pop_back();
+    for (const Node* child : {cur->low().node, cur->high().node}) {
+      if (child != nullptr && child->mark_ != epoch) {
+        child->mark_ = epoch;
+        stack.push_back(child);
+      }
+    }
+  }
 }
 
 std::size_t Manager::gc(std::span<const Edge> roots) {
@@ -198,23 +211,25 @@ std::size_t Manager::gc(std::span<const Edge> roots) {
   return freed;
 }
 
-namespace {
-
-void count_rec(const Node* n, std::unordered_map<const Node*, bool>& seen, std::size_t& count) {
-  if (n == nullptr || seen.count(n) != 0) return;
-  seen.emplace(n, true);
-  ++count;
-  count_rec(n->low().node, seen, count);
-  count_rec(n->high().node, seen, count);
-}
-
-}  // namespace
-
 std::size_t node_count(const Edge& root) {
-  std::unordered_map<const Node*, bool> seen;
-  std::size_t count = 0;
-  count_rec(root.node, seen, count);
-  return count;
+  // This runs on every record_peak call — once per Kraus application — so it
+  // is hot: a reserved unordered_set (no payload) and an explicit stack
+  // instead of the old unordered_map<const Node*, bool> recursion.
+  if (root.node == nullptr) return 0;
+  std::unordered_set<const Node*> seen;
+  seen.reserve(64);
+  std::vector<const Node*> stack;
+  stack.reserve(64);
+  seen.insert(root.node);
+  stack.push_back(root.node);
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    for (const Node* child : {n->low().node, n->high().node}) {
+      if (child != nullptr && seen.insert(child).second) stack.push_back(child);
+    }
+  }
+  return seen.size();
 }
 
 }  // namespace qts::tdd

@@ -1,0 +1,29 @@
+/// \file transfer.hpp
+/// Fast in-memory cross-manager TDD transfer.
+///
+/// `transfer` copies the diagram rooted at an edge into another Manager,
+/// rebuilding bottom-up through make_node so the result is canonical in the
+/// destination and shares structure with whatever already lives there.  It is
+/// the in-memory analogue of an io::save / io::load round-trip (and is
+/// validated against it in the test suite), without the text format.
+///
+/// The copy only *reads* the source diagram: it never touches the source
+/// manager's tables or pools.  Several threads may therefore transfer from
+/// the same quiescent source manager into their own private managers
+/// concurrently — the hand-off pattern of the parallel image engine: the
+/// parent ships basis kets out to per-thread managers, and ships each
+/// worker's results back once the worker has joined.
+#pragma once
+
+#include "tdd/manager.hpp"
+
+namespace qts::tdd {
+
+/// Rebuild the TDD rooted at `root` inside `dst` and return the equivalent
+/// edge.  Memoised and iterative (explicit stack), so shared subgraphs are
+/// copied once and deep diagrams do not overflow the call stack.  `dst` may
+/// be the manager that owns `root`, in which case the result is the same
+/// canonical diagram.
+Edge transfer(const Edge& root, Manager& dst);
+
+}  // namespace qts::tdd

@@ -57,6 +57,62 @@ TEST(ExecutionContext, HitRateHandlesZeroLookups) {
   EXPECT_DOUBLE_EQ(hit_rate_pct(3, 1), 75.0);
 }
 
+TEST(ExecutionContext, WorkerViewSharesDeadlineAndStartsFresh) {
+  ExecutionContext parent;
+  parent.set_deadline(Deadline::after(1e-12));
+  parent.set_gc_threshold_nodes(42);
+  parent.record_peak(7);
+  const ExecutionContext view = parent.worker_view();
+  EXPECT_TRUE(view.deadline_expired());            // shared absolute expiry
+  EXPECT_EQ(view.gc_threshold_nodes(), 42u);       // copied policy
+  EXPECT_EQ(view.stats().peak_nodes, 0u);          // fresh stats
+  EXPECT_THROW(view.check_deadline(), DeadlineExceeded);
+}
+
+TEST(ExecutionContext, CancellationIsSharedWithWorkerViews) {
+  ExecutionContext parent;
+  ExecutionContext view = parent.worker_view();
+  EXPECT_NO_THROW(view.check_deadline());
+
+  view.request_cancel();  // either side may request...
+  EXPECT_TRUE(parent.cancel_requested());
+  EXPECT_THROW(parent.check_deadline(), DeadlineExceeded);
+  EXPECT_THROW(view.check_deadline(), DeadlineExceeded);
+
+  parent.clear_cancel();  // ...and the parent re-arms the whole group
+  EXPECT_FALSE(view.cancel_requested());
+  EXPECT_NO_THROW(parent.check_deadline());
+  EXPECT_NO_THROW(view.check_deadline());
+}
+
+TEST(ExecutionContext, JoinWorkerSumsCountersAndMaxesPeak) {
+  ExecutionContext parent;
+  parent.stats().kraus_applications = 3;
+  parent.stats().unique_hits = 10;
+  parent.record_peak(50);
+
+  ExecutionContext worker = parent.worker_view();
+  worker.stats().kraus_applications = 2;
+  worker.stats().unique_hits = 5;
+  worker.stats().add_misses = 7;
+  worker.stats().gc_runs = 1;
+  worker.add_seconds(0.25);
+  worker.record_peak(80);
+
+  parent.join_worker(worker);
+  EXPECT_EQ(parent.stats().kraus_applications, 5u);
+  EXPECT_EQ(parent.stats().unique_hits, 15u);
+  EXPECT_EQ(parent.stats().add_misses, 7u);
+  EXPECT_EQ(parent.stats().gc_runs, 1u);
+  EXPECT_DOUBLE_EQ(parent.stats().seconds, 0.25);
+  EXPECT_EQ(parent.stats().peak_nodes, 80u);  // max, not sum
+
+  ExecutionContext small = parent.worker_view();
+  small.record_peak(4);
+  parent.join_worker(small);
+  EXPECT_EQ(parent.stats().peak_nodes, 80u);
+}
+
 TEST(DeadlinePropagation, SurfacesFromContractNetwork) {
   // An already-expired deadline must abort a deep contraction via the
   // context alone — no per-call Deadline threading.
@@ -94,7 +150,7 @@ TEST(DeadlinePropagation, SurfacesFromBoundManagerInsideOneContraction) {
 }
 
 TEST(DeadlinePropagation, SurfacesFromImageEngines) {
-  for (const char* spec : {"basic", "addition:1", "contraction:2,2"}) {
+  for (const char* spec : {"basic", "addition:1", "contraction:2,2", "parallel:2"}) {
     tdd::Manager mgr;
     const auto sys = make_qft_system(mgr, 6);
     const auto engine = make_engine(mgr, spec);

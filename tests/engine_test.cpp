@@ -43,15 +43,51 @@ TEST(EngineSpec, TrimsWhitespace) {
   EXPECT_EQ(EngineSpec::parse("  basic ").method, "basic");
 }
 
+TEST(EngineSpec, ParsesParallel) {
+  const auto bare = EngineSpec::parse("parallel");
+  EXPECT_EQ(bare.method, "parallel");
+  EXPECT_EQ(bare.threads, 0u);  // 0 = hardware concurrency
+  EXPECT_EQ(bare.inner, "contraction:4,4");
+
+  const auto counted = EngineSpec::parse("parallel:8");
+  EXPECT_EQ(counted.threads, 8u);
+  EXPECT_EQ(counted.inner, "contraction:4,4");
+  EXPECT_EQ(counted.to_string(), "parallel:8,contraction:4,4");
+
+  // The nested spec is parsed, validated and canonicalised; it may itself
+  // contain commas.
+  const auto nested = EngineSpec::parse("parallel:4,contraction:2,3");
+  EXPECT_EQ(nested.threads, 4u);
+  EXPECT_EQ(nested.inner, "contraction:2,3");
+
+  const auto with_basic = EngineSpec::parse("parallel:2,basic");
+  EXPECT_EQ(with_basic.inner, "basic");
+
+  const auto defaulted_inner = EngineSpec::parse("parallel:2,addition");
+  EXPECT_EQ(defaulted_inner.inner, "addition:1");
+}
+
+TEST(EngineSpec, RejectsMalformedParallelSpecs) {
+  EXPECT_THROW((void)EngineSpec::parse("parallel:"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("parallel:x"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("parallel:2,"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("parallel:2,basic:1"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("parallel:2,addition:0"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("parallel:2,parallel:2"), InvalidArgument);
+}
+
 TEST(EngineSpec, RoundTripsThroughToString) {
   for (const char* text : {"basic", "addition:1", "addition:7", "contraction:1,1",
-                           "contraction:4,4", "contraction:15,2"}) {
+                           "contraction:4,4", "contraction:15,2", "parallel", "parallel:8",
+                           "parallel:4,basic", "parallel:2,contraction:2,3"}) {
     const auto spec = EngineSpec::parse(text);
     const auto again = EngineSpec::parse(spec.to_string());
     EXPECT_EQ(again.method, spec.method) << text;
     EXPECT_EQ(again.k, spec.k) << text;
     EXPECT_EQ(again.k1, spec.k1) << text;
     EXPECT_EQ(again.k2, spec.k2) << text;
+    EXPECT_EQ(again.threads, spec.threads) << text;
+    EXPECT_EQ(again.inner, spec.inner) << text;
     EXPECT_EQ(again.to_string(), spec.to_string()) << text;
   }
 }
@@ -95,6 +131,14 @@ TEST(MakeEngine, BuiltinsAreRegistered) {
   EXPECT_NE(std::find(names.begin(), names.end(), "basic"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "addition"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "contraction"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "parallel"), names.end());
+}
+
+TEST(MakeEngine, RejectsUnknownParallelInnerEngine) {
+  // Unknown inner methods parse (custom engines keep raw args) but fail at
+  // construction time, exactly like a top-level unknown method.
+  tdd::Manager mgr;
+  EXPECT_THROW((void)make_engine(mgr, "parallel:2,statevector"), InvalidArgument);
 }
 
 TEST(MakeEngine, SharesAnExternalContext) {
@@ -123,7 +167,8 @@ TEST(MakeEngine, CustomEnginesPlugIn) {
 }
 
 TEST(MakeEngine, AllEnginesAgreeOnGhzImage) {
-  for (const char* spec : {"basic", "addition:1", "addition:2", "contraction:2,2"}) {
+  for (const char* spec : {"basic", "addition:1", "addition:2", "contraction:2,2",
+                           "parallel:2", "parallel:2,basic"}) {
     tdd::Manager mgr;
     const auto sys = make_ghz_system(mgr, 4);
     const auto engine = make_engine(mgr, spec);

@@ -1,0 +1,183 @@
+/// Tests for the parallel image engine: differential equivalence against the
+/// sequential engines over the paper workloads for 1/2/4 workers,
+/// thread-count-independent (deterministic) joins, merged stats, shared
+/// deadlines with cooperative cancellation, and fixpoint-loop integration.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/noise.hpp"
+#include "common/error.hpp"
+#include "qts/backward.hpp"
+#include "qts/engine.hpp"
+#include "qts/parallel.hpp"
+#include "qts/reachability.hpp"
+#include "qts/workloads.hpp"
+
+namespace qts {
+namespace {
+
+/// A multi-Kraus workload: the transition system's first operation composed
+/// with a depolarizing channel on qubit 0 (4x the Kraus circuits).
+TransitionSystem with_depolarizing(TransitionSystem sys, double p = 0.1) {
+  for (auto& op : sys.operations) {
+    op.kraus = circ::apply_channel(op.kraus, circ::depolarizing(p), 0);
+  }
+  return sys;
+}
+
+using SystemFactory = TransitionSystem (*)(tdd::Manager&);
+
+const std::vector<std::pair<std::string, SystemFactory>>& paper_workloads() {
+  static const std::vector<std::pair<std::string, SystemFactory>> workloads = {
+      {"ghz4", [](tdd::Manager& m) { return make_ghz_system(m, 4); }},
+      {"qft4", [](tdd::Manager& m) { return make_qft_system(m, 4); }},
+      {"grover7", [](tdd::Manager& m) { return make_grover_system(m, 7); }},
+      {"noisy-qrw5", [](tdd::Manager& m) { return make_qrw_system(m, 5, 0.1, true, 0); }},
+      {"bitflip-code", [](tdd::Manager& m) { return make_bitflip_code_system(m); }},
+      {"depol-ghz3",
+       [](tdd::Manager& m) { return with_depolarizing(make_ghz_system(m, 3)); }},
+  };
+  return workloads;
+}
+
+TEST(ParallelImage, MatchesSequentialInnerEngineOnPaperWorkloads) {
+  for (const auto& [name, make_system] : paper_workloads()) {
+    for (const char* inner : {"basic", "contraction:2,2"}) {
+      tdd::Manager mgr;
+      const TransitionSystem sys = make_system(mgr);
+      const auto sequential = make_engine(mgr, inner);
+      const Subspace expected = sequential->image(sys, sys.initial);
+      for (std::size_t threads : {1u, 2u, 4u}) {
+        const std::string spec = "parallel:" + std::to_string(threads) + "," + inner;
+        const auto parallel = make_engine(mgr, spec);
+        const Subspace got = parallel->image(sys, sys.initial);
+        EXPECT_EQ(got.dim(), expected.dim()) << name << " " << spec;
+        EXPECT_TRUE(got.same_subspace(expected)) << name << " " << spec;
+      }
+    }
+  }
+}
+
+TEST(ParallelImage, JoinIsIndependentOfThreadCount) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 4));
+  const auto two = make_engine(mgr, "parallel:2");
+  const auto four = make_engine(mgr, "parallel:4");
+  const Subspace a = two->image(sys, sys.initial);
+  const Subspace b = four->image(sys, sys.initial);
+  ASSERT_EQ(a.dim(), b.dim());
+  // Deterministic join: identical basis vectors in identical order, not just
+  // the same span.  Hash-consing makes this literal pointer equality.
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    EXPECT_EQ(a.basis()[i].node, b.basis()[i].node) << "basis vector " << i;
+    EXPECT_TRUE(tdd::same_tensor(a.basis()[i], b.basis()[i])) << "basis vector " << i;
+  }
+}
+
+TEST(ParallelImage, MergesWorkerStatsIntoParentContext) {
+  ExecutionContext ctx;
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
+  const auto engine = make_engine(mgr, "parallel:2", &ctx);
+  const Subspace img = engine->image(sys, sys.initial);
+  EXPECT_GE(img.dim(), 1u);
+  // 4 Kraus circuits x 1 initial basis ket, counted inside the workers and
+  // summed into the parent context on join.
+  EXPECT_EQ(ctx.stats().kraus_applications, 4u);
+  EXPECT_GT(ctx.stats().peak_nodes, 0u);
+  EXPECT_GT(ctx.stats().seconds, 0.0);
+}
+
+TEST(ParallelImage, ReportsNameThreadsAndInnerSpec) {
+  tdd::Manager mgr;
+  const auto engine = make_engine(mgr, "parallel:3,contraction:2,5");
+  EXPECT_EQ(engine->name(), "parallel");
+  const auto& par = dynamic_cast<const ParallelImage&>(*engine);
+  EXPECT_EQ(par.threads(), 3u);
+  EXPECT_EQ(par.inner_spec().method, "contraction");
+  EXPECT_EQ(par.inner_spec().k1, 2u);
+  EXPECT_EQ(par.inner_spec().k2, 5u);
+
+  // threads = 0 resolves to hardware concurrency (at least one worker).
+  const auto auto_sized = make_engine(mgr, "parallel:0,basic");
+  EXPECT_GE(dynamic_cast<const ParallelImage&>(*auto_sized).threads(), 1u);
+}
+
+TEST(ParallelImage, ExpiredDeadlineInsideWorkersPropagates) {
+  ExecutionContext ctx;
+  ctx.set_deadline(Deadline::after(1e-9));
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 4));
+  const auto engine = make_engine(mgr, "parallel:2", &ctx);
+  EXPECT_THROW((void)engine->image(sys, sys.initial), DeadlineExceeded);
+
+  // Cancellation is re-armed after the join: with a fresh deadline the same
+  // engine (and the same parent context) computes normally.
+  ctx.set_deadline(Deadline::after(3600.0));
+  const Subspace img = engine->image(sys, sys.initial);
+  EXPECT_GE(img.dim(), 1u);
+}
+
+TEST(ParallelImage, ReachabilityFixpointMatchesSequential) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto sequential = make_engine(mgr, "contraction:2,2");
+  const auto r_seq = reachable_space(*sequential, sys, 64);
+
+  const auto parallel = make_engine(mgr, "parallel:2,contraction:2,2");
+  const auto r_par = reachable_space(*parallel, sys, 64);
+  EXPECT_EQ(r_par.iterations, r_seq.iterations);
+  EXPECT_EQ(r_par.converged, r_seq.converged);
+  EXPECT_EQ(r_par.space.dim(), r_seq.space.dim());
+  EXPECT_TRUE(r_par.space.same_subspace(r_seq.space));
+}
+
+TEST(ParallelImage, WorkerManagersGarbageCollectUnderTheParentPolicy) {
+  ExecutionContext ctx;
+  ctx.set_gc_threshold_nodes(1);  // force a worker GC every round
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
+  const auto engine = make_engine(mgr, "parallel:2", &ctx);
+  const Subspace first = engine->image(sys, sys.initial);
+  const Subspace second = engine->image(sys, first);
+  EXPECT_GE(second.dim(), 1u);
+  EXPECT_GT(ctx.stats().gc_runs, 0u);
+}
+
+TEST(ParallelImage, ClearPreparedReachesTheWorkerCaches) {
+  // back_image prepares temporary adjoint circuits and relies on
+  // clear_prepared() to drop the address-keyed caches before they dangle;
+  // for the parallel engine those caches live in the workers' inner engines,
+  // so repeated backward images must keep agreeing with a sequential engine.
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto sequential = make_engine(mgr, "basic");
+  const Subspace expected = back_image(*sequential, sys.operations[0], sys.initial);
+
+  const auto parallel = make_engine(mgr, "parallel:2,basic");
+  const Subspace first = back_image(*parallel, sys.operations[0], sys.initial);
+  const Subspace second = back_image(*parallel, sys.operations[0], sys.initial);
+  EXPECT_TRUE(first.same_subspace(expected));
+  EXPECT_TRUE(second.same_subspace(expected));
+}
+
+TEST(ParallelImage, EmptySubspaceYieldsEmptyImage) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto engine = make_engine(mgr, "parallel:2");
+  const Subspace empty(mgr, 3);
+  EXPECT_EQ(engine->image(sys, empty).dim(), 0u);
+}
+
+TEST(ParallelImage, RejectsNestedParallelInner) {
+  tdd::Manager mgr;
+  EXPECT_THROW((void)ParallelImage(mgr, 2, EngineSpec::parse("parallel:2")), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qts

@@ -29,6 +29,8 @@ check 0 "$QTSMC" image --engine basic "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" back --engine addition:1 --steps 4 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" reach --noise bitflip:0.1:0 --steps 8 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" invar "$EXAMPLES/phase_oracle.qasm"
+check 0 "$QTSMC" reach --engine parallel:2 --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine parallel:4,basic --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
 
 # 1 — property violated: the GHZ step leaves span{|000>}.
 check 1 "$QTSMC" invar "$EXAMPLES/ghz.qasm"
@@ -41,12 +43,17 @@ check 2 "$QTSMC" reach --bogus-flag "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach /nonexistent/circuit.qasm
 check 2 "$QTSMC" reach --engine bogus "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine contraction:1 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine parallel:x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine parallel:2,parallel:2 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --initial 01 "$EXAMPLES/ghz.qasm"   # wrong width
 check 2 "$QTSMC" reach --noise bogus:0.1:0 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --noise bitflip:0.1:99 "$EXAMPLES/ghz.qasm"
 
-# 3 — wall-clock budget exceeded.
+# 3 — wall-clock budget exceeded, including a deadline that expires INSIDE a
+# parallel worker: the DeadlineExceeded crosses the thread join and still
+# surfaces as exit code 3.
 check 3 "$QTSMC" reach --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
+check 3 "$QTSMC" reach --engine parallel:2 --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures qtsmc CLI check(s) failed" >&2

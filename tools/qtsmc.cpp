@@ -9,7 +9,10 @@
 ///
 /// Options:
 ///   --engine SPEC                          engine spec: basic | addition:k |
-///                                          contraction:k1,k2 (default contraction:4,4)
+///                                          contraction:k1,k2 | parallel:t[,spec]
+///                                          (default contraction:4,4; parallel
+///                                          shards the Kraus×basis loop over t
+///                                          worker threads, 0 = hardware)
 ///   --method basic|addition|contraction    shorthand for --engine METHOD
 ///   --k K                                  addition slices (default 1)
 ///   --k1 K --k2 K                          contraction cut (default 4 4)
@@ -68,7 +71,8 @@ struct Options {
   if (!error.empty()) std::cerr << "error: " << error << "\n";
   std::cerr <<
       R"(usage: qtsmc <image|reach|back|invar> [options] circuit.qasm
-  --engine SPEC                          basic | addition:k | contraction:k1,k2
+  --engine SPEC                          basic | addition:k | contraction:k1,k2 |
+                                         parallel:t[,spec] (t threads, 0 = hardware)
   --method basic|addition|contraction    shorthand for --engine METHOD
   --k K                                  addition-partition slices (default 1)
   --k1 K --k2 K                          contraction cut parameters (default 4 4)
