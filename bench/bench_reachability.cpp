@@ -1,0 +1,144 @@
+/// \file bench_reachability.cpp
+/// Frontier-shard thread sweep of the reachable-subspace fixpoint: the whole
+/// iteration body — imaging the frontier AND the orthogonalise-against-
+/// accumulator filtering — runs sharded across the worker pool when the
+/// engine is `parallel:<t>`, so this sweep measures the FixpointDriver's
+/// sharded path end to end, not just a single image() call.
+///
+/// Usage:
+///   bench_reachability [--n QUBITS] [--p PROB] [--steps N]
+///                      [--threads LIST] [--inner SPEC] [--timeout S]
+///
+/// Defaults: the noisy quantum walk on a cycle (2 Kraus circuits, frontier
+/// grows to the full 2^n space), n = 6, p = 0.1, threads 1,2,4,8, inner
+/// engine contraction:4,4.  A sequential reference row (the inner engine run
+/// directly through the driver's sequential single-Gram-Schmidt path) is
+/// printed first; every parallel row reports speedup against it (or against
+/// parallel:1 when the sweep includes it).  Results land in
+/// BENCH_reachability.json.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "qts/engine.hpp"
+#include "qts/reachability.hpp"
+#include "qts/workloads.hpp"
+
+namespace {
+
+using namespace qts;
+
+struct Measurement {
+  std::optional<double> ms;
+  std::size_t peak_nodes = 0;
+  std::size_t dim = 0;
+  std::size_t iterations = 0;
+};
+
+Measurement run_once(const std::string& engine_spec, std::uint32_t n, double p,
+                     std::size_t steps, double timeout_s) {
+  ExecutionContext ctx;
+  if (timeout_s > 0) ctx.set_deadline(Deadline::after(timeout_s));
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = make_qrw_system(mgr, n, p, true, 0);
+  const auto computer = make_engine(mgr, engine_spec, &ctx);
+  Measurement m;
+  WallTimer timer;
+  try {
+    const auto r = reachable_space(*computer, sys, steps);
+    m.ms = timer.seconds() * 1e3;
+    m.dim = r.space.dim();
+    m.iterations = r.iterations;
+  } catch (const DeadlineExceeded&) {
+    m.ms = std::nullopt;
+  }
+  m.peak_nodes = ctx.stats().peak_nodes;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t n = 6;
+  double p = 0.1;
+  std::size_t steps = 64;
+  double timeout_s = 600.0;
+  std::string inner = "contraction:4,4";
+  std::vector<std::size_t> threads{1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--p") == 0 && i + 1 < argc) {
+      p = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--inner") == 0 && i + 1 < argc) {
+      inner = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads.clear();
+      for (const auto& piece : split(argv[++i], ",")) {
+        bool ok = !piece.empty() && piece.find_first_not_of("0123456789") == std::string::npos;
+        if (ok) {
+          try {
+            threads.push_back(static_cast<std::size_t>(std::stoul(piece)));
+          } catch (const std::out_of_range&) {
+            ok = false;
+          }
+        }
+        if (!ok) {
+          std::cerr << "bench_reachability: --threads expects a comma-separated list of "
+                       "numbers, got '"
+                    << piece << "'\n";
+          return 1;
+        }
+      }
+    } else {
+      std::cerr << "usage: bench_reachability [--n QUBITS] [--p PROB] [--steps N] "
+                   "[--threads LIST] [--inner SPEC] [--timeout S]\n";
+      return 1;
+    }
+  }
+
+  const std::string workload = "qrw" + std::to_string(n);
+  std::cout << "Sharded reachability sweep — noisy quantum walk, " << n << " qubits, p = " << p
+            << ", inner engine " << inner << "\n\n";
+  std::cout << pad_right("engine", 28) << pad_left("wall[ms]", 12) << pad_left("dim", 6)
+            << pad_left("iters", 7) << pad_left("peak", 10) << pad_left("speedup", 10) << "\n";
+
+  bench::JsonWriter json("reachability");
+  const auto report = [&](const std::string& spec, std::size_t nthreads, const Measurement& m,
+                          std::optional<double> base_ms) {
+    std::string speedup = "-";
+    if (m.ms && base_ms) speedup = format_fixed(*base_ms / *m.ms, 2) + "x";
+    std::cout << pad_right(spec, 28) << pad_left(m.ms ? format_fixed(*m.ms, 1) : "-", 12)
+              << pad_left(std::to_string(m.dim), 6) << pad_left(std::to_string(m.iterations), 7)
+              << pad_left(std::to_string(m.peak_nodes), 10) << pad_left(speedup, 10) << "\n"
+              << std::flush;
+    json.add({workload + "/" + spec, m.ms.value_or(timeout_s * 1e3), m.peak_nodes, nthreads,
+              !m.ms.has_value()});
+  };
+
+  // Sequential reference: the inner engine run directly — the driver's
+  // single-pass Gram-Schmidt path with no worker pool and no transfers.
+  const Measurement seq = run_once(inner, n, p, steps, timeout_s);
+  report(inner, 1, seq, seq.ms);
+
+  // Speedups are reported against parallel:1 when the sweep includes it,
+  // falling back to the sequential reference otherwise.
+  std::optional<double> base_ms = seq.ms;
+  for (std::size_t t : threads) {
+    const std::string spec = "parallel:" + std::to_string(t) + "," + inner;
+    const Measurement m = run_once(spec, n, p, steps, timeout_s);
+    if (t == 1 && m.ms) base_ms = m.ms;
+    report(spec, t, m, base_ms);
+  }
+  return 0;
+}

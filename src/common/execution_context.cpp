@@ -22,6 +22,11 @@ void ExecutionContext::join_worker(const ExecutionContext& worker) {
   if (w.peak_nodes > stats_.peak_nodes) stats_.peak_nodes = w.peak_nodes;
   stats_.kraus_applications += w.kraus_applications;
   stats_.gc_runs += w.gc_runs;
+  stats_.fixpoint_iterations += w.fixpoint_iterations;
+  stats_.frontier_kets += w.frontier_kets;
+  stats_.frontier_shards += w.frontier_shards;
+  stats_.frontier_survivors += w.frontier_survivors;
+  if (w.max_frontier_dim > stats_.max_frontier_dim) stats_.max_frontier_dim = w.max_frontier_dim;
   stats_.unique_hits += w.unique_hits;
   stats_.unique_misses += w.unique_misses;
   stats_.add_hits += w.add_hits;

@@ -25,6 +25,13 @@ struct RunStats {
   std::size_t kraus_applications = 0; ///< Kraus-operator applications to basis kets
   std::size_t gc_runs = 0;            ///< mark-sweep collections triggered
 
+  // Fixpoint-loop counters (filled by the FixpointDriver).
+  std::size_t fixpoint_iterations = 0;  ///< frontier iterations driven
+  std::size_t frontier_kets = 0;        ///< frontier basis vectors imaged, summed over iterations
+  std::size_t frontier_shards = 0;      ///< frontier shards dispatched (1 per sequential iteration)
+  std::size_t frontier_survivors = 0;   ///< image vectors that extended the accumulator
+  std::size_t max_frontier_dim = 0;     ///< widest frontier seen in any iteration
+
   // TDD manager cache counters (unique table / add cache / cont cache).
   std::size_t unique_hits = 0;
   std::size_t unique_misses = 0;

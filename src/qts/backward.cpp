@@ -28,10 +28,11 @@ Subspace back_image(ImageComputer& computer, const QuantumOperation& op, const S
 }
 
 BackwardResult backward_reachable(ImageComputer& computer, const TransitionSystem& sys,
-                                  const Subspace& target, std::size_t max_iterations) {
+                                  const Subspace& target, std::size_t max_iterations,
+                                  IterationObserver observer) {
   TransitionSystem back = adjoint_system(sys);
   back.initial = target;
-  const ReachabilityResult r = reachable_space(computer, back, max_iterations);
+  const ReachabilityResult r = reachable_space(computer, back, max_iterations, std::move(observer));
   computer.clear_prepared();
   return {r.space, r.iterations, r.converged};
 }

@@ -6,7 +6,7 @@
 /// so every forward image algorithm works unchanged.
 #pragma once
 
-#include "qts/image.hpp"
+#include "qts/fixpoint.hpp"
 
 namespace qts {
 
@@ -28,6 +28,7 @@ struct BackwardResult {
   bool converged;
 };
 BackwardResult backward_reachable(ImageComputer& computer, const TransitionSystem& sys,
-                                  const Subspace& target, std::size_t max_iterations = 100);
+                                  const Subspace& target, std::size_t max_iterations = 100,
+                                  IterationObserver observer = nullptr);
 
 }  // namespace qts

@@ -1,0 +1,120 @@
+#include "qts/fixpoint.hpp"
+
+namespace qts {
+
+using tdd::Edge;
+
+FixpointDriver::FixpointDriver(ImageComputer& computer, const TransitionSystem& sys)
+    : computer_(computer), sys_(sys) {}
+
+FixpointDriver& FixpointDriver::set_max_iterations(std::size_t n) {
+  max_iterations_ = n;
+  return *this;
+}
+
+FixpointDriver& FixpointDriver::set_frontier_predicate(
+    std::function<bool(const tdd::Edge&)> predicate) {
+  predicate_ = std::move(predicate);
+  return *this;
+}
+
+FixpointDriver& FixpointDriver::set_observer(IterationObserver observer) {
+  observer_ = std::move(observer);
+  return *this;
+}
+
+FixpointDriver& FixpointDriver::keep_alive(const Subspace& subspace) {
+  extra_roots_.push_back(&subspace);
+  return *this;
+}
+
+/// Mark-sweep over everything the loop still needs.
+void FixpointDriver::collect_and_gc(const Subspace& acc, const std::vector<Edge>& frontier) {
+  std::vector<Edge> roots = computer_.prepared_roots();
+  auto keep_subspace = [&roots](const Subspace& s) {
+    roots.push_back(s.projector());
+    roots.insert(roots.end(), s.basis().begin(), s.basis().end());
+  };
+  keep_subspace(sys_.initial);
+  keep_subspace(acc);
+  roots.insert(roots.end(), frontier.begin(), frontier.end());
+  for (const Subspace* s : extra_roots_) keep_subspace(*s);
+  computer_.manager().gc(roots);
+}
+
+FixpointDriver::Result FixpointDriver::run() {
+  sys_.validate();
+  history_.clear();
+  ExecutionContext& ctx = computer_.context();
+  const std::uint32_t n = sys_.num_qubits;
+  const bool sharded = computer_.shards_frontier();
+
+  Subspace acc = sys_.initial;
+  // The frontier is a bare orthonormal ket family, not a Subspace: nothing
+  // ever projects onto it, so maintaining its projector TDD (one outer
+  // product and operator-sized add per survivor) would be pure overhead in
+  // the hot loop.
+  std::vector<Edge> frontier = sys_.initial.basis();
+  std::size_t iters = 0;
+  const std::size_t full_dim_cap =
+      n >= 20 ? ~std::size_t{0} : (std::size_t{1} << n);
+
+  while (iters < max_iterations_ && acc.dim() < full_dim_cap) {
+    ++iters;
+    ctx.check_deadline();
+    if (ctx.gc_threshold_nodes() != 0 &&
+        computer_.manager().live_nodes() > ctx.gc_threshold_nodes()) {
+      collect_and_gc(acc, frontier);
+    }
+
+    IterationStats it;
+    it.iteration = iters;
+    it.frontier_dim = frontier.size();
+
+    // Imaging only the frontier is sound because T(A ∨ B) = T(A) ∨ T(B)
+    // (Proposition 1) and previously imaged vectors add nothing new.  Either
+    // path ends in the single authoritative Gram-Schmidt pass of
+    // add_states: one orthogonalisation per image vector, whose surviving
+    // residuals are the next frontier.
+    std::vector<Edge> candidates;
+    if (sharded) {
+      // Workers image their frontier shard AND pre-filter against the
+      // accumulator snapshot; only genuinely-new candidates (plus
+      // cross-shard duplicates, which the add_states pass below dedups)
+      // come back.
+      it.shards = 0;
+      candidates = computer_.frontier_candidates(sys_, frontier, n, acc.projector(), &it.shards);
+    } else {
+      candidates = computer_.image_kets(sys_, frontier, n);
+      it.shards = 1;
+    }
+    it.candidates = candidates.size();
+    std::vector<Edge> survivors = acc.add_states(candidates);
+    tdd::record_peak(&ctx, acc.projector());
+
+    it.survivors = survivors.size();
+    it.acc_dim = acc.dim();
+    RunStats& s = ctx.stats();
+    s.fixpoint_iterations += 1;
+    s.frontier_kets += it.frontier_dim;
+    s.frontier_shards += it.shards;
+    s.frontier_survivors += it.survivors;
+    if (it.frontier_dim > s.max_frontier_dim) s.max_frontier_dim = it.frontier_dim;
+    history_.push_back(it);
+    if (observer_) observer_(it);
+
+    if (predicate_) {
+      for (const Edge& v : survivors) {
+        if (!predicate_(v)) return {std::move(acc), iters, true, true};
+      }
+    }
+    if (survivors.empty()) {
+      return {std::move(acc), iters, true, false};
+    }
+    frontier = std::move(survivors);
+  }
+  const bool saturated = acc.dim() >= full_dim_cap;
+  return {std::move(acc), iters, saturated, false};
+}
+
+}  // namespace qts

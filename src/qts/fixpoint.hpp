@@ -1,0 +1,106 @@
+/// \file fixpoint.hpp
+/// The unified frontier-iteration driver behind every model-checking loop.
+///
+/// `reachable_space` and `check_invariant` used to carry near-duplicated
+/// frontier bookkeeping; FixpointDriver owns it once: the accumulated and
+/// frontier subspaces, GC root collection, deadline ticks, per-iteration
+/// statistics, and the choice between the sequential and the sharded
+/// execution path.  The loops on top reduce to thin policies — invariant
+/// checking is nothing but an early-exit predicate on each frontier
+/// survivor.
+///
+/// Each iteration images the current frontier, filters the image vectors
+/// against the accumulator and extends it — all in ONE Gram-Schmidt pass per
+/// image vector (`Subspace::add_states`): the surviving orthonormal
+/// residuals ARE the next frontier, carried as a bare ket family (nothing
+/// ever projects onto the frontier, so no projector is maintained for it).
+///
+/// When the engine shards frontiers (`ImageComputer::shards_frontier`, i.e.
+/// the `parallel:<t>` engine), the whole iteration body — imaging *and* the
+/// orthogonalise-against-accumulator filtering — runs sharded: the frontier
+/// basis is split into contiguous per-worker shards, each worker receives
+/// its kets plus a snapshot of the accumulator projector in its private
+/// manager, and survivors come back in fixed shard order.  The join and the
+/// authoritative accumulator extension happen on the caller's thread in that
+/// order, so the fixpoint result is bit-for-bit independent of the thread
+/// count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "qts/image.hpp"
+
+namespace qts {
+
+/// What one frontier iteration did.
+struct IterationStats {
+  std::size_t iteration = 0;     ///< 1-based iteration number
+  std::size_t frontier_dim = 0;  ///< frontier basis vectors imaged
+  /// Image vectors fed to the accumulator's Gram-Schmidt pass.  On the
+  /// sequential path this is every raw Kraus×ket image; on the sharded path
+  /// the workers' snapshot pre-filter has already dropped images inside the
+  /// accumulator, so the number is lower for the same computation.
+  std::size_t candidates = 0;
+  std::size_t survivors = 0;     ///< residuals that extended the accumulator
+  std::size_t shards = 0;        ///< frontier shards dispatched (1 = sequential path)
+  std::size_t acc_dim = 0;       ///< accumulated dimension after the iteration
+};
+
+/// Callback invoked after every completed iteration (e.g. qtsmc --verbose).
+using IterationObserver = std::function<void(const IterationStats&)>;
+
+class FixpointDriver {
+ public:
+  /// The system is held by reference: it must outlive run().
+  FixpointDriver(ImageComputer& computer, const TransitionSystem& sys);
+
+  FixpointDriver& set_max_iterations(std::size_t n);
+
+  /// Early-exit predicate over each frontier survivor, evaluated in the
+  /// parent manager right after the accumulator was extended.  Returning
+  /// false stops the run with `predicate_violated` set.  Checking only the
+  /// survivors is equivalent to checking every raw image vector: the
+  /// predicate's subspace is closed under linear combination, and every
+  /// non-surviving image vector lies in the span of the (already vetted)
+  /// accumulator plus earlier survivors.
+  FixpointDriver& set_frontier_predicate(std::function<bool(const tdd::Edge&)> predicate);
+
+  FixpointDriver& set_observer(IterationObserver observer);
+
+  /// Extra GC roots: subspaces that live in the computer's manager and must
+  /// survive the driver's mark-sweep collections (e.g. the invariant
+  /// subspace a predicate closes over).  Held by pointer; must outlive run().
+  FixpointDriver& keep_alive(const Subspace& subspace);
+
+  struct Result {
+    Subspace space;                   ///< the accumulator when the loop stopped
+    std::size_t iterations = 0;       ///< frontier iterations performed
+    bool converged = false;           ///< fixpoint reached (or the full space saturated)
+    bool predicate_violated = false;  ///< the frontier predicate rejected a survivor
+  };
+
+  /// Drive the iteration to the fixpoint, the iteration cap, a deadline, or
+  /// a predicate violation.  GC runs under the context's
+  /// gc_threshold_nodes policy with roots = the computer's prepared
+  /// operators, the system's initial subspace, the accumulator, the
+  /// frontier, and every keep_alive subspace.
+  Result run();
+
+  /// Per-iteration statistics of the last run(), oldest first.
+  [[nodiscard]] const std::vector<IterationStats>& history() const { return history_; }
+
+ private:
+  void collect_and_gc(const Subspace& acc, const std::vector<tdd::Edge>& frontier);
+
+  ImageComputer& computer_;
+  const TransitionSystem& sys_;
+  std::size_t max_iterations_ = 100;
+  std::function<bool(const tdd::Edge&)> predicate_;
+  IterationObserver observer_;
+  std::vector<const Subspace*> extra_roots_;
+  std::vector<IterationStats> history_;
+};
+
+}  // namespace qts

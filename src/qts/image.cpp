@@ -22,6 +22,28 @@ Subspace ImageComputer::image(const QuantumOperation& op, const Subspace& s) {
   return out;
 }
 
+std::vector<Edge> ImageComputer::image_kets(const TransitionSystem& sys,
+                                            std::span<const Edge> kets, std::uint32_t n) {
+  ScopedTimer timer(ctx_);
+  std::size_t kraus_total = 0;
+  for (const auto& op : sys.operations) kraus_total += op.kraus.size();
+  std::vector<Edge> out;
+  out.reserve(kraus_total * kets.size());
+  for (const auto& op : sys.operations) {
+    for (const auto& kraus : op.kraus) {
+      for (const auto& b : kets) out.push_back(apply_kraus(kraus, b, n));
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> ImageComputer::frontier_candidates(const TransitionSystem&,
+                                                     std::span<const Edge>, std::uint32_t,
+                                                     const Edge&, std::size_t*) {
+  throw InternalError("ImageComputer::frontier_candidates: engine '" + name() +
+                      "' does not shard frontier iterations (shards_frontier() is false)");
+}
+
 Edge ImageComputer::apply_kraus(const circ::Circuit& kraus, const Edge& ket,
                                 std::uint32_t num_qubits) {
   ctx_->check_deadline();

@@ -16,9 +16,12 @@
 ///     without ever materialising the monolithic operator.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/execution_context.hpp"
 #include "qts/system.hpp"
@@ -50,6 +53,35 @@ class ImageComputer {
 
   /// T(S) = ⋁_σ T_σ(S) over every operation of the system.
   Subspace image(const TransitionSystem& sys, const Subspace& s);
+
+  /// Every raw image ket of a frontier family — op-major, Kraus-major,
+  /// ket-minor, no subspace assembly at all.  This is the FixpointDriver's
+  /// sequential feed into Subspace::add_states: the one authoritative
+  /// Gram-Schmidt pass there is the ONLY orthogonalisation any image vector
+  /// sees per iteration.  Note this entry point does not go through an
+  /// engine's image(op, s) override; frontier-sharding engines are served
+  /// by frontier_candidates instead.
+  std::vector<tdd::Edge> image_kets(const TransitionSystem& sys, std::span<const tdd::Edge> kets,
+                                    std::uint32_t n);
+
+  /// Engines that can shard a *whole frontier iteration* — imaging plus the
+  /// orthogonalise-against-accumulator filtering — across workers return
+  /// true; the FixpointDriver then feeds them through frontier_candidates
+  /// instead of image() + Subspace::add_states.
+  [[nodiscard]] virtual bool shards_frontier() const { return false; }
+
+  /// Sharded frontier step: image every ket of the `frontier` family
+  /// through every Kraus circuit of every operation of `sys`, drop images
+  /// already inside the accumulator snapshot `acc_projector`, and return
+  /// the surviving (unnormalised) image kets in a fixed ket-major order —
+  /// bit-for-bit independent of how the work was sharded.  `shards_used`,
+  /// when non-null, receives the number of shards dispatched.  Only engines
+  /// with shards_frontier() == true implement this; the base class throws.
+  virtual std::vector<tdd::Edge> frontier_candidates(const TransitionSystem& sys,
+                                                     std::span<const tdd::Edge> frontier,
+                                                     std::uint32_t n,
+                                                     const tdd::Edge& acc_projector,
+                                                     std::size_t* shards_used);
 
   /// One cell of the Kraus×basis loop: apply a single Kraus circuit to a ket
   /// (preparing and caching the operator on first use) and account for it —

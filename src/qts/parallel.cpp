@@ -64,42 +64,139 @@ Subspace ParallelImage::image(const QuantumOperation& op, const Subspace& s) {
   Subspace out(mgr_, n);
   if (tasks.empty()) return out;
 
+  std::vector<Edge> results(tasks.size());  // each owned by its worker's manager
+  std::atomic<std::size_t> cursor{0};
+
+  const std::size_t active = std::min(workers_.size(), tasks.size());
+  run_pool(active, [&](std::size_t idx) {
+    Worker& w = *workers_[idx];
+    // Per-round transfer memo: the task list holds #kraus × #basis entries
+    // but only #basis distinct kets, so ship each ket in once per worker.
+    std::unordered_map<const Edge*, Edge> ket_cache;
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) break;
+      auto it = ket_cache.find(tasks[i].ket);
+      if (it == ket_cache.end()) {
+        // The parent manager is quiescent while workers run, so transferring
+        // out of it concurrently is safe (transfer only reads the source).
+        it = ket_cache.emplace(tasks[i].ket, tdd::transfer(*tasks[i].ket, w.mgr)).first;
+      }
+      results[i] = w.engine->apply_kraus(*tasks[i].kraus, it->second, n);
+    }
+  });
+
+  // Deterministic join: ship every result into the parent manager and reduce
+  // in task order, mirroring the sequential loop body.
+  for (const Edge& result : results) {
+    const Edge phi = tdd::transfer(result, mgr_);
+    out.add_state(phi);
+    tdd::record_peak(ctx_, out.projector());
+  }
+  return out;
+}
+
+std::vector<Edge> ParallelImage::frontier_candidates(const TransitionSystem& sys,
+                                                     std::span<const Edge> kets,
+                                                     std::uint32_t n, const Edge& acc_projector,
+                                                     std::size_t* shards_used) {
+  ScopedTimer timer(ctx_);
+  if (shards_used != nullptr) *shards_used = 0;
+  if (kets.empty()) return {};
+
+  // The frontier's task list in ket-major (ket, op, Kraus) order, fixed
+  // before any worker starts.  Sharding at task grain rather than ket grain
+  // keeps the whole pool busy even when a narrow frontier meets a wide
+  // Kraus family (one ket x 16 noise circuits is 16 tasks, not 1 shard).
+  struct Task {
+    const Edge* ket;
+    const circ::Circuit* kraus;
+  };
+  std::size_t kraus_total = 0;
+  for (const auto& op : sys.operations) kraus_total += op.kraus.size();
+  std::vector<Task> tasks;
+  tasks.reserve(kets.size() * kraus_total);
+  for (const auto& ket : kets) {
+    for (const auto& op : sys.operations) {
+      for (const auto& kraus : op.kraus) tasks.push_back({&ket, &kraus});
+    }
+  }
+
+  // Contiguous balanced shards over the task list, one per active worker.
+  const std::size_t nshards = std::min(workers_.size(), tasks.size());
+  if (shards_used != nullptr) *shards_used = nshards;
+  std::vector<std::size_t> bounds(nshards + 1, 0);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    bounds[s + 1] = bounds[s] + tasks.size() / nshards + (s < tasks.size() % nshards ? 1 : 0);
+  }
+
+  // Per-shard survivors, each owned by its worker's manager until the join.
+  std::vector<std::vector<Edge>> kept(nshards);
+
+  run_pool(nshards, [&](std::size_t s) {
+    Worker& w = *workers_[s];
+    // The snapshot is identical for every shard, so each task's keep/drop
+    // verdict depends only on the snapshot and the task itself, never on
+    // where the shard boundaries fall — the source of the thread-count
+    // invariance.
+    const Edge snapshot = tdd::transfer(acc_projector, w.mgr);
+    // Ship each of this shard's kets in once (a ket's tasks are contiguous,
+    // but a boundary may split them across two workers — each transfers).
+    std::unordered_map<const Edge*, Edge> ket_cache;
+    for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+      auto it = ket_cache.find(tasks[i].ket);
+      if (it == ket_cache.end()) {
+        it = ket_cache.emplace(tasks[i].ket, tdd::transfer(*tasks[i].ket, w.mgr)).first;
+      }
+      const Edge phi = w.engine->apply_kraus(*tasks[i].kraus, it->second, n);
+      if (!Subspace::projector_contains(w.mgr, snapshot, phi, n)) kept[s].push_back(phi);
+    }
+  });
+
+  // Deterministic join: concatenating shard survivors in shard order is the
+  // task list's own (ket-major) order, whatever the worker count was.
+  std::vector<Edge> out;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    for (const Edge& phi : kept[s]) {
+      out.push_back(tdd::transfer(phi, mgr_));
+      tdd::record_peak(ctx_, out.back());
+    }
+  }
+  return out;
+}
+
+void ParallelImage::run_pool(std::size_t active, const std::function<void(std::size_t)>& task) {
   // Fresh context views each round: workers share this round's deadline and
   // cancel flag and start with zeroed stats (last round's were merged).
   // Assignment keeps every Worker::ctx address stable, which the worker's
   // manager and engine hold pointers to.
   for (auto& w : workers_) w->ctx = ctx_->worker_view();
 
-  std::vector<Edge> results(tasks.size());  // each owned by its worker's manager
-  std::atomic<std::size_t> cursor{0};
+  // Between-round GC under the parent's policy: only the inner engine's
+  // prepared operators survive (earlier results were already shipped to the
+  // parent manager).
+  const auto maybe_gc = [](Worker& w) {
+    if (w.ctx.gc_threshold_nodes() != 0 && w.mgr.live_nodes() > w.ctx.gc_threshold_nodes()) {
+      const auto roots = w.engine->prepared_roots();
+      w.mgr.gc(roots);
+    }
+  };
+  // Workers this round leaves idle (a frontier or task list narrower than
+  // the pool) still honour the node-pool bound: their managers are
+  // quiescent, so collect here on the caller's thread — otherwise a
+  // narrowing frontier would strand earlier rounds' nodes in them for the
+  // rest of a long run.
+  for (std::size_t i = active; i < workers_.size(); ++i) maybe_gc(*workers_[i]);
+
   std::exception_ptr first_error;
   bool first_error_cancel_induced = false;
   std::mutex error_mutex;
 
-  auto run_worker = [&](Worker& w) {
+  auto run_worker = [&](std::size_t idx) {
+    Worker& w = *workers_[idx];
     try {
-      // Between-round GC under the parent's policy: only the inner engine's
-      // prepared operators survive (earlier results were already shipped to
-      // the parent manager).
-      if (w.ctx.gc_threshold_nodes() != 0 && w.mgr.live_nodes() > w.ctx.gc_threshold_nodes()) {
-        const auto roots = w.engine->prepared_roots();
-        w.mgr.gc(roots);
-      }
-      // Per-round transfer memo: the task list holds #kraus × #basis entries
-      // but only #basis distinct kets, so ship each ket in once per worker.
-      std::unordered_map<const Edge*, Edge> ket_cache;
-      for (;;) {
-        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= tasks.size()) break;
-        auto it = ket_cache.find(tasks[i].ket);
-        if (it == ket_cache.end()) {
-          // The parent manager is quiescent while workers run, so
-          // transferring out of it concurrently is safe (transfer only
-          // reads the source).
-          it = ket_cache.emplace(tasks[i].ket, tdd::transfer(*tasks[i].ket, w.mgr)).first;
-        }
-        results[i] = w.engine->apply_kraus(*tasks[i].kraus, it->second, n);
-      }
+      maybe_gc(w);
+      task(idx);
     } catch (...) {
       // If the shared flag was already set when this worker failed, the stop
       // originated elsewhere (an external request_cancel, or a sibling that
@@ -123,15 +220,12 @@ Subspace ParallelImage::image(const QuantumOperation& op, const Subspace& s) {
   // rounds; the threads themselves are per-round, which is noise next to the
   // Kraus applications they run.  A single-worker round skips the spawn and
   // runs inline on the calling thread — same worker state, same results.
-  const std::size_t active = std::min(workers_.size(), tasks.size());
   if (active == 1) {
-    run_worker(*workers_[0]);
+    run_worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(active);
-    for (std::size_t i = 0; i < active; ++i) {
-      pool.emplace_back(run_worker, std::ref(*workers_[i]));
-    }
+    for (std::size_t i = 0; i < active; ++i) pool.emplace_back(run_worker, i);
     for (auto& t : pool) t.join();
   }
 
@@ -145,15 +239,6 @@ Subspace ParallelImage::image(const QuantumOperation& op, const Subspace& s) {
     if (!first_error_cancel_induced) ctx_->clear_cancel();
     std::rethrow_exception(first_error);
   }
-
-  // Deterministic join: ship every result into the parent manager and reduce
-  // in task order, mirroring the sequential loop body.
-  for (const Edge& result : results) {
-    const Edge phi = tdd::transfer(result, mgr_);
-    out.add_state(phi);
-    tdd::record_peak(ctx_, out.projector());
-  }
-  return out;
 }
 
 void ParallelImage::clear_prepared() {

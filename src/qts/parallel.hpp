@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -55,6 +56,27 @@ class ParallelImage final : public ImageComputer {
   using ImageComputer::image;
   Subspace image(const QuantumOperation& op, const Subspace& s) override;
 
+  /// The parallel engine also shards whole frontier iterations: the
+  /// FixpointDriver hands it the frontier and an accumulator snapshot via
+  /// frontier_candidates instead of calling image() per operation.
+  [[nodiscard]] bool shards_frontier() const override { return true; }
+
+  /// One sharded frontier step.  The frontier's ket-major ket×Kraus task
+  /// list is split into contiguous balanced shards (one per active worker)
+  /// *before* any worker starts; each worker transfers its shard's kets
+  /// plus the accumulator-projector snapshot into its private manager,
+  /// applies its Kraus×ket tasks there, and locally drops images already
+  /// inside the snapshot (Subspace::projector_contains).  Survivor
+  /// candidates are transferred back and concatenated in shard order — the
+  /// task list's own ket-major order — so the result is bit-for-bit
+  /// independent of the worker count: the shard boundaries move with
+  /// `threads`, but every per-candidate value and keep/drop verdict depends
+  /// only on the snapshot and the task itself, never on a sibling shard.
+  std::vector<tdd::Edge> frontier_candidates(const TransitionSystem& sys,
+                                             std::span<const tdd::Edge> frontier,
+                                             std::uint32_t n, const tdd::Edge& acc_projector,
+                                             std::size_t* shards_used) override;
+
   /// The prepared-operator caches live in the workers' inner engines (keyed
   /// on Circuit addresses, like any sequential engine's); forward the drop.
   void clear_prepared() override;
@@ -68,6 +90,13 @@ class ParallelImage final : public ImageComputer {
 
  private:
   struct Worker;
+
+  /// Run `task(worker_index)` on the first `active` workers: fresh context
+  /// views, between-round worker GC under the parent's policy, per-round
+  /// thread spawn (inline when active == 1), deterministic error capture
+  /// with sibling cancellation, stat merge on join, and rethrow of the
+  /// first error.  Shared by image() and frontier_candidates().
+  void run_pool(std::size_t active, const std::function<void(std::size_t)>& task);
 
   EngineSpec inner_;
   std::vector<std::unique_ptr<Worker>> workers_;

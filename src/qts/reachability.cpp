@@ -2,99 +2,33 @@
 
 namespace qts {
 
-namespace {
-
-/// Extends `acc` by every basis vector of `extra`; true if the dim grew.
-bool extend(Subspace& acc, const Subspace& extra) {
-  bool grew = false;
-  for (const auto& v : extra.basis()) {
-    grew = acc.add_state(v) || grew;
-  }
-  return grew;
-}
-
-}  // namespace
-
-namespace {
-
-/// Mark-sweep over everything the loop still needs.
-void collect_and_gc(ImageComputer& computer, const TransitionSystem& sys, const Subspace& acc,
-                    const Subspace& frontier) {
-  std::vector<tdd::Edge> roots = computer.prepared_roots();
-  auto keep_subspace = [&roots](const Subspace& s) {
-    roots.push_back(s.projector());
-    roots.insert(roots.end(), s.basis().begin(), s.basis().end());
-  };
-  keep_subspace(sys.initial);
-  keep_subspace(acc);
-  keep_subspace(frontier);
-  computer.manager().gc(roots);
-}
-
-}  // namespace
-
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
-                                   std::size_t max_iterations) {
-  sys.validate();
-  ExecutionContext& ctx = computer.context();
-  Subspace acc = sys.initial;
-  Subspace frontier = sys.initial;
-  std::size_t iters = 0;
-  const std::size_t full_dim_cap = sys.num_qubits >= 20 ? ~std::size_t{0}
-                                                        : (std::size_t{1} << sys.num_qubits);
-  while (iters < max_iterations && acc.dim() < full_dim_cap) {
-    ++iters;
-    ctx.check_deadline();
-    if (ctx.gc_threshold_nodes() != 0 &&
-        computer.manager().live_nodes() > ctx.gc_threshold_nodes()) {
-      collect_and_gc(computer, sys, acc, frontier);
-    }
-    // Imaging only the frontier is sound because T(A ∨ B) = T(A) ∨ T(B)
-    // (Proposition 1) and previously imaged vectors add nothing new.
-    const Subspace next = computer.image(sys, frontier);
-    Subspace fresh(computer.manager(), sys.num_qubits);
-    for (const auto& v : next.basis()) {
-      if (!acc.contains(v)) fresh.add_state(v);
-    }
-    if (!extend(acc, next)) {
-      return {std::move(acc), iters, true};
-    }
-    frontier = std::move(fresh);
-    if (frontier.dim() == 0) {
-      return {std::move(acc), iters, true};
-    }
-  }
-  const bool done = acc.dim() >= full_dim_cap;
-  return {std::move(acc), iters, done};
+                                   std::size_t max_iterations, IterationObserver observer) {
+  FixpointDriver driver(computer, sys);
+  driver.set_max_iterations(max_iterations).set_observer(std::move(observer));
+  FixpointDriver::Result r = driver.run();
+  return {std::move(r.space), r.iterations, r.converged};
 }
 
 InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem& sys,
-                                const Subspace& invariant, std::size_t max_iterations) {
+                                const Subspace& invariant, std::size_t max_iterations,
+                                IterationObserver observer) {
   sys.validate();
-  auto inside = [&](const Subspace& s) {
-    for (const auto& v : s.basis()) {
-      if (!invariant.contains(v)) return false;
-    }
-    return true;
-  };
-  if (!inside(sys.initial)) return {false, 0, true};
-
-  Subspace acc = sys.initial;
-  Subspace frontier = sys.initial;
-  for (std::size_t i = 1; i <= max_iterations; ++i) {
-    computer.context().check_deadline();
-    const Subspace next = computer.image(sys, frontier);
-    if (!inside(next)) return {false, i, true};
-    Subspace fresh(computer.manager(), sys.num_qubits);
-    for (const auto& v : next.basis()) {
-      if (!acc.contains(v)) fresh.add_state(v);
-    }
-    bool grew = false;
-    for (const auto& v : next.basis()) grew = acc.add_state(v) || grew;
-    if (!grew || fresh.dim() == 0) return {true, i, true};
-    frontier = std::move(fresh);
+  // The initial subspace is vetted up front; every later reachable direction
+  // is vetted as the frontier survivor that introduced it (a non-surviving
+  // image vector lies in the span of already-vetted vectors, and the
+  // invariant subspace is closed under linear combination).
+  for (const auto& v : sys.initial.basis()) {
+    if (!invariant.contains(v)) return {false, 0, true};
   }
-  return {true, max_iterations, false};
+  FixpointDriver driver(computer, sys);
+  driver.set_max_iterations(max_iterations)
+      .set_observer(std::move(observer))
+      .set_frontier_predicate(
+          [&invariant](const tdd::Edge& survivor) { return invariant.contains(survivor); })
+      .keep_alive(invariant);
+  const FixpointDriver::Result r = driver.run();
+  return {!r.predicate_violated, r.iterations, r.converged};
 }
 
 }  // namespace qts

@@ -2,11 +2,16 @@
 /// Model-checking loops built on image computation: the reachable-subspace
 /// fixpoint and a simple invariant checker for subspace properties in the
 /// style of the Birkhoff-von Neumann temporal logic the paper cites.
+///
+/// Both loops are thin policies over qts::FixpointDriver (fixpoint.hpp),
+/// which owns the frontier iteration — accumulator/frontier bookkeeping,
+/// deadline ticks, GC, per-iteration stats, and the sharded execution path
+/// of frontier-sharding engines (`parallel:<t>`).
 #pragma once
 
 #include <cstddef>
 
-#include "qts/image.hpp"
+#include "qts/fixpoint.hpp"
 
 namespace qts {
 
@@ -24,9 +29,11 @@ struct ReachabilityResult {
 /// whenever the manager's live node count exceeds the threshold — the roots
 /// are the accumulated/frontier subspaces, the system's initial subspace
 /// and the computer's prepared operators, so the loop is semantically
-/// unaffected.
+/// unaffected.  `observer`, when set, is invoked after every iteration with
+/// that iteration's statistics.
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
-                                   std::size_t max_iterations = 100);
+                                   std::size_t max_iterations = 100,
+                                   IterationObserver observer = nullptr);
 
 struct InvariantResult {
   bool holds;              ///< no reachable state leaves `invariant`
@@ -36,8 +43,11 @@ struct InvariantResult {
 
 /// Check that the reachable subspace stays inside `invariant` (a safety
 /// property: every reachable state satisfies the atomic proposition given
-/// by the invariant subspace).  Stops early on the first violation.
+/// by the invariant subspace).  Stops early on the first violation.  Shares
+/// the driver's run control with reachable_space — including GC under
+/// `gc_threshold_nodes` (the invariant subspace is kept as an extra root).
 InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem& sys,
-                                const Subspace& invariant, std::size_t max_iterations = 100);
+                                const Subspace& invariant, std::size_t max_iterations = 100,
+                                IterationObserver observer = nullptr);
 
 }  // namespace qts

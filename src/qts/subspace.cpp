@@ -47,6 +47,14 @@ bool Subspace::add_state(const Edge& state) {
   return true;
 }
 
+std::vector<Edge> Subspace::add_states(const std::vector<Edge>& states) {
+  std::vector<Edge> survivors;
+  for (const auto& v : states) {
+    if (add_state(v)) survivors.push_back(basis_.back());
+  }
+  return survivors;
+}
+
 void Subspace::join(const Subspace& other) {
   require(other.n_ == n_ && other.mgr_ == mgr_,
           "join requires subspaces of the same space and manager");
@@ -54,13 +62,17 @@ void Subspace::join(const Subspace& other) {
 }
 
 bool Subspace::contains(const Edge& state, double tol) const {
-  auto& mgr = *mgr_;
-  const double in_norm = norm(mgr, state, n_);
+  return projector_contains(*mgr_, projector_, state, n_, tol);
+}
+
+bool Subspace::projector_contains(tdd::Manager& mgr, const Edge& projector, const Edge& state,
+                                  std::uint32_t n, double tol) {
+  const double in_norm = norm(mgr, state, n);
   if (in_norm <= 1e-12) return true;  // the zero vector is in every subspace
   const Edge u = mgr.scale(state, cplx{1.0 / in_norm, 0.0});
-  if (projector_.is_zero()) return false;
-  const Edge r = mgr.add(u, mgr.scale(project(u), cplx{-1.0, 0.0}));
-  return inner(mgr, r, r, n_).real() <= tol * tol;
+  if (projector.is_zero()) return false;
+  const Edge r = mgr.add(u, mgr.scale(apply_operator(mgr, projector, u, n), cplx{-1.0, 0.0}));
+  return inner(mgr, r, r, n).real() <= tol * tol;
 }
 
 bool Subspace::same_subspace(const Subspace& other) const {

@@ -37,11 +37,26 @@ class Subspace {
   /// Returns true iff the dimension grew.  `state` need not be normalised.
   bool add_state(const tdd::Edge& state);
 
+  /// Batched single-pass extension: add_state every vector in order and
+  /// return the orthonormal residuals that were appended — exactly the
+  /// basis of "what was new" in `states`.  Filtering and extension become
+  /// one Gram-Schmidt pass where callers previously paid two
+  /// (contains() to build a frontier, then add_state() to extend).
+  std::vector<tdd::Edge> add_states(const std::vector<tdd::Edge>& states);
+
   /// Join S ∨ T: extend by every basis vector of `other`.
   void join(const Subspace& other);
 
   /// True if `state` ∈ S (up to tolerance; `state` need not be normalised).
   [[nodiscard]] bool contains(const tdd::Edge& state, double tol = 1e-7) const;
+
+  /// Membership test against a bare projector TDD, without a Subspace (the
+  /// projector alone determines the subspace).  Used where only the
+  /// projector crosses a manager boundary — a frontier-shard worker filters
+  /// its images against the accumulator snapshot it was shipped.
+  [[nodiscard]] static bool projector_contains(tdd::Manager& mgr, const tdd::Edge& projector,
+                                               const tdd::Edge& state, std::uint32_t n,
+                                               double tol = 1e-7);
 
   /// Mutual containment (same dimension and same span).
   [[nodiscard]] bool same_subspace(const Subspace& other) const;

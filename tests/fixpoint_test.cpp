@@ -1,0 +1,271 @@
+/// Tests for the FixpointDriver and sharded reachability: differential
+/// equivalence of the sharded frontier iteration (`parallel:N`) against the
+/// sequential engines over the workload circuits, bit-for-bit determinism
+/// across runs and thread counts, deadline propagation out of frontier
+/// shards, GC safety (including the invariant subspace as an extra root),
+/// and the per-iteration statistics surface.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/noise.hpp"
+#include "common/error.hpp"
+#include "qts/engine.hpp"
+#include "qts/fixpoint.hpp"
+#include "qts/reachability.hpp"
+#include "qts/workloads.hpp"
+
+namespace qts {
+namespace {
+
+/// A multi-Kraus workload: every operation composed with a depolarizing
+/// channel on qubit 0 (4x the Kraus circuits).
+TransitionSystem with_depolarizing(TransitionSystem sys, double p = 0.1) {
+  for (auto& op : sys.operations) {
+    op.kraus = circ::apply_channel(op.kraus, circ::depolarizing(p), 0);
+  }
+  return sys;
+}
+
+using SystemFactory = TransitionSystem (*)(tdd::Manager&);
+
+const std::vector<std::pair<std::string, SystemFactory>>& workload_systems() {
+  static const std::vector<std::pair<std::string, SystemFactory>> workloads = {
+      {"ghz4", [](tdd::Manager& m) { return make_ghz_system(m, 4); }},
+      {"qft3", [](tdd::Manager& m) { return make_qft_system(m, 3); }},
+      {"grover7", [](tdd::Manager& m) { return make_grover_system(m, 7); }},
+      {"noisy-qrw4", [](tdd::Manager& m) { return make_qrw_system(m, 4, 0.1, true, 0); }},
+      {"bitflip-code", [](tdd::Manager& m) { return make_bitflip_code_system(m); }},
+      {"depol-ghz3",
+       [](tdd::Manager& m) { return with_depolarizing(make_ghz_system(m, 3)); }},
+  };
+  return workloads;
+}
+
+TEST(ShardedReachability, MatchesSequentialEnginesOnWorkloads) {
+  for (const auto& [name, make_system] : workload_systems()) {
+    for (const char* sequential_spec : {"basic", "contraction:2,2"}) {
+      tdd::Manager mgr;
+      const TransitionSystem sys = make_system(mgr);
+      const auto sequential = make_engine(mgr, sequential_spec);
+      const auto expected = reachable_space(*sequential, sys, 64);
+      for (std::size_t threads : {1u, 2u, 4u}) {
+        const std::string spec =
+            "parallel:" + std::to_string(threads) + "," + sequential_spec;
+        const auto parallel = make_engine(mgr, spec);
+        const auto got = reachable_space(*parallel, sys, 64);
+        EXPECT_EQ(got.iterations, expected.iterations) << name << " " << spec;
+        EXPECT_EQ(got.converged, expected.converged) << name << " " << spec;
+        EXPECT_EQ(got.space.dim(), expected.space.dim()) << name << " " << spec;
+        EXPECT_TRUE(got.space.same_subspace(expected.space)) << name << " " << spec;
+      }
+    }
+  }
+}
+
+TEST(ShardedReachability, InvariantVerdictsMatchSequentialOnWorkloads) {
+  for (const auto& [name, make_system] : workload_systems()) {
+    tdd::Manager mgr;
+    const TransitionSystem sys = make_system(mgr);
+    const auto sequential = make_engine(mgr, "basic");
+    const auto expected = check_invariant(*sequential, sys, sys.initial, 16);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      const std::string spec = "parallel:" + std::to_string(threads) + ",basic";
+      const auto parallel = make_engine(mgr, spec);
+      const auto got = check_invariant(*parallel, sys, sys.initial, 16);
+      EXPECT_EQ(got.holds, expected.holds) << name << " " << spec;
+      EXPECT_EQ(got.iterations, expected.iterations) << name << " " << spec;
+      EXPECT_EQ(got.converged, expected.converged) << name << " " << spec;
+    }
+  }
+}
+
+TEST(ShardedReachability, BitForBitDeterministicAcrossRunsAndThreadCounts) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = with_depolarizing(make_qrw_system(mgr, 4, 0.1, true, 0));
+
+  // Two independent runs at 4 threads, plus runs at 1 and 2 threads, all in
+  // one manager: hash-consing turns "bit-for-bit identical subspace" into
+  // literal node-pointer equality of the projector TDDs and every basis ket.
+  const auto run = [&](std::size_t threads) {
+    const auto engine = make_engine(mgr, "parallel:" + std::to_string(threads));
+    return reachable_space(*engine, sys, 32);
+  };
+  const auto first = run(4);
+  const auto second = run(4);
+  const auto one = run(1);
+  const auto two = run(2);
+
+  for (const auto* other : {&second, &one, &two}) {
+    EXPECT_EQ(first.iterations, other->iterations);
+    EXPECT_EQ(first.converged, other->converged);
+    ASSERT_EQ(first.space.dim(), other->space.dim());
+    EXPECT_EQ(first.space.projector().node, other->space.projector().node);
+    EXPECT_TRUE(tdd::same_tensor(first.space.projector(), other->space.projector()));
+    for (std::size_t i = 0; i < first.space.dim(); ++i) {
+      EXPECT_EQ(first.space.basis()[i].node, other->space.basis()[i].node) << "ket " << i;
+    }
+  }
+}
+
+TEST(ShardedReachability, DeadlineInsideFrontierShardPropagatesAndRearms) {
+  ExecutionContext ctx;
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 4));
+  const auto engine = make_engine(mgr, "parallel:2", &ctx);
+  // A tiny but non-zero budget: the driver's top-of-iteration poll passes,
+  // so the expiry fires inside a worker's Kraus application and crosses the
+  // shard join as DeadlineExceeded.
+  ctx.set_deadline(Deadline::after(1e-4));
+  EXPECT_THROW((void)reachable_space(*engine, sys, 32), DeadlineExceeded);
+
+  // The cancellation the timed-out worker raised was re-armed on join: with
+  // a fresh deadline the same engine and context converge normally.
+  ctx.set_deadline(Deadline::after(3600.0));
+  const auto r = reachable_space(*engine, sys, 32);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.space.dim(), 1u);
+}
+
+TEST(FixpointDriver, ObserverAndHistoryReportEveryIteration) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto engine = make_engine(mgr, "basic");
+  FixpointDriver driver(*engine, sys);
+  std::vector<IterationStats> seen;
+  driver.set_max_iterations(64).set_observer(
+      [&seen](const IterationStats& it) { seen.push_back(it); });
+  const auto r = driver.run();
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(seen.size(), r.iterations);
+  ASSERT_EQ(driver.history().size(), r.iterations);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].iteration, i + 1);
+    EXPECT_EQ(seen[i].shards, 1u);  // sequential path
+    EXPECT_GE(seen[i].frontier_dim, 1u);
+    EXPECT_EQ(driver.history()[i].acc_dim, seen[i].acc_dim);
+  }
+  // The last iteration is the one that found the fixpoint: nothing survived.
+  EXPECT_EQ(seen.back().survivors, 0u);
+  EXPECT_EQ(seen.back().acc_dim, r.space.dim());
+}
+
+TEST(FixpointDriver, ShardCountsReportedOnTheShardedPath) {
+  ExecutionContext ctx;
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
+  const auto engine = make_engine(mgr, "parallel:2", &ctx);
+  FixpointDriver driver(*engine, sys);
+  driver.set_max_iterations(64);
+  const auto r = driver.run();
+  EXPECT_TRUE(r.converged);
+  bool saw_multi_shard = false;
+  for (const auto& it : driver.history()) {
+    EXPECT_GE(it.shards, 1u);
+    EXPECT_LE(it.shards, 2u);  // never more shards than workers
+    saw_multi_shard = saw_multi_shard || it.shards == 2;
+  }
+  // Sharding is at ket×Kraus task grain: even the 1-ket initial frontier
+  // spreads its 4 depolarizing Kraus circuits over both workers.
+  EXPECT_TRUE(saw_multi_shard);
+  // The context's aggregate counters mirror the history.
+  std::size_t kets = 0, shards = 0, survivors = 0, widest = 0;
+  for (const auto& it : driver.history()) {
+    kets += it.frontier_dim;
+    shards += it.shards;
+    survivors += it.survivors;
+    widest = std::max(widest, it.frontier_dim);
+  }
+  EXPECT_EQ(ctx.stats().fixpoint_iterations, r.iterations);
+  EXPECT_EQ(ctx.stats().frontier_kets, kets);
+  EXPECT_EQ(ctx.stats().frontier_shards, shards);
+  EXPECT_EQ(ctx.stats().frontier_survivors, survivors);
+  EXPECT_EQ(ctx.stats().max_frontier_dim, widest);
+}
+
+TEST(FixpointDriver, PredicateStopsAtFirstOffendingSurvivor) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto engine = make_engine(mgr, "basic");
+  FixpointDriver driver(*engine, sys);
+  std::size_t evaluated = 0;
+  driver.set_max_iterations(64).set_frontier_predicate([&evaluated](const tdd::Edge&) {
+    ++evaluated;
+    return false;  // reject everything
+  });
+  const auto r = driver.run();
+  EXPECT_TRUE(r.predicate_violated);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_EQ(evaluated, 1u);  // stopped at the first survivor
+}
+
+TEST(Invariant, HonoursGcThresholdWithInvariantAsRoot) {
+  // gc_threshold_nodes = 1 forces a collection before every iteration; the
+  // invariant subspace lives in the same manager and must be kept as a GC
+  // root by the driver, or its projector would be swept mid-run.
+  ExecutionContext ctx;
+  ctx.set_gc_threshold_nodes(1);
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = make_grover_system(mgr, 4);
+  const auto engine = make_engine(mgr, "basic", &ctx);
+  const auto result = check_invariant(*engine, sys, sys.initial, 10);
+  EXPECT_TRUE(result.holds);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(ctx.stats().gc_runs, 0u);  // the satellite fix: invar GCs at all
+}
+
+TEST(Invariant, GcVerdictsUnchangedUnderPressure) {
+  // A violated invariant stays violated (same iteration) when GC runs every
+  // iteration, sequentially and sharded.
+  for (const char* spec : {"basic", "parallel:2,basic"}) {
+    ExecutionContext ctx;
+    ctx.set_gc_threshold_nodes(1);
+    tdd::Manager mgr;
+    mgr.bind_context(&ctx);
+    const TransitionSystem sys = make_ghz_system(mgr, 3);
+    const Subspace claim = Subspace::from_states(mgr, 3, {ket_basis(mgr, 3, 0)});
+    const auto engine = make_engine(mgr, spec, &ctx);
+    const auto result = check_invariant(*engine, sys, claim, 10);
+    EXPECT_FALSE(result.holds) << spec;
+    EXPECT_EQ(result.iterations, 1u) << spec;
+  }
+}
+
+TEST(ShardedReachability, GcThresholdKeepsResultsIdentical) {
+  // Parent- and worker-side GC every iteration must not change the sharded
+  // fixpoint (the determinism guarantee is about values, not node pools).
+  tdd::Manager plain_mgr;
+  const TransitionSystem plain_sys = with_depolarizing(make_ghz_system(plain_mgr, 3));
+  const auto plain_engine = make_engine(plain_mgr, "parallel:2");
+  const auto expected = reachable_space(*plain_engine, plain_sys, 32);
+
+  ExecutionContext ctx;
+  ctx.set_gc_threshold_nodes(1);
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
+  const auto engine = make_engine(mgr, "parallel:2", &ctx);
+  const auto got = reachable_space(*engine, sys, 32);
+  EXPECT_GT(ctx.stats().gc_runs, 0u);
+  EXPECT_EQ(got.iterations, expected.iterations);
+  EXPECT_EQ(got.space.dim(), expected.space.dim());
+  EXPECT_TRUE(got.space.same_subspace(expected.space));
+}
+
+TEST(FixpointDriver, SequentialEngineRejectsFrontierCandidates) {
+  tdd::Manager mgr;
+  const auto engine = make_engine(mgr, "basic");
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  EXPECT_FALSE(engine->shards_frontier());
+  EXPECT_THROW(
+      (void)engine->frontier_candidates(sys, sys.initial.basis(), 3, mgr.zero(), nullptr),
+      InternalError);
+}
+
+}  // namespace
+}  // namespace qts

@@ -149,6 +149,31 @@ TEST(ParallelImage, WorkerManagersGarbageCollectUnderTheParentPolicy) {
   EXPECT_GT(ctx.stats().gc_runs, 0u);
 }
 
+TEST(ParallelImage, IdleWorkersHonourTheGcPolicy) {
+  ExecutionContext ctx;
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto engine = make_engine(mgr, "parallel:4", &ctx);
+  auto& par = dynamic_cast<ParallelImage&>(*engine);
+  // A 4-ket frontier puts one shard on every worker (static shard↔worker
+  // assignment), leaving nodes behind in all four worker managers.
+  std::vector<tdd::Edge> frontier;
+  for (std::uint64_t b = 0; b < 4; ++b) frontier.push_back(ket_basis(mgr, 3, b));
+  std::size_t shards = 0;
+  (void)par.frontier_candidates(sys, frontier, 3, sys.initial.projector(), &shards);
+  EXPECT_EQ(shards, 4u);
+  // A single-ket frontier activates only worker 0; with the threshold armed
+  // the three idle workers' managers must be collected too, not just the
+  // active worker's — 4 worker GCs in the round.
+  ctx.reset_stats();
+  ctx.set_gc_threshold_nodes(1);
+  const std::vector<tdd::Edge> one{frontier[0]};
+  (void)par.frontier_candidates(sys, one, 3, sys.initial.projector(), &shards);
+  EXPECT_EQ(shards, 1u);
+  EXPECT_GE(ctx.stats().gc_runs, 4u);
+}
+
 TEST(ParallelImage, ClearPreparedReachesTheWorkerCaches) {
   // back_image prepares temporary adjoint circuits and relies on
   // clear_prepared() to drop the address-keyed caches before they dangle;

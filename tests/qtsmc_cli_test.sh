@@ -31,9 +31,12 @@ check 0 "$QTSMC" reach --noise bitflip:0.1:0 --steps 8 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" invar "$EXAMPLES/phase_oracle.qasm"
 check 0 "$QTSMC" reach --engine parallel:2 --stats "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" reach --engine parallel:4,basic --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine parallel:2 --verbose --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" invar --engine parallel:2 --gc-nodes 64 "$EXAMPLES/phase_oracle.qasm"
 
 # 1 — property violated: the GHZ step leaves span{|000>}.
 check 1 "$QTSMC" invar "$EXAMPLES/ghz.qasm"
+check 1 "$QTSMC" invar --engine parallel:2 --verbose "$EXAMPLES/ghz.qasm"
 
 # 2 — CLI and input errors.
 check 2 "$QTSMC"
@@ -54,6 +57,7 @@ check 2 "$QTSMC" reach --noise bitflip:0.1:99 "$EXAMPLES/ghz.qasm"
 # surfaces as exit code 3.
 check 3 "$QTSMC" reach --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
 check 3 "$QTSMC" reach --engine parallel:2 --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
+check 3 "$QTSMC" invar --engine parallel:2 --timeout 0.000000001 --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures qtsmc CLI check(s) failed" >&2

@@ -263,6 +263,62 @@ TEST(Subspace, SameSubspaceDistinguishes) {
   EXPECT_FALSE(s1.same_subspace(s3));
 }
 
+TEST(Subspace, AddStatesReturnsAppendedResiduals) {
+  tdd::Manager mgr;
+  Prng rng(21);
+  std::vector<tdd::Edge> states;
+  for (int i = 0; i < 3; ++i) states.push_back(random_ket(mgr, rng, 3));
+  states.push_back(states[0]);  // duplicate: must not survive
+  states.push_back(mgr.zero());
+
+  Subspace batched(mgr, 3);
+  const auto survivors = batched.add_states(states);
+  EXPECT_EQ(survivors.size(), 3u);
+  EXPECT_EQ(batched.dim(), 3u);
+  // The survivors ARE the appended basis vectors, in order (hash-consing
+  // makes this literal node equality).
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i].node, batched.basis()[i].node);
+    EXPECT_TRUE(tdd::same_tensor(survivors[i], batched.basis()[i]));
+  }
+
+  // One batched pass is equivalent to repeated add_state.
+  Subspace incremental(mgr, 3);
+  for (const auto& v : states) incremental.add_state(v);
+  EXPECT_TRUE(batched.same_subspace(incremental));
+  EXPECT_TRUE(batched.add_states({}).empty());
+}
+
+TEST(Subspace, AddStatesSurvivorsAreOrthonormal) {
+  tdd::Manager mgr;
+  Prng rng(22);
+  Subspace grown(mgr, 3);
+  std::vector<tdd::Edge> states;
+  for (int i = 0; i < 3; ++i) states.push_back(random_ket(mgr, rng, 3));
+  const auto survivors = grown.add_states(states);
+  ASSERT_EQ(survivors.size(), 3u);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    for (std::size_t j = 0; j < survivors.size(); ++j) {
+      const double expect = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(inner(mgr, survivors[i], survivors[j], 3)), expect, 1e-7);
+    }
+  }
+}
+
+TEST(Subspace, ProjectorContainsMatchesContains) {
+  tdd::Manager mgr;
+  Prng rng(23);
+  Subspace s(mgr, 3);
+  for (int i = 0; i < 2; ++i) s.add_state(random_ket(mgr, rng, 3));
+  const auto inside = s.project(random_ket(mgr, rng, 3));
+  const auto outside = random_ket(mgr, rng, 3);
+  EXPECT_TRUE(Subspace::projector_contains(mgr, s.projector(), inside, 3));
+  EXPECT_EQ(Subspace::projector_contains(mgr, s.projector(), outside, 3), s.contains(outside));
+  // A zero projector contains only the zero vector.
+  EXPECT_FALSE(Subspace::projector_contains(mgr, mgr.zero(), inside, 3));
+  EXPECT_TRUE(Subspace::projector_contains(mgr, mgr.zero(), mgr.zero(), 3));
+}
+
 TEST(Subspace, FullSpaceSaturates) {
   tdd::Manager mgr;
   Prng rng(13);

@@ -21,8 +21,15 @@
 ///                                          bitflip:0.1:0 or depol:0.05:2
 ///   --steps N                              fixpoint iteration cap (default 64)
 ///   --timeout S                            wall-clock budget in seconds
+///   --gc-nodes N                           run a mark-sweep GC whenever the
+///                                          manager holds more than N live
+///                                          nodes (0 = never, the default)
 ///   --stats                                print run statistics (time, peak
-///                                          #node, cache hit rates, GC runs)
+///                                          #node, cache hit rates, GC runs,
+///                                          frontier iteration totals)
+///   --verbose                              print one line per fixpoint
+///                                          iteration: frontier dim, image
+///                                          candidates, survivors, shards
 ///
 /// Exit codes:
 ///   0  success; for `invar`, the invariant HOLDS
@@ -64,7 +71,9 @@ struct Options {
   std::vector<std::string> noise;
   std::size_t steps = 64;
   double timeout_s = 0.0;
+  std::size_t gc_nodes = 0;
   bool stats = false;
+  bool verbose = false;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -80,7 +89,9 @@ struct Options {
   --noise CHANNEL:P:QUBIT                bitflip|phaseflip|depol|damp channel
   --steps N                              fixpoint iteration cap (default 64)
   --timeout S                            wall-clock budget in seconds
+  --gc-nodes N                           GC above N live manager nodes (0 = never)
   --stats                                print run statistics
+  --verbose                              print per-iteration fixpoint statistics
 exit codes: 0 success/holds, 1 property violated, 2 usage or parse error,
             3 timeout, 4 internal error
 )";
@@ -115,8 +126,12 @@ Options parse_args(int argc, char** argv) {
       opt.steps = static_cast<std::size_t>(std::stoul(next()));
     } else if (a == "--timeout") {
       opt.timeout_s = std::stod(next());
+    } else if (a == "--gc-nodes") {
+      opt.gc_nodes = static_cast<std::size_t>(std::stoul(next()));
     } else if (a == "--stats") {
       opt.stats = true;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
     } else if (!a.empty() && a[0] == '-') {
       usage("unknown option " + a);
     } else {
@@ -179,6 +194,7 @@ int main(int argc, char** argv) {
     // engine and the fixpoint loop all report through `ctx`.
     ExecutionContext ctx;
     if (opt.timeout_s > 0) ctx.set_deadline(Deadline::after(opt.timeout_s));
+    if (opt.gc_nodes > 0) ctx.set_gc_threshold_nodes(opt.gc_nodes);
     tdd::Manager mgr;
     mgr.bind_context(&ctx);
 
@@ -198,22 +214,33 @@ int main(int argc, char** argv) {
               << "engine:  " << opt.engine.to_string() << "\n"
               << "initial: dimension " << sys.initial.dim() << "\n";
 
+    // Per-iteration narration of the fixpoint loops (--verbose): one line per
+    // frontier iteration, emitted by the FixpointDriver's observer hook.
+    IterationObserver observer;
+    if (opt.verbose) {
+      observer = [](const IterationStats& it) {
+        std::cout << "iter " << it.iteration << ": frontier " << it.frontier_dim << " ket(s), "
+                  << it.shards << " shard(s) -> " << it.candidates << " candidate(s), "
+                  << it.survivors << " new, reached dimension " << it.acc_dim << "\n";
+      };
+    }
+
     int exit_code = kExitSuccess;
     if (opt.command == "image") {
       const Subspace img = computer->image(sys, sys.initial);
       std::cout << "image:   dimension " << img.dim() << "\n";
     } else if (opt.command == "reach") {
-      const auto r = reachable_space(*computer, sys, opt.steps);
+      const auto r = reachable_space(*computer, sys, opt.steps, observer);
       std::cout << "reach:   dimension " << r.space.dim() << " of " << (1ull << std::min(n, 63u))
                 << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
                 << r.iterations << " steps\n";
     } else if (opt.command == "back") {
-      const auto r = backward_reachable(*computer, sys, sys.initial, opt.steps);
+      const auto r = backward_reachable(*computer, sys, sys.initial, opt.steps, observer);
       std::cout << "back:    dimension " << r.space.dim()
                 << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
                 << r.iterations << " steps\n";
     } else if (opt.command == "invar") {
-      const auto r = check_invariant(*computer, sys, sys.initial, opt.steps);
+      const auto r = check_invariant(*computer, sys, sys.initial, opt.steps, observer);
       std::cout << "invar:   " << (r.holds ? "HOLDS" : "VIOLATED") << " after " << r.iterations
                 << " steps" << (r.converged ? "" : " (iteration cap hit)") << "\n";
       if (!r.holds) exit_code = kExitViolated;
@@ -226,7 +253,14 @@ int main(int argc, char** argv) {
       std::cout << "stats:   " << format_fixed(s.seconds, 3) << " s in image computation, peak "
                 << s.peak_nodes << " TDD nodes, " << s.kraus_applications
                 << " Kraus applications, " << mgr.live_nodes() << " live nodes, " << s.gc_runs
-                << " GC runs\n"
+                << " GC runs\n";
+      if (s.fixpoint_iterations > 0) {
+        std::cout << "frontier: " << s.fixpoint_iterations << " iteration(s), "
+                  << s.frontier_kets << " ket(s) imaged in " << s.frontier_shards
+                  << " shard(s), " << s.frontier_survivors << " survivor(s), max frontier dim "
+                  << s.max_frontier_dim << "\n";
+      }
+      std::cout
                 << "caches:  add " << format_fixed(hit_rate_pct(s.add_hits, s.add_misses), 1)
                 << "% hit, cont " << format_fixed(hit_rate_pct(s.cont_hits, s.cont_misses), 1)
                 << "% hit, unique "
