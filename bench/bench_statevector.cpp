@@ -1,0 +1,120 @@
+/// \file bench_statevector.cpp
+/// TDD-vs-dense crossover sweep: the reachable-subspace fixpoint of the
+/// noisy quantum walk, run with a TDD engine and with the statevector
+/// oracle engine at increasing register widths.  The dense engine pays
+/// O(2^n) per Kraus application regardless of structure while the TDD
+/// engines pay for the diagram sizes the workload actually produces, so the
+/// sweep locates the width where the TDD representation starts winning —
+/// the operating envelope of the dense backend as a fallback.
+///
+/// Usage:
+///   bench_statevector [--nmin N] [--nmax N] [--p PROB] [--steps N]
+///                     [--tdd SPEC] [--timeout S]
+///
+/// Defaults: n = 3..8, p = 0.1, TDD reference engine contraction:4,4,
+/// 64-step cap, 60 s budget per cell.  Results land in
+/// BENCH_statevector.json.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "bench_json.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "qts/engine.hpp"
+#include "qts/reachability.hpp"
+#include "qts/workloads.hpp"
+
+namespace {
+
+using namespace qts;
+
+struct Measurement {
+  std::optional<double> ms;
+  std::size_t peak_nodes = 0;
+  std::size_t dim = 0;
+  std::size_t iterations = 0;
+};
+
+Measurement run_once(const std::string& engine_spec, std::uint32_t n, double p,
+                     std::size_t steps, double timeout_s) {
+  ExecutionContext ctx;
+  if (timeout_s > 0) ctx.set_deadline(Deadline::after(timeout_s));
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = make_qrw_system(mgr, n, p, true, 0);
+  const auto computer = make_engine(mgr, engine_spec, &ctx);
+  Measurement m;
+  WallTimer timer;
+  try {
+    const auto r = reachable_space(*computer, sys, steps);
+    m.ms = timer.seconds() * 1e3;
+    m.dim = r.space.dim();
+    m.iterations = r.iterations;
+  } catch (const DeadlineExceeded&) {
+    m.ms = std::nullopt;
+  }
+  m.peak_nodes = ctx.stats().peak_nodes;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t nmin = 3;
+  std::uint32_t nmax = 8;
+  double p = 0.1;
+  std::size_t steps = 64;
+  double timeout_s = 60.0;
+  std::string tdd_spec = "contraction:4,4";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nmin") == 0 && i + 1 < argc) {
+      nmin = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--nmax") == 0 && i + 1 < argc) {
+      nmax = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--p") == 0 && i + 1 < argc) {
+      p = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--tdd") == 0 && i + 1 < argc) {
+      tdd_spec = argv[++i];
+    } else {
+      std::cerr << "usage: bench_statevector [--nmin N] [--nmax N] [--p PROB] [--steps N] "
+                   "[--tdd SPEC] [--timeout S]\n";
+      return 1;
+    }
+  }
+  if (nmin < 2) nmin = 2;
+
+  std::cout << "TDD vs dense crossover — noisy quantum walk fixpoint, p = " << p
+            << ", TDD engine " << tdd_spec << "\n\n";
+  std::cout << pad_right("workload", 10) << pad_right("engine", 18) << pad_left("wall[ms]", 12)
+            << pad_left("dim", 6) << pad_left("iters", 7) << pad_left("peak", 10)
+            << pad_left("dense/tdd", 11) << "\n";
+
+  bench::JsonWriter json("statevector");
+  for (std::uint32_t n = nmin; n <= nmax; ++n) {
+    const std::string workload = "qrw" + std::to_string(n);
+    const Measurement tdd = run_once(tdd_spec, n, p, steps, timeout_s);
+    const Measurement dense = run_once("statevector", n, p, steps, timeout_s);
+    const auto report = [&](const std::string& spec, const Measurement& m,
+                            const std::string& ratio) {
+      std::cout << pad_right(workload, 10) << pad_right(spec, 18)
+                << pad_left(m.ms ? format_fixed(*m.ms, 1) : "-", 12)
+                << pad_left(std::to_string(m.dim), 6)
+                << pad_left(std::to_string(m.iterations), 7)
+                << pad_left(std::to_string(m.peak_nodes), 10) << pad_left(ratio, 11) << "\n"
+                << std::flush;
+      json.add({workload + "/" + spec, m.ms.value_or(timeout_s * 1e3), m.peak_nodes, 1,
+                !m.ms.has_value()});
+    };
+    std::string ratio = "-";
+    if (tdd.ms && dense.ms && *tdd.ms > 0.0) ratio = format_fixed(*dense.ms / *tdd.ms, 2) + "x";
+    report(tdd_spec, tdd, "-");
+    report("statevector", dense, ratio);
+  }
+  return 0;
+}

@@ -29,11 +29,13 @@ Subspace back_image(ImageComputer& computer, const QuantumOperation& op, const S
 
 BackwardResult backward_reachable(ImageComputer& computer, const TransitionSystem& sys,
                                   const Subspace& target, std::size_t max_iterations,
-                                  IterationObserver observer) {
+                                  IterationObserver observer, ImageComputer* oracle) {
   TransitionSystem back = adjoint_system(sys);
   back.initial = target;
-  const ReachabilityResult r = reachable_space(computer, back, max_iterations, std::move(observer));
+  const ReachabilityResult r =
+      reachable_space(computer, back, max_iterations, std::move(observer), oracle);
   computer.clear_prepared();
+  if (oracle != nullptr) oracle->clear_prepared();
   return {r.space, r.iterations, r.converged};
 }
 

@@ -27,8 +27,12 @@ struct BackwardResult {
   std::size_t iterations;
   bool converged;
 };
+/// `oracle`, when non-null, cross-checks the backward fixpoint iteration by
+/// iteration (FixpointDriver::set_oracle); its prepared-operator cache is
+/// cleared alongside the primary's (the adjoint circuits die on return).
 BackwardResult backward_reachable(ImageComputer& computer, const TransitionSystem& sys,
                                   const Subspace& target, std::size_t max_iterations = 100,
-                                  IterationObserver observer = nullptr);
+                                  IterationObserver observer = nullptr,
+                                  ImageComputer* oracle = nullptr);
 
 }  // namespace qts

@@ -1,0 +1,33 @@
+#include "qts/encode.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "qts/states.hpp"
+
+namespace qts {
+
+namespace {
+
+void check_cap(std::uint32_t n, std::uint32_t max_qubits) {
+  require(max_qubits <= 30, "dense ket codec capped at 30 qubits");
+  require(n <= max_qubits,
+          "dense ket codec: " + std::to_string(n) + "-qubit register exceeds the " +
+              std::to_string(max_qubits) + "-qubit cap (2^n amplitudes would be materialised)");
+}
+
+}  // namespace
+
+la::Vector decode_ket(const tdd::Edge& ket, std::uint32_t n, std::uint32_t max_qubits) {
+  check_cap(n, max_qubits);
+  return la::Vector(ket_to_dense(ket, n));
+}
+
+tdd::Edge encode_ket(tdd::Manager& mgr, const la::Vector& amps, std::uint32_t n,
+                     std::uint32_t max_qubits) {
+  check_cap(n, max_qubits);
+  require(amps.size() == (std::size_t{1} << n), "encode_ket: amplitude count must be 2^n");
+  return ket_from_dense(mgr, n, amps.data());
+}
+
+}  // namespace qts

@@ -1,0 +1,34 @@
+/// \file encode.hpp
+/// The ket codec between the two state representations: n-qubit TDD kets on
+/// the canonical state levels ↔ dense la::Vector amplitudes, under the
+/// shared MSB-first convention (qubit 0 is the most significant bit of a
+/// basis-state index — see states.hpp and sim/statevector.hpp, which agree
+/// by construction).
+///
+/// Both directions materialise 2^n amplitudes, so each carries an explicit
+/// size guard: a register wider than `max_qubits` throws InvalidArgument
+/// instead of silently allocating gigabytes.  The default cap matches the
+/// statevector engine's (16 K amplitudes, ~256 KB per ket).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/vector.hpp"
+#include "tdd/manager.hpp"
+
+namespace qts {
+
+/// Default dense-representation cap: the widest register the codec (and the
+/// statevector engine built on it) accepts without an explicit override.
+inline constexpr std::uint32_t kDenseQubitCap = 14;
+
+/// Ket TDD → dense amplitudes.  Throws InvalidArgument when n > max_qubits.
+la::Vector decode_ket(const tdd::Edge& ket, std::uint32_t n,
+                      std::uint32_t max_qubits = kDenseQubitCap);
+
+/// Dense amplitudes → ket TDD on the state levels.  `amps` must hold exactly
+/// 2^n values; throws InvalidArgument when n > max_qubits.
+tdd::Edge encode_ket(tdd::Manager& mgr, const la::Vector& amps, std::uint32_t n,
+                     std::uint32_t max_qubits = kDenseQubitCap);
+
+}  // namespace qts

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "qts/parallel.hpp"
+#include "qts/statevector_engine.hpp"
 
 namespace qts {
 
@@ -40,6 +41,9 @@ std::map<std::string, EngineFactory>& registry() {
     m["parallel"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
       return std::make_unique<ParallelImage>(mgr, spec.threads, EngineSpec::parse(spec.inner),
                                              ctx);
+    };
+    m["statevector"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
+      return std::make_unique<StatevectorImage>(mgr, spec.max_qubits, ctx);
     };
     return m;
   }();
@@ -91,6 +95,12 @@ EngineSpec EngineSpec::parse(const std::string& text) {
         spec.inner = inner.to_string();  // canonicalised
       }
     }
+  } else if (spec.method == "statevector") {
+    if (!spec.args.empty()) {
+      spec.max_qubits = static_cast<std::uint32_t>(parse_count(spec.args, text));
+      require(spec.max_qubits >= 1 && spec.max_qubits <= 30,
+              "engine spec '" + text + "': statevector cap must be between 1 and 30 qubits");
+    }
   }
   // Unknown methods keep their raw args; make_engine rejects them unless a
   // factory was registered.
@@ -106,6 +116,7 @@ std::string EngineSpec::to_string() const {
   if (method == "parallel") {
     return method + ":" + std::to_string(threads) + "," + inner;
   }
+  if (method == "statevector") return method + ":" + std::to_string(max_qubits);
   return args.empty() ? method : method + ":" + args;
 }
 

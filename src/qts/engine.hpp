@@ -11,10 +11,14 @@
 ///                              threads (0 = hardware concurrency), each
 ///                              running the nested sequential engine `spec`
 ///                              (default contraction:4,4) on a private manager
+///   "statevector[:maxq]"       dense statevector backend (sim::) behind the
+///                              same seam — frontier kets are decoded to
+///                              2^n amplitudes, imaged densely and re-encoded;
+///                              registers wider than maxq (default 14) throw.
+///                              Also valid as a parallel inner spec.
 ///
 /// (Methods without parameters use the defaults below.)  Later backends
-/// (statevector cross-check, ...) plug in through register_engine without
-/// touching any call site.
+/// plug in through register_engine without touching any call site.
 #pragma once
 
 #include <functional>
@@ -37,10 +41,12 @@ struct EngineSpec {
   std::uint32_t k2 = 4;    ///< contraction: crossings per vertical cut
   std::size_t threads = 0; ///< parallel: worker count (0 = hardware concurrency)
   std::string inner = "contraction:4,4";  ///< parallel: nested sequential engine spec
+  std::uint32_t max_qubits = 14;  ///< statevector: dense qubit cap (kDenseQubitCap)
   std::string args;        ///< raw parameter text (custom engines)
 
   /// Parse "basic" | "addition[:k]" | "contraction[:k1,k2]" |
-  /// "parallel[:t[,spec]]" | "name[:args]" for registered custom engines.
+  /// "parallel[:t[,spec]]" | "statevector[:maxq]" |
+  /// "name[:args]" for registered custom engines.
   /// Throws InvalidArgument on malformed input (unknown built-in parameter
   /// shapes, non-numeric or zero counts, a nested parallel spec).
   static EngineSpec parse(const std::string& text);

@@ -1,5 +1,9 @@
 #include "qts/fixpoint.hpp"
 
+#include <string>
+
+#include "common/error.hpp"
+
 namespace qts {
 
 using tdd::Edge;
@@ -23,13 +27,23 @@ FixpointDriver& FixpointDriver::set_observer(IterationObserver observer) {
   return *this;
 }
 
+FixpointDriver& FixpointDriver::set_oracle(ImageComputer& oracle) {
+  require(&oracle.manager() == &computer_.manager(),
+          "cross-check oracle must be built on the primary engine's manager");
+  require(&oracle != &computer_, "cross-check oracle must be a distinct engine");
+  oracle_ = &oracle;
+  return *this;
+}
+
 FixpointDriver& FixpointDriver::keep_alive(const Subspace& subspace) {
   extra_roots_.push_back(&subspace);
   return *this;
 }
 
 /// Mark-sweep over everything the loop still needs.
-void FixpointDriver::collect_and_gc(const Subspace& acc, const std::vector<Edge>& frontier) {
+void FixpointDriver::collect_and_gc(const Subspace& acc, const std::vector<Edge>& frontier,
+                                    const Subspace* oracle_acc,
+                                    const std::vector<Edge>* oracle_frontier) {
   std::vector<Edge> roots = computer_.prepared_roots();
   auto keep_subspace = [&roots](const Subspace& s) {
     roots.push_back(s.projector());
@@ -39,15 +53,34 @@ void FixpointDriver::collect_and_gc(const Subspace& acc, const std::vector<Edge>
   keep_subspace(acc);
   roots.insert(roots.end(), frontier.begin(), frontier.end());
   for (const Subspace* s : extra_roots_) keep_subspace(*s);
+  if (oracle_ != nullptr) {
+    const auto oracle_roots = oracle_->prepared_roots();
+    roots.insert(roots.end(), oracle_roots.begin(), oracle_roots.end());
+    if (oracle_acc != nullptr) keep_subspace(*oracle_acc);
+    if (oracle_frontier != nullptr) {
+      roots.insert(roots.end(), oracle_frontier->begin(), oracle_frontier->end());
+    }
+  }
   computer_.manager().gc(roots);
 }
+
+namespace {
+
+[[noreturn]] void diverged(const std::string& what, std::size_t iteration, std::size_t primary,
+                           std::size_t oracle) {
+  throw InternalError("cross-check divergence at iteration " + std::to_string(iteration) +
+                      ": primary " + what + " = " + std::to_string(primary) + ", oracle " +
+                      what + " = " + std::to_string(oracle));
+}
+
+}  // namespace
 
 FixpointDriver::Result FixpointDriver::run() {
   sys_.validate();
   history_.clear();
   ExecutionContext& ctx = computer_.context();
   const std::uint32_t n = sys_.num_qubits;
-  const bool sharded = computer_.shards_frontier();
+  const bool claimed = computer_.shards_frontier();
 
   Subspace acc = sys_.initial;
   // The frontier is a bare orthonormal ket family, not a Subspace: nothing
@@ -55,6 +88,26 @@ FixpointDriver::Result FixpointDriver::run() {
   // product and operator-sized add per survivor) would be pure overhead in
   // the hot loop.
   std::vector<Edge> frontier = sys_.initial.basis();
+
+  // The oracle's run is a full second fixpoint on the same manager,
+  // advanced one iteration per primary iteration so the comparison is
+  // per-iteration, not only at the end.
+  Subspace oracle_acc = sys_.initial;
+  std::vector<Edge> oracle_frontier;
+  if (oracle_ != nullptr) oracle_frontier = sys_.initial.basis();
+
+  // On every way out of the loop the final subspaces must still agree (same
+  // span, both directions) — per-iteration dimension equality alone would
+  // accept two same-sized but different subspaces.
+  const auto cross_check_final = [&](const Subspace& primary) {
+    if (oracle_ == nullptr) return;
+    if (!primary.same_subspace(oracle_acc)) {
+      throw InternalError(
+          "cross-check divergence: final accumulated subspaces differ in span (primary '" +
+          computer_.name() + "' vs oracle '" + oracle_->name() + "')");
+    }
+  };
+
   std::size_t iters = 0;
   const std::size_t full_dim_cap =
       n >= 20 ? ~std::size_t{0} : (std::size_t{1} << n);
@@ -64,7 +117,7 @@ FixpointDriver::Result FixpointDriver::run() {
     ctx.check_deadline();
     if (ctx.gc_threshold_nodes() != 0 &&
         computer_.manager().live_nodes() > ctx.gc_threshold_nodes()) {
-      collect_and_gc(acc, frontier);
+      collect_and_gc(acc, frontier, &oracle_acc, &oracle_frontier);
     }
 
     IterationStats it;
@@ -77,11 +130,11 @@ FixpointDriver::Result FixpointDriver::run() {
     // add_states: one orthogonalisation per image vector, whose surviving
     // residuals are the next frontier.
     std::vector<Edge> candidates;
-    if (sharded) {
-      // Workers image their frontier shard AND pre-filter against the
+    if (claimed) {
+      // The engine runs the whole iteration body — sharded across workers
+      // (parallel) or densely (statevector) — and pre-filters against the
       // accumulator snapshot; only genuinely-new candidates (plus
-      // cross-shard duplicates, which the add_states pass below dedups)
-      // come back.
+      // duplicates the add_states pass below dedups) come back.
       it.shards = 0;
       candidates = computer_.frontier_candidates(sys_, frontier, n, acc.projector(), &it.shards);
     } else {
@@ -94,6 +147,32 @@ FixpointDriver::Result FixpointDriver::run() {
 
     it.survivors = survivors.size();
     it.acc_dim = acc.dim();
+
+    if (oracle_ != nullptr) {
+      // Same iteration body, driven through the oracle's own execution path
+      // and its own accumulator/frontier.
+      std::vector<Edge> oracle_candidates;
+      if (oracle_->shards_frontier()) {
+        std::size_t oracle_shards = 0;
+        oracle_candidates = oracle_->frontier_candidates(sys_, oracle_frontier, n,
+                                                         oracle_acc.projector(), &oracle_shards);
+      } else {
+        oracle_candidates = oracle_->image_kets(sys_, oracle_frontier, n);
+      }
+      std::vector<Edge> oracle_survivors = oracle_acc.add_states(oracle_candidates);
+
+      if (it.frontier_dim != oracle_frontier.size()) {
+        diverged("frontier dim", iters, it.frontier_dim, oracle_frontier.size());
+      }
+      if (it.survivors != oracle_survivors.size()) {
+        diverged("survivors", iters, it.survivors, oracle_survivors.size());
+      }
+      if (it.acc_dim != oracle_acc.dim()) {
+        diverged("accumulated dim", iters, it.acc_dim, oracle_acc.dim());
+      }
+      oracle_frontier = std::move(oracle_survivors);
+    }
+
     RunStats& s = ctx.stats();
     s.fixpoint_iterations += 1;
     s.frontier_kets += it.frontier_dim;
@@ -105,15 +184,20 @@ FixpointDriver::Result FixpointDriver::run() {
 
     if (predicate_) {
       for (const Edge& v : survivors) {
-        if (!predicate_(v)) return {std::move(acc), iters, true, true};
+        if (!predicate_(v)) {
+          cross_check_final(acc);
+          return {std::move(acc), iters, true, true};
+        }
       }
     }
     if (survivors.empty()) {
+      cross_check_final(acc);
       return {std::move(acc), iters, true, false};
     }
     frontier = std::move(survivors);
   }
   const bool saturated = acc.dim() >= full_dim_cap;
+  cross_check_final(acc);
   return {std::move(acc), iters, saturated, false};
 }
 

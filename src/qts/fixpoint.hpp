@@ -15,15 +15,17 @@
 /// residuals ARE the next frontier, carried as a bare ket family (nothing
 /// ever projects onto the frontier, so no projector is maintained for it).
 ///
-/// When the engine shards frontiers (`ImageComputer::shards_frontier`, i.e.
-/// the `parallel:<t>` engine), the whole iteration body — imaging *and* the
-/// orthogonalise-against-accumulator filtering — runs sharded: the frontier
-/// basis is split into contiguous per-worker shards, each worker receives
-/// its kets plus a snapshot of the accumulator projector in its private
-/// manager, and survivors come back in fixed shard order.  The join and the
-/// authoritative accumulator extension happen on the caller's thread in that
-/// order, so the fixpoint result is bit-for-bit independent of the thread
-/// count.
+/// When the engine claims frontiers (`ImageComputer::shards_frontier` — the
+/// `parallel:<t>` engine, or a representation-changing engine like
+/// `statevector`), the whole iteration body — imaging *and* the
+/// orthogonalise-against-accumulator filtering — runs inside the engine:
+/// sharded across per-worker managers (parallel) or densely (statevector).
+/// The authoritative accumulator extension happens on the caller's thread
+/// afterwards, so the fixpoint result is independent of how the body ran.
+///
+/// With set_oracle, a second engine runs the same iteration in lockstep as a
+/// differential cross-check; dimension or survivor-count divergence throws
+/// InternalError.
 #pragma once
 
 #include <cstddef>
@@ -69,6 +71,17 @@ class FixpointDriver {
 
   FixpointDriver& set_observer(IterationObserver observer);
 
+  /// Differential cross-check: drive `oracle` through its own copy of the
+  /// frontier iteration in lockstep with the primary engine and compare,
+  /// after every iteration, the frontier dimension, the survivor count and
+  /// the accumulated dimension — and, when the run stops, the final
+  /// projectors (mutual containment).  Any mismatch throws InternalError
+  /// ("a library bug": two registered engines computed different images).
+  /// The oracle must be built on the same manager as the primary computer;
+  /// it may be any registered engine, including frontier-claiming ones.
+  /// The observer, history and frontier predicate see the primary run only.
+  FixpointDriver& set_oracle(ImageComputer& oracle);
+
   /// Extra GC roots: subspaces that live in the computer's manager and must
   /// survive the driver's mark-sweep collections (e.g. the invariant
   /// subspace a predicate closes over).  Held by pointer; must outlive run().
@@ -85,20 +98,23 @@ class FixpointDriver {
   /// a predicate violation.  GC runs under the context's
   /// gc_threshold_nodes policy with roots = the computer's prepared
   /// operators, the system's initial subspace, the accumulator, the
-  /// frontier, and every keep_alive subspace.
+  /// frontier, every keep_alive subspace, and — under set_oracle — the
+  /// oracle's prepared operators, accumulator and frontier.
   Result run();
 
   /// Per-iteration statistics of the last run(), oldest first.
   [[nodiscard]] const std::vector<IterationStats>& history() const { return history_; }
 
  private:
-  void collect_and_gc(const Subspace& acc, const std::vector<tdd::Edge>& frontier);
+  void collect_and_gc(const Subspace& acc, const std::vector<tdd::Edge>& frontier,
+                      const Subspace* oracle_acc, const std::vector<tdd::Edge>* oracle_frontier);
 
   ImageComputer& computer_;
   const TransitionSystem& sys_;
   std::size_t max_iterations_ = 100;
   std::function<bool(const tdd::Edge&)> predicate_;
   IterationObserver observer_;
+  ImageComputer* oracle_ = nullptr;
   std::vector<const Subspace*> extra_roots_;
   std::vector<IterationStats> history_;
 };

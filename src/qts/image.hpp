@@ -64,19 +64,24 @@ class ImageComputer {
   std::vector<tdd::Edge> image_kets(const TransitionSystem& sys, std::span<const tdd::Edge> kets,
                                     std::uint32_t n);
 
-  /// Engines that can shard a *whole frontier iteration* — imaging plus the
-  /// orthogonalise-against-accumulator filtering — across workers return
-  /// true; the FixpointDriver then feeds them through frontier_candidates
-  /// instead of image() + Subspace::add_states.
+  /// Engines that claim a *whole frontier iteration* — imaging plus the
+  /// filtering against the accumulator — return true; the FixpointDriver
+  /// then feeds them through frontier_candidates instead of image_kets() +
+  /// Subspace::add_states.  Two kinds of engine want the whole body: the
+  /// parallel engine (to shard it across workers) and representation-
+  /// changing engines like statevector (to cross into their representation
+  /// once per iteration instead of once per Kraus application).
   [[nodiscard]] virtual bool shards_frontier() const { return false; }
 
-  /// Sharded frontier step: image every ket of the `frontier` family
+  /// One whole frontier step: image every ket of the `frontier` family
   /// through every Kraus circuit of every operation of `sys`, drop images
   /// already inside the accumulator snapshot `acc_projector`, and return
-  /// the surviving (unnormalised) image kets in a fixed ket-major order —
-  /// bit-for-bit independent of how the work was sharded.  `shards_used`,
-  /// when non-null, receives the number of shards dispatched.  Only engines
-  /// with shards_frontier() == true implement this; the base class throws.
+  /// surviving candidate kets whose span equals the span of the raw images
+  /// modulo the snapshot, in an order independent of how the work was
+  /// divided.  `shards_used`, when non-null, receives the number of shards
+  /// dispatched (1 when the body ran undivided on the caller's thread).
+  /// Only engines with shards_frontier() == true implement this; the base
+  /// class throws.
   virtual std::vector<tdd::Edge> frontier_candidates(const TransitionSystem& sys,
                                                      std::span<const tdd::Edge> frontier,
                                                      std::uint32_t n,

@@ -43,6 +43,15 @@ ParallelImage::ParallelImage(tdd::Manager& mgr, std::size_t threads, EngineSpec 
 
 ParallelImage::~ParallelImage() = default;
 
+std::size_t ParallelImage::shard_count(std::size_t tasks) const {
+  if (tasks == 0) return 0;
+  if (tasks <= kInlineTasks) return 1;  // run_pool(1) executes inline
+  // Floor division: every shard keeps at least kMinTasksPerShard tasks, so
+  // per-shard transfer overhead stays amortised.
+  const std::size_t by_load = tasks / kMinTasksPerShard;
+  return std::min(workers_.size(), by_load);
+}
+
 Subspace ParallelImage::image(const QuantumOperation& op, const Subspace& s) {
   ScopedTimer timer(ctx_);
   const std::uint32_t n = s.num_qubits();
@@ -67,7 +76,7 @@ Subspace ParallelImage::image(const QuantumOperation& op, const Subspace& s) {
   std::vector<Edge> results(tasks.size());  // each owned by its worker's manager
   std::atomic<std::size_t> cursor{0};
 
-  const std::size_t active = std::min(workers_.size(), tasks.size());
+  const std::size_t active = shard_count(tasks.size());
   run_pool(active, [&](std::size_t idx) {
     Worker& w = *workers_[idx];
     // Per-round transfer memo: the task list holds #kraus × #basis entries
@@ -122,8 +131,10 @@ std::vector<Edge> ParallelImage::frontier_candidates(const TransitionSystem& sys
     }
   }
 
-  // Contiguous balanced shards over the task list, one per active worker.
-  const std::size_t nshards = std::min(workers_.size(), tasks.size());
+  // Contiguous balanced shards over the task list, sized adaptively: tiny
+  // rounds run inline, larger ones get one shard per kMinTasksPerShard
+  // tasks up to the worker count.
+  const std::size_t nshards = shard_count(tasks.size());
   if (shards_used != nullptr) *shards_used = nshards;
   std::vector<std::size_t> bounds(nshards + 1, 0);
   for (std::size_t s = 0; s < nshards; ++s) {

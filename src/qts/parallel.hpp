@@ -53,6 +53,22 @@ class ParallelImage final : public ImageComputer {
   [[nodiscard]] std::size_t threads() const { return workers_.size(); }
   [[nodiscard]] const EngineSpec& inner_spec() const { return inner_; }
 
+  /// Adaptive shard sizing.  A round's parallelism is derived from its task
+  /// count, not fixed at one-shard-per-worker: at or below kInlineTasks the
+  /// whole round runs inline on the caller's thread (per-ket transfers plus
+  /// a thread spawn dominate such tiny rounds), and above it the task list
+  /// is cut into floor(tasks / kMinTasksPerShard) contiguous shards, capped
+  /// at the worker count — so a shard never holds fewer than
+  /// kMinTasksPerShard tasks and idle-worker overhead stays off narrow
+  /// frontiers.  Determinism is untouched either way: results join in task
+  /// order, so shard boundaries never show in the output.
+  static constexpr std::size_t kInlineTasks = 4;
+  static constexpr std::size_t kMinTasksPerShard = 4;
+
+  /// Shards (= active workers) a round of `tasks` tasks is cut into; 0 for
+  /// an empty round.
+  [[nodiscard]] std::size_t shard_count(std::size_t tasks) const;
+
   using ImageComputer::image;
   Subspace image(const QuantumOperation& op, const Subspace& s) override;
 
@@ -62,7 +78,7 @@ class ParallelImage final : public ImageComputer {
   [[nodiscard]] bool shards_frontier() const override { return true; }
 
   /// One sharded frontier step.  The frontier's ket-major ket×Kraus task
-  /// list is split into contiguous balanced shards (one per active worker)
+  /// list is split into contiguous balanced shards (shard_count of them)
   /// *before* any worker starts; each worker transfers its shard's kets
   /// plus the accumulator-projector snapshot into its private manager,
   /// applies its Kraus×ket tasks there, and locally drops images already

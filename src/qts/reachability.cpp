@@ -3,16 +3,18 @@
 namespace qts {
 
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
-                                   std::size_t max_iterations, IterationObserver observer) {
+                                   std::size_t max_iterations, IterationObserver observer,
+                                   ImageComputer* oracle) {
   FixpointDriver driver(computer, sys);
   driver.set_max_iterations(max_iterations).set_observer(std::move(observer));
+  if (oracle != nullptr) driver.set_oracle(*oracle);
   FixpointDriver::Result r = driver.run();
   return {std::move(r.space), r.iterations, r.converged};
 }
 
 InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem& sys,
                                 const Subspace& invariant, std::size_t max_iterations,
-                                IterationObserver observer) {
+                                IterationObserver observer, ImageComputer* oracle) {
   sys.validate();
   // The initial subspace is vetted up front; every later reachable direction
   // is vetted as the frontier survivor that introduced it (a non-surviving
@@ -27,6 +29,7 @@ InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem&
       .set_frontier_predicate(
           [&invariant](const tdd::Edge& survivor) { return invariant.contains(survivor); })
       .keep_alive(invariant);
+  if (oracle != nullptr) driver.set_oracle(*oracle);
   const FixpointDriver::Result r = driver.run();
   return {!r.predicate_violated, r.iterations, r.converged};
 }

@@ -30,10 +30,13 @@ struct ReachabilityResult {
 /// are the accumulated/frontier subspaces, the system's initial subspace
 /// and the computer's prepared operators, so the loop is semantically
 /// unaffected.  `observer`, when set, is invoked after every iteration with
-/// that iteration's statistics.
+/// that iteration's statistics.  `oracle`, when non-null, is a second engine
+/// (same manager) cross-checked against the primary every iteration — see
+/// FixpointDriver::set_oracle; divergence throws InternalError.
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
                                    std::size_t max_iterations = 100,
-                                   IterationObserver observer = nullptr);
+                                   IterationObserver observer = nullptr,
+                                   ImageComputer* oracle = nullptr);
 
 struct InvariantResult {
   bool holds;              ///< no reachable state leaves `invariant`
@@ -48,6 +51,7 @@ struct InvariantResult {
 /// `gc_threshold_nodes` (the invariant subspace is kept as an extra root).
 InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem& sys,
                                 const Subspace& invariant, std::size_t max_iterations = 100,
-                                IterationObserver observer = nullptr);
+                                IterationObserver observer = nullptr,
+                                ImageComputer* oracle = nullptr);
 
 }  // namespace qts

@@ -1,0 +1,81 @@
+/// \file statevector_engine.hpp
+/// The first non-TDD image computation backend: dense statevector
+/// simulation behind the same ImageComputer seam as the TDD engines.
+///
+/// The engine lives at the boundary of the two state representations.  Its
+/// inputs and outputs are TDD kets/subspaces like every other engine — the
+/// FixpointDriver, the parallel pool and the CLI never see a difference —
+/// but the Kraus×basis work happens densely: frontier kets are decoded once
+/// (encode.hpp), every Kraus circuit is applied with sim::apply_circuit
+/// (whose apply_gate path handles non-unitary projector gates and global
+/// noise factors exactly), a dense Gram-Schmidt pass (sim::DenseSubspace)
+/// reduces the image batch to its residual basis, and only those surviving
+/// residuals are re-encoded into TDDs.
+///
+/// Spec: "statevector[:maxq]" — maxq is the dense qubit cap (default
+/// kDenseQubitCap = 14; 2^n amplitudes are materialised per ket, so wider
+/// registers throw InvalidArgument instead of thrashing).  The spec is also
+/// accepted as a parallel inner engine ("parallel:4,statevector"): workers
+/// then drive the per-ket prepare/apply path on their private managers.
+///
+/// Intended uses (ROADMAP "statevector cross-check backend"): a
+/// differential oracle for the TDD engines — see FixpointDriver::set_oracle
+/// and `qtsmc --cross-check` — and a fallback when a workload's TDDs blow
+/// up while its register stays small.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qts/encode.hpp"
+#include "qts/image.hpp"
+
+namespace qts {
+
+class StatevectorImage final : public ImageComputer {
+ public:
+  explicit StatevectorImage(tdd::Manager& mgr, std::uint32_t max_qubits = kDenseQubitCap,
+                            ExecutionContext* ctx = nullptr);
+
+  [[nodiscard]] std::string name() const override { return "statevector"; }
+  [[nodiscard]] std::uint32_t max_qubits() const { return max_qubits_; }
+
+  using ImageComputer::image;
+
+  /// T_σ(S), computed densely: decode the basis once, image it through every
+  /// Kraus operator with sim::apply_operation, orthonormalise the batch in
+  /// dense space, and re-encode only the surviving residuals.
+  Subspace image(const QuantumOperation& op, const Subspace& s) override;
+
+  /// The statevector engine claims the whole frontier iteration body (like
+  /// the parallel engine, though it runs it densely rather than sharded):
+  /// the FixpointDriver feeds it through frontier_candidates, so each
+  /// frontier ket is decoded exactly once per iteration instead of once per
+  /// Kraus operator.
+  [[nodiscard]] bool shards_frontier() const override { return true; }
+
+  /// One dense frontier step: decode the frontier once, apply every Kraus
+  /// circuit of every operation, run one dense Gram-Schmidt pass over the
+  /// image batch (span(residuals) = span(images), so the driver's
+  /// authoritative accumulator extension sees the same span), re-encode the
+  /// residuals and drop those already inside the accumulator snapshot.
+  /// Reports one "shard" — the whole iteration ran on the caller's thread.
+  std::vector<tdd::Edge> frontier_candidates(const TransitionSystem& sys,
+                                             std::span<const tdd::Edge> frontier,
+                                             std::uint32_t n, const tdd::Edge& acc_projector,
+                                             std::size_t* shards_used) override;
+
+ protected:
+  /// Per-ket path for delegating callers (parallel workers, image_kets):
+  /// nothing is pre-contracted — a dense application walks the circuit's
+  /// gates directly — so Prepared only pins the circuit reference.
+  struct DenseKraus;
+  std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) override;
+  tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override;
+
+ private:
+  std::uint32_t max_qubits_;
+};
+
+}  // namespace qts

@@ -1,0 +1,71 @@
+#include "sim/dense_subspace.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qts::sim {
+
+namespace {
+/// A squared residual norm below this is "already in the subspace" — the
+/// same constant as the TDD Subspace, so both representations draw the line
+/// between dependent and new vectors at the same place.
+constexpr double kResidualTol2 = 1e-14;
+}  // namespace
+
+DenseSubspace::DenseSubspace(std::uint32_t n) : n_(n) {
+  require(n <= 30, "dense subspace limited to 30 qubits");
+}
+
+DenseSubspace DenseSubspace::from_states(std::uint32_t n, const std::vector<la::Vector>& states) {
+  DenseSubspace s(n);
+  for (const auto& v : states) s.add_state(v);
+  return s;
+}
+
+bool DenseSubspace::add_state(const la::Vector& state) {
+  require(state.size() == (std::size_t{1} << n_), "state size does not match qubit count");
+  const double in_norm = state.norm();
+  if (in_norm <= 1e-12) return false;
+  la::Vector u = state * cplx{1.0 / in_norm, 0.0};
+
+  // Two orthogonalisation passes (CGS2), mirroring qts::Subspace::add_state.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& b : basis_) u -= b * b.dot(u);
+  }
+  const double res2 = u.dot(u).real();
+  if (res2 <= kResidualTol2) return false;
+
+  basis_.push_back(u * cplx{1.0 / std::sqrt(res2), 0.0});
+  return true;
+}
+
+std::vector<la::Vector> DenseSubspace::add_states(const std::vector<la::Vector>& states) {
+  std::vector<la::Vector> survivors;
+  for (const auto& v : states) {
+    if (add_state(v)) survivors.push_back(basis_.back());
+  }
+  return survivors;
+}
+
+bool DenseSubspace::contains(const la::Vector& state, double tol) const {
+  require(state.size() == (std::size_t{1} << n_), "state size does not match qubit count");
+  const double in_norm = state.norm();
+  if (in_norm <= 1e-12) return true;  // the zero vector is in every subspace
+  la::Vector u = state * cplx{1.0 / in_norm, 0.0};
+  for (const auto& b : basis_) u -= b * b.dot(u);
+  return u.norm() <= tol;
+}
+
+bool DenseSubspace::same_subspace(const DenseSubspace& other) const {
+  if (dim() != other.dim()) return false;
+  for (const auto& v : basis_) {
+    if (!other.contains(v)) return false;
+  }
+  for (const auto& v : other.basis_) {
+    if (!contains(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace qts::sim

@@ -1,0 +1,53 @@
+/// \file dense_subspace.hpp
+/// Dense Gram-Schmidt subspace — the statevector-world mirror of
+/// qts::Subspace (subspace.hpp): an orthonormal basis of dense kets grown by
+/// the same CGS2 extension procedure, with add_states returning the
+/// orthonormal residuals exactly like the TDD version.  No projector matrix
+/// is kept: at the qubit counts the dense backend serves, Σ|bᵢ⟩⟨bᵢ| would be
+/// quadratically larger than the basis and membership tests project against
+/// the basis directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace qts::sim {
+
+class DenseSubspace {
+ public:
+  /// The zero subspace of an n-qubit space (n <= 30, like basis_state).
+  explicit DenseSubspace(std::uint32_t n);
+
+  /// span of the given (not necessarily orthogonal or normalised) kets.
+  static DenseSubspace from_states(std::uint32_t n, const std::vector<la::Vector>& states);
+
+  [[nodiscard]] std::uint32_t num_qubits() const { return n_; }
+  [[nodiscard]] std::size_t dim() const { return basis_.size(); }
+  [[nodiscard]] const std::vector<la::Vector>& basis() const { return basis_; }
+
+  /// Gram-Schmidt extension: orthogonalise `state` against the subspace; if
+  /// a component survives, grow the basis.  Returns true iff the dimension
+  /// grew.  `state` need not be normalised.  The normalisation and residual
+  /// tolerances mirror qts::Subspace::add_state so the two representations
+  /// agree on which vectors count as "new".
+  bool add_state(const la::Vector& state);
+
+  /// Batched extension: add_state every vector in order and return the
+  /// orthonormal residuals that were appended — the basis of "what was new"
+  /// in `states`, spanning the same space as the inputs modulo the subspace.
+  std::vector<la::Vector> add_states(const std::vector<la::Vector>& states);
+
+  /// True if `state` ∈ S (up to tolerance; `state` need not be normalised).
+  [[nodiscard]] bool contains(const la::Vector& state, double tol = 1e-7) const;
+
+  /// Mutual containment (same dimension and same span).
+  [[nodiscard]] bool same_subspace(const DenseSubspace& other) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<la::Vector> basis_;
+};
+
+}  // namespace qts::sim

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "linalg/vector.hpp"
@@ -29,5 +31,15 @@ void apply_gate(la::Vector& state, const circ::Gate& gate, std::uint32_t n);
 
 /// Apply a whole circuit (including its global factor).
 la::Vector apply_circuit(const circ::Circuit& circuit, const la::Vector& input);
+
+/// Kraus-aware dense operation application: the (unnormalised) images E|ψ⟩
+/// of every input ket under every Kraus circuit of a quantum operation,
+/// Kraus-major and ket-minor — the exact order of the TDD engines'
+/// sequential Kraus×basis loop.  Non-unitary Kraus circuits (projector
+/// gates modelling measurement branches, global factors modelling noise
+/// amplitudes) go through apply_gate's general path, so the dense images
+/// match the TDD images exactly, not just up to normalisation.
+std::vector<la::Vector> apply_operation(std::span<const circ::Circuit> kraus,
+                                        std::span<const la::Vector> kets);
 
 }  // namespace qts::sim

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "qts/engine.hpp"
+#include "qts/parallel.hpp"
+#include "qts/statevector_engine.hpp"
 #include "qts/workloads.hpp"
 
 namespace qts {
@@ -79,7 +81,8 @@ TEST(EngineSpec, RejectsMalformedParallelSpecs) {
 TEST(EngineSpec, RoundTripsThroughToString) {
   for (const char* text : {"basic", "addition:1", "addition:7", "contraction:1,1",
                            "contraction:4,4", "contraction:15,2", "parallel", "parallel:8",
-                           "parallel:4,basic", "parallel:2,contraction:2,3"}) {
+                           "parallel:4,basic", "parallel:2,contraction:2,3", "statevector",
+                           "statevector:12", "parallel:2,statevector:12"}) {
     const auto spec = EngineSpec::parse(text);
     const auto again = EngineSpec::parse(spec.to_string());
     EXPECT_EQ(again.method, spec.method) << text;
@@ -88,6 +91,7 @@ TEST(EngineSpec, RoundTripsThroughToString) {
     EXPECT_EQ(again.k2, spec.k2) << text;
     EXPECT_EQ(again.threads, spec.threads) << text;
     EXPECT_EQ(again.inner, spec.inner) << text;
+    EXPECT_EQ(again.max_qubits, spec.max_qubits) << text;
     EXPECT_EQ(again.to_string(), spec.to_string()) << text;
   }
 }
@@ -121,9 +125,36 @@ TEST(MakeEngine, DispatchesToTheRightAlgorithm) {
   EXPECT_EQ(dynamic_cast<ContractionImage&>(*con).k2(), 7u);
 }
 
+TEST(EngineSpec, ParsesStatevector) {
+  const auto defaulted = EngineSpec::parse("statevector");
+  EXPECT_EQ(defaulted.method, "statevector");
+  EXPECT_EQ(defaulted.max_qubits, 14u);  // kDenseQubitCap
+  EXPECT_EQ(defaulted.to_string(), "statevector:14");
+
+  const auto capped = EngineSpec::parse("statevector:12");
+  EXPECT_EQ(capped.max_qubits, 12u);
+  EXPECT_EQ(capped.to_string(), "statevector:12");  // registry round-trip
+
+  EXPECT_THROW((void)EngineSpec::parse("statevector:"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("statevector:x"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("statevector:0"), InvalidArgument);
+  EXPECT_THROW((void)EngineSpec::parse("statevector:31"), InvalidArgument);
+}
+
 TEST(MakeEngine, RejectsUnknownMethods) {
   tdd::Manager mgr;
-  EXPECT_THROW((void)make_engine(mgr, "statevector"), InvalidArgument);
+  EXPECT_THROW((void)make_engine(mgr, "frobnicate"), InvalidArgument);
+}
+
+TEST(MakeEngine, BuildsTheStatevectorEngine) {
+  // Flipped from the pre-seam EXPECT_THROW: the statevector backend is now a
+  // registered engine like any other.
+  tdd::Manager mgr;
+  const auto engine = make_engine(mgr, "statevector");
+  EXPECT_EQ(engine->name(), "statevector");
+  EXPECT_EQ(dynamic_cast<StatevectorImage&>(*engine).max_qubits(), 14u);
+  EXPECT_EQ(dynamic_cast<StatevectorImage&>(*make_engine(mgr, "statevector:9")).max_qubits(),
+            9u);
 }
 
 TEST(MakeEngine, BuiltinsAreRegistered) {
@@ -132,13 +163,25 @@ TEST(MakeEngine, BuiltinsAreRegistered) {
   EXPECT_NE(std::find(names.begin(), names.end(), "addition"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "contraction"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "parallel"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "statevector"), names.end());
 }
 
 TEST(MakeEngine, RejectsUnknownParallelInnerEngine) {
   // Unknown inner methods parse (custom engines keep raw args) but fail at
   // construction time, exactly like a top-level unknown method.
   tdd::Manager mgr;
-  EXPECT_THROW((void)make_engine(mgr, "parallel:2,statevector"), InvalidArgument);
+  EXPECT_THROW((void)make_engine(mgr, "parallel:2,frobnicate"), InvalidArgument);
+}
+
+TEST(MakeEngine, AcceptsStatevectorAsParallelInnerEngine) {
+  // Flipped from the pre-seam EXPECT_THROW: workers can run the dense
+  // backend on their private managers.
+  tdd::Manager mgr;
+  const auto spec = EngineSpec::parse("parallel:2,statevector:10");
+  EXPECT_EQ(spec.inner, "statevector:10");
+  const auto engine = make_engine(mgr, spec);
+  EXPECT_EQ(engine->name(), "parallel");
+  EXPECT_EQ(dynamic_cast<ParallelImage&>(*engine).inner_spec().to_string(), "statevector:10");
 }
 
 TEST(MakeEngine, SharesAnExternalContext) {
@@ -168,7 +211,8 @@ TEST(MakeEngine, CustomEnginesPlugIn) {
 
 TEST(MakeEngine, AllEnginesAgreeOnGhzImage) {
   for (const char* spec : {"basic", "addition:1", "addition:2", "contraction:2,2",
-                           "parallel:2", "parallel:2,basic"}) {
+                           "parallel:2", "parallel:2,basic", "statevector",
+                           "parallel:2,statevector"}) {
     tdd::Manager mgr;
     const auto sys = make_ghz_system(mgr, 4);
     const auto engine = make_engine(mgr, spec);

@@ -15,18 +15,12 @@
 #include "qts/fixpoint.hpp"
 #include "qts/reachability.hpp"
 #include "qts/workloads.hpp"
+#include "test_helpers.hpp"
 
 namespace qts {
 namespace {
 
-/// A multi-Kraus workload: every operation composed with a depolarizing
-/// channel on qubit 0 (4x the Kraus circuits).
-TransitionSystem with_depolarizing(TransitionSystem sys, double p = 0.1) {
-  for (auto& op : sys.operations) {
-    op.kraus = circ::apply_channel(op.kraus, circ::depolarizing(p), 0);
-  }
-  return sys;
-}
+using test::with_depolarizing;
 
 using SystemFactory = TransitionSystem (*)(tdd::Manager&);
 

@@ -14,18 +14,12 @@
 #include "qts/parallel.hpp"
 #include "qts/reachability.hpp"
 #include "qts/workloads.hpp"
+#include "test_helpers.hpp"
 
 namespace qts {
 namespace {
 
-/// A multi-Kraus workload: the transition system's first operation composed
-/// with a depolarizing channel on qubit 0 (4x the Kraus circuits).
-TransitionSystem with_depolarizing(TransitionSystem sys, double p = 0.1) {
-  for (auto& op : sys.operations) {
-    op.kraus = circ::apply_channel(op.kraus, circ::depolarizing(p), 0);
-  }
-  return sys;
-}
+using test::with_depolarizing;
 
 using SystemFactory = TransitionSystem (*)(tdd::Manager&);
 
@@ -153,25 +147,92 @@ TEST(ParallelImage, IdleWorkersHonourTheGcPolicy) {
   ExecutionContext ctx;
   tdd::Manager mgr;
   mgr.bind_context(&ctx);
-  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  // 4 depolarizing Kraus circuits: a 4-ket frontier is a 16-task round,
+  // which adaptive sizing cuts into one shard per worker (static
+  // shard↔worker assignment), leaving nodes behind in all four managers.
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
   const auto engine = make_engine(mgr, "parallel:4", &ctx);
   auto& par = dynamic_cast<ParallelImage&>(*engine);
-  // A 4-ket frontier puts one shard on every worker (static shard↔worker
-  // assignment), leaving nodes behind in all four worker managers.
   std::vector<tdd::Edge> frontier;
   for (std::uint64_t b = 0; b < 4; ++b) frontier.push_back(ket_basis(mgr, 3, b));
   std::size_t shards = 0;
   (void)par.frontier_candidates(sys, frontier, 3, sys.initial.projector(), &shards);
   EXPECT_EQ(shards, 4u);
-  // A single-ket frontier activates only worker 0; with the threshold armed
-  // the three idle workers' managers must be collected too, not just the
-  // active worker's — 4 worker GCs in the round.
+  // A single-ket frontier (4 tasks) runs inline on worker 0; with the
+  // threshold armed the three idle workers' managers must be collected too,
+  // not just the active worker's — 4 worker GCs in the round.
   ctx.reset_stats();
   ctx.set_gc_threshold_nodes(1);
   const std::vector<tdd::Edge> one{frontier[0]};
   (void)par.frontier_candidates(sys, one, 3, sys.initial.projector(), &shards);
   EXPECT_EQ(shards, 1u);
   EXPECT_GE(ctx.stats().gc_runs, 4u);
+}
+
+TEST(ParallelImage, AdaptiveShardSizingDerivesShardsFromTaskCount) {
+  tdd::Manager mgr;
+  const auto engine = make_engine(mgr, "parallel:4");
+  const auto& par = dynamic_cast<const ParallelImage&>(*engine);
+  EXPECT_EQ(par.shard_count(0), 0u);
+  // At or below the inline threshold: one shard, no pool.
+  for (std::size_t t = 1; t <= ParallelImage::kInlineTasks; ++t) {
+    EXPECT_EQ(par.shard_count(t), 1u) << t << " tasks";
+  }
+  // Above it: one shard per full kMinTasksPerShard tasks (floor — a shard
+  // never holds fewer than kMinTasksPerShard tasks)...
+  EXPECT_EQ(par.shard_count(ParallelImage::kInlineTasks + 1), 1u);
+  EXPECT_EQ(par.shard_count(2 * ParallelImage::kMinTasksPerShard - 1), 1u);
+  EXPECT_EQ(par.shard_count(2 * ParallelImage::kMinTasksPerShard), 2u);
+  EXPECT_EQ(par.shard_count(3 * ParallelImage::kMinTasksPerShard + 1), 3u);
+  // ...capped at the worker count.
+  EXPECT_EQ(par.shard_count(100 * ParallelImage::kMinTasksPerShard), 4u);
+}
+
+TEST(ParallelImage, AdaptiveShardSizingIsDeterministicAtTheBoundary) {
+  // Task counts straddling the inline threshold — ghz3+depol is 4 tasks per
+  // 1-ket frontier (inline path), qrw4+depol is 8 (two shards) — must leave
+  // the fixpoint bit-for-bit identical across thread counts, and the shard
+  // history must reflect the adaptive sizing.
+  struct Boundary {
+    const char* name;
+    TransitionSystem (*make_system)(tdd::Manager&);
+    std::size_t first_iteration_shards;  // with >= 2 workers
+  };
+  const Boundary cases[] = {
+      {"ghz3-depol-4tasks",
+       [](tdd::Manager& m) { return with_depolarizing(make_ghz_system(m, 3)); }, 1u},
+      {"qrw4-depol-8tasks",
+       [](tdd::Manager& m) { return with_depolarizing(make_qrw_system(m, 4, 0.1, true, 0)); },
+       2u},
+  };
+  for (const auto& c : cases) {
+    tdd::Manager mgr;
+    const TransitionSystem sys = c.make_system(mgr);
+    const auto reference = make_engine(mgr, "basic");
+    const auto expected = reachable_space(*reference, sys, 32);
+
+    std::vector<ReachabilityResult> runs;
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      const auto engine = make_engine(mgr, "parallel:" + std::to_string(threads) + ",basic");
+      FixpointDriver driver(*engine, sys);
+      driver.set_max_iterations(32);
+      auto r = driver.run();
+      if (threads >= 2) {
+        ASSERT_FALSE(driver.history().empty()) << c.name;
+        EXPECT_EQ(driver.history().front().shards, c.first_iteration_shards) << c.name;
+      }
+      runs.push_back({std::move(r.space), r.iterations, r.converged});
+    }
+    for (const auto& got : runs) {
+      EXPECT_EQ(got.iterations, expected.iterations) << c.name;
+      EXPECT_EQ(got.space.dim(), expected.space.dim()) << c.name;
+      EXPECT_TRUE(got.space.same_subspace(expected.space)) << c.name;
+    }
+    // Hash-consing makes bit-for-bit equality literal pointer equality.
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[i].space.projector().node, runs[0].space.projector().node) << c.name;
+    }
+  }
 }
 
 TEST(ParallelImage, ClearPreparedReachesTheWorkerCaches) {

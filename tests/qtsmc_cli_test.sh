@@ -33,10 +33,25 @@ check 0 "$QTSMC" reach --engine parallel:2 --stats "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" reach --engine parallel:4,basic --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" reach --engine parallel:2 --verbose --stats "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" invar --engine parallel:2 --gc-nodes 64 "$EXAMPLES/phase_oracle.qasm"
+check 0 "$QTSMC" reach --engine statevector "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine statevector:10 --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine parallel:2,statevector "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" image --engine statevector --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" --engines
+
+# 0 — cross-checked runs: a second engine replays every iteration and the
+# verdicts/subspaces must agree.
+check 0 "$QTSMC" reach --cross-check statevector --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine parallel:2 --cross-check statevector "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" image --cross-check statevector "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" back --cross-check statevector --steps 4 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" invar --cross-check statevector "$EXAMPLES/phase_oracle.qasm"
 
 # 1 — property violated: the GHZ step leaves span{|000>}.
 check 1 "$QTSMC" invar "$EXAMPLES/ghz.qasm"
 check 1 "$QTSMC" invar --engine parallel:2 --verbose "$EXAMPLES/ghz.qasm"
+check 1 "$QTSMC" invar --engine statevector "$EXAMPLES/ghz.qasm"
+check 1 "$QTSMC" invar --cross-check statevector "$EXAMPLES/ghz.qasm"
 
 # 2 — CLI and input errors.
 check 2 "$QTSMC"
@@ -51,6 +66,10 @@ check 2 "$QTSMC" reach --engine parallel:2,parallel:2 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --initial 01 "$EXAMPLES/ghz.qasm"   # wrong width
 check 2 "$QTSMC" reach --noise bogus:0.1:0 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --noise bitflip:0.1:99 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine statevector:x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine statevector:0 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine statevector:2 "$EXAMPLES/ghz.qasm"  # 3 qubits > cap 2
+check 2 "$QTSMC" reach --cross-check bogus "$EXAMPLES/ghz.qasm"
 
 # 3 — wall-clock budget exceeded, including a deadline that expires INSIDE a
 # parallel worker: the DeadlineExceeded crosses the thread join and still
@@ -58,6 +77,13 @@ check 2 "$QTSMC" reach --noise bitflip:0.1:99 "$EXAMPLES/ghz.qasm"
 check 3 "$QTSMC" reach --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
 check 3 "$QTSMC" reach --engine parallel:2 --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
 check 3 "$QTSMC" invar --engine parallel:2 --timeout 0.000000001 --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
+check 3 "$QTSMC" reach --engine statevector --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
+
+# 4 — cross-check divergence surfaces as an internal error: the qtsmc-only
+# "null" engine (identity dynamics) is the injected wrong result.
+check 4 "$QTSMC" reach --cross-check null "$EXAMPLES/ghz.qasm"
+check 4 "$QTSMC" image --cross-check null "$EXAMPLES/ghz.qasm"
+check 4 "$QTSMC" reach --engine null --cross-check statevector "$EXAMPLES/ghz.qasm"
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures qtsmc CLI check(s) failed" >&2

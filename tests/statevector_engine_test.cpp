@@ -1,0 +1,380 @@
+/// Tests for the state-representation seam: the ket codec between TDD and
+/// dense representations, the dense subspace mirror, the statevector oracle
+/// engine (alone and as a parallel inner engine), the differential-oracle
+/// equivalence against every TDD engine over the fixpoint workloads and the
+/// shipped example QASM files, and the FixpointDriver cross-check mode —
+/// clean agreement plus detection of an injected divergence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/noise.hpp"
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "qts/backward.hpp"
+#include "qts/encode.hpp"
+#include "qts/engine.hpp"
+#include "qts/reachability.hpp"
+#include "qts/statevector_engine.hpp"
+#include "qts/workloads.hpp"
+#include "sim/dense_subspace.hpp"
+#include "sim/statevector.hpp"
+#include "test_helpers.hpp"
+
+namespace qts {
+namespace {
+
+using test::with_depolarizing;
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+using SystemFactory = TransitionSystem (*)(tdd::Manager&);
+
+/// The six fixpoint workloads of fixpoint_test.cpp, including two noisy
+/// (multi-Kraus, non-unitary) systems that exercise the dense engine's
+/// projector-gate and global-factor paths.
+const std::vector<std::pair<std::string, SystemFactory>>& workload_systems() {
+  static const std::vector<std::pair<std::string, SystemFactory>> workloads = {
+      {"ghz4", [](tdd::Manager& m) { return make_ghz_system(m, 4); }},
+      {"qft3", [](tdd::Manager& m) { return make_qft_system(m, 3); }},
+      {"grover7", [](tdd::Manager& m) { return make_grover_system(m, 7); }},
+      {"noisy-qrw4", [](tdd::Manager& m) { return make_qrw_system(m, 4, 0.1, true, 0); }},
+      {"bitflip-code", [](tdd::Manager& m) { return make_bitflip_code_system(m); }},
+      {"depol-ghz3",
+       [](tdd::Manager& m) { return with_depolarizing(make_ghz_system(m, 3)); }},
+  };
+  return workloads;
+}
+
+// ---------------------------------------------------------------------------
+// Ket codec
+
+TEST(KetCodec, RoundTripsBasisAndSuperpositionKets) {
+  tdd::Manager mgr;
+  const std::uint32_t n = 3;
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    const tdd::Edge ket = ket_basis(mgr, n, b);
+    const la::Vector dense = decode_ket(ket, n);
+    ASSERT_EQ(dense.size(), 8u);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(dense[i].real(), i == b ? 1.0 : 0.0, 1e-12) << b << " " << i;
+    }
+    // Hash-consing: re-encoding lands on the identical node.
+    EXPECT_EQ(encode_ket(mgr, dense, n).node, ket.node);
+  }
+
+  // |+⟩|0⟩|−⟩, MSB-first: qubit 0 indexes the high bit on both sides.
+  std::vector<std::array<cplx, 2>> amps(3, {cplx{kInvSqrt2, 0.0}, cplx{kInvSqrt2, 0.0}});
+  amps[1] = {cplx{1.0, 0.0}, cplx{0.0, 0.0}};
+  amps[2] = {cplx{kInvSqrt2, 0.0}, cplx{-kInvSqrt2, 0.0}};
+  const tdd::Edge ket = ket_product(mgr, amps);
+  const la::Vector dense = decode_ket(ket, n);
+  EXPECT_NEAR(dense[0b000].real(), 0.5, 1e-12);
+  EXPECT_NEAR(dense[0b001].real(), -0.5, 1e-12);
+  EXPECT_NEAR(dense[0b010].real(), 0.0, 1e-12);
+  EXPECT_NEAR(dense[0b100].real(), 0.5, 1e-12);
+  EXPECT_NEAR(dense[0b101].real(), -0.5, 1e-12);
+  EXPECT_EQ(encode_ket(mgr, dense, n).node, ket.node);
+}
+
+TEST(KetCodec, AgreesWithTheSimulatorConvention) {
+  // decode(TDD ket) must equal the sim:: dense vector gate-for-gate: push a
+  // circuit through both representations and compare amplitudes.
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const la::Vector dense_initial = decode_ket(sys.initial.basis()[0], 3);
+  const la::Vector dense_image = sim::apply_circuit(sys.operations[0].kraus[0], dense_initial);
+
+  const auto engine = make_engine(mgr, "basic");
+  const tdd::Edge tdd_image =
+      engine->apply_kraus(sys.operations[0].kraus[0], sys.initial.basis()[0], 3);
+  const la::Vector decoded = decode_ket(tdd_image, 3);
+  ASSERT_EQ(decoded.size(), dense_image.size());
+  EXPECT_TRUE(decoded.approx(dense_image, 1e-9));
+}
+
+TEST(KetCodec, EnforcesTheQubitCap) {
+  tdd::Manager mgr;
+  const tdd::Edge ket = ket_basis(mgr, 4, 0);
+  EXPECT_THROW((void)decode_ket(ket, 4, 3), InvalidArgument);
+  EXPECT_THROW((void)encode_ket(mgr, la::Vector(16), 4, 3), InvalidArgument);
+  EXPECT_THROW((void)decode_ket(ket, 4, 31), InvalidArgument);  // cap itself capped
+  EXPECT_THROW((void)encode_ket(mgr, la::Vector(8), 4), InvalidArgument);  // 2^n mismatch
+  EXPECT_NO_THROW((void)decode_ket(ket, 4, 4));
+}
+
+// ---------------------------------------------------------------------------
+// Dense subspace mirror
+
+TEST(DenseSubspace, MirrorsTheTddSubspace) {
+  tdd::Manager mgr;
+  const std::uint32_t n = 3;
+  // A spanning family with deliberate dependence and an unnormalised entry.
+  std::vector<tdd::Edge> kets = {
+      ket_basis(mgr, n, 0), ket_basis(mgr, n, 1), mgr.scale(ket_basis(mgr, n, 0), cplx{2.0, 0.0}),
+      mgr.add(ket_basis(mgr, n, 0), ket_basis(mgr, n, 5))};
+
+  Subspace tdd_space(mgr, n);
+  sim::DenseSubspace dense_space(n);
+  std::vector<la::Vector> dense_kets;
+  for (const auto& k : kets) dense_kets.push_back(decode_ket(k, n));
+
+  const auto tdd_survivors = tdd_space.add_states(kets);
+  const auto dense_survivors = dense_space.add_states(dense_kets);
+  EXPECT_EQ(tdd_space.dim(), dense_space.dim());
+  EXPECT_EQ(tdd_survivors.size(), dense_survivors.size());
+
+  // The two bases span the same subspace: decode the TDD basis and check
+  // mutual containment densely.
+  std::vector<la::Vector> decoded;
+  for (const auto& b : tdd_space.basis()) decoded.push_back(decode_ket(b, n));
+  EXPECT_TRUE(dense_space.same_subspace(sim::DenseSubspace::from_states(n, decoded)));
+
+  // Membership agrees on in-span and out-of-span vectors.
+  EXPECT_TRUE(dense_space.contains(decode_ket(kets[3], n)));
+  EXPECT_FALSE(dense_space.contains(decode_ket(ket_basis(mgr, n, 7), n)));
+  EXPECT_TRUE(dense_space.contains(la::Vector(8)));  // zero vector
+}
+
+TEST(DenseSubspace, ResidualsAreOrthonormal) {
+  sim::DenseSubspace s(2);
+  std::vector<la::Vector> states;
+  states.push_back(la::Vector{cplx{1.0, 0.0}, cplx{1.0, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0}});
+  states.push_back(la::Vector{cplx{1.0, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0}});
+  states.push_back(la::Vector{cplx{1.0, 0.0}, cplx{2.0, 0.0}, cplx{0.0, 0.0}, cplx{0.0, 0.0}});
+  const auto residuals = s.add_states(states);
+  ASSERT_EQ(residuals.size(), 2u);  // the third is dependent
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    EXPECT_NEAR(residuals[i].norm(), 1.0, 1e-12);
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(std::abs(residuals[i].dot(residuals[j])), 0.0, 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statevector engine
+
+TEST(StatevectorEngine, ImageMatchesTheTddEnginesOnOneStep) {
+  for (const auto& [name, make_system] : workload_systems()) {
+    tdd::Manager mgr;
+    const TransitionSystem sys = make_system(mgr);
+    const auto reference = make_engine(mgr, "basic");
+    const auto dense = make_engine(mgr, "statevector");
+    const Subspace expected = reference->image(sys, sys.initial);
+    const Subspace got = dense->image(sys, sys.initial);
+    EXPECT_EQ(got.dim(), expected.dim()) << name;
+    EXPECT_TRUE(got.same_subspace(expected)) << name;
+  }
+}
+
+TEST(StatevectorEngine, EnforcesItsQubitCapWithAClearError) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 5);
+  const auto engine = make_engine(mgr, "statevector:4");
+  EXPECT_THROW((void)engine->image(sys, sys.initial), InvalidArgument);
+  EXPECT_THROW((void)reachable_space(*engine, sys, 8), InvalidArgument);
+}
+
+TEST(StatevectorEngine, CountsKrausApplicationsLikeTheOtherEngines) {
+  ExecutionContext ctx;
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
+  const auto engine = make_engine(mgr, "statevector", &ctx);
+  (void)engine->image(sys, sys.initial);
+  // 4 Kraus circuits x 1 basis ket.
+  EXPECT_EQ(ctx.stats().kraus_applications, 4u);
+  EXPECT_GT(ctx.stats().peak_nodes, 0u);
+}
+
+TEST(StatevectorDifferential, ReachabilityAgreesAcrossEnginesOnWorkloads) {
+  for (const auto& [name, make_system] : workload_systems()) {
+    tdd::Manager mgr;
+    const TransitionSystem sys = make_system(mgr);
+    const auto dense = make_engine(mgr, "statevector");
+    const auto expected = reachable_space(*dense, sys, 64);
+    for (const char* spec : {"basic", "contraction:2,2", "parallel:2", "parallel:2,statevector"}) {
+      const auto engine = make_engine(mgr, spec);
+      const auto got = reachable_space(*engine, sys, 64);
+      EXPECT_EQ(got.iterations, expected.iterations) << name << " " << spec;
+      EXPECT_EQ(got.converged, expected.converged) << name << " " << spec;
+      EXPECT_EQ(got.space.dim(), expected.space.dim()) << name << " " << spec;
+      EXPECT_TRUE(got.space.same_subspace(expected.space)) << name << " " << spec;
+    }
+  }
+}
+
+TEST(StatevectorDifferential, InvariantVerdictsAgreeOnWorkloads) {
+  for (const auto& [name, make_system] : workload_systems()) {
+    tdd::Manager mgr;
+    const TransitionSystem sys = make_system(mgr);
+    const auto reference = make_engine(mgr, "basic");
+    const auto dense = make_engine(mgr, "statevector");
+    const auto expected = check_invariant(*reference, sys, sys.initial, 16);
+    const auto got = check_invariant(*dense, sys, sys.initial, 16);
+    EXPECT_EQ(got.holds, expected.holds) << name;
+    EXPECT_EQ(got.iterations, expected.iterations) << name;
+    EXPECT_EQ(got.converged, expected.converged) << name;
+  }
+}
+
+TEST(StatevectorDifferential, BackwardReachabilityAgrees) {
+  // The adjoint Kraus circuits are non-unitary for the noisy workloads, so
+  // this also exercises the dense engine's daggered projector path.
+  for (const auto& [name, make_system] : workload_systems()) {
+    tdd::Manager mgr;
+    const TransitionSystem sys = make_system(mgr);
+    const auto reference = make_engine(mgr, "basic");
+    const auto dense = make_engine(mgr, "statevector");
+    const auto expected = backward_reachable(*reference, sys, sys.initial, 16);
+    const auto got = backward_reachable(*dense, sys, sys.initial, 16);
+    EXPECT_EQ(got.iterations, expected.iterations) << name;
+    EXPECT_EQ(got.space.dim(), expected.space.dim()) << name;
+    EXPECT_TRUE(got.space.same_subspace(expected.space)) << name;
+  }
+}
+
+/// The shipped example QASM files, modelled exactly as qtsmc models them:
+/// the circuit is the single transition, |0…0⟩ spans the initial subspace.
+TransitionSystem system_from_qasm(tdd::Manager& mgr, const std::string& filename) {
+  const std::string path = std::string(QTS_EXAMPLES_DIR) + "/" + filename;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  circ::Circuit circuit = circ::from_qasm(text.str());
+  const std::uint32_t n = circuit.num_qubits();
+  TransitionSystem sys{n, Subspace::from_states(mgr, n, {ket_basis(mgr, n, 0)}), {}};
+  sys.operations.push_back(QuantumOperation{"step", {std::move(circuit)}});
+  return sys;
+}
+
+TEST(StatevectorDifferential, AgreesOnTheExampleQasmFiles) {
+  for (const char* file : {"ghz.qasm", "phase_oracle.qasm"}) {
+    tdd::Manager mgr;
+    const TransitionSystem sys = system_from_qasm(mgr, file);
+    const auto reference = make_engine(mgr, "contraction:2,2");
+    const auto dense = make_engine(mgr, "statevector");
+    const auto expected = reachable_space(*reference, sys, 64);
+    const auto got = reachable_space(*dense, sys, 64);
+    EXPECT_EQ(got.iterations, expected.iterations) << file;
+    EXPECT_EQ(got.space.dim(), expected.space.dim()) << file;
+    EXPECT_TRUE(got.space.same_subspace(expected.space)) << file;
+
+    const auto expected_invar = check_invariant(*reference, sys, sys.initial, 64);
+    const auto got_invar = check_invariant(*dense, sys, sys.initial, 64);
+    EXPECT_EQ(got_invar.holds, expected_invar.holds) << file;
+    EXPECT_EQ(got_invar.iterations, expected_invar.iterations) << file;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-check mode
+
+TEST(CrossCheck, PassesCleanOnEveryWorkloadAndEnginePairing) {
+  for (const auto& [name, make_system] : workload_systems()) {
+    for (const char* primary_spec : {"basic", "parallel:2"}) {
+      tdd::Manager mgr;
+      const TransitionSystem sys = make_system(mgr);
+      const auto primary = make_engine(mgr, primary_spec);
+      const auto oracle = make_engine(mgr, "statevector");
+      const auto plain = reachable_space(*primary, sys, 64);
+      // Same manager, fresh engines: the checked run must agree with itself
+      // and with the unchecked run.
+      const auto checked_primary = make_engine(mgr, primary_spec);
+      const auto r = reachable_space(*checked_primary, sys, 64, nullptr, oracle.get());
+      EXPECT_EQ(r.iterations, plain.iterations) << name << " " << primary_spec;
+      EXPECT_EQ(r.space.dim(), plain.space.dim()) << name << " " << primary_spec;
+      EXPECT_TRUE(r.space.same_subspace(plain.space)) << name << " " << primary_spec;
+    }
+  }
+}
+
+TEST(CrossCheck, InvariantRunsPassCleanWithAnOracle) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_grover_system(mgr, 4);
+  const auto primary = make_engine(mgr, "basic");
+  const auto oracle = make_engine(mgr, "statevector");
+  const auto r = check_invariant(*primary, sys, sys.initial, 16, nullptr, oracle.get());
+  EXPECT_TRUE(r.holds);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(CrossCheck, OracleMayItselfClaimFrontiers) {
+  // Both roles may be frontier-claiming engines: dense primary, sharded
+  // oracle (and the parallel pool's parent manager satisfies the
+  // same-manager requirement).
+  tdd::Manager mgr;
+  const TransitionSystem sys = with_depolarizing(make_qrw_system(mgr, 4, 0.1, true, 0));
+  const auto primary = make_engine(mgr, "statevector");
+  const auto oracle = make_engine(mgr, "parallel:2");
+  const auto r = reachable_space(*primary, sys, 32, nullptr, oracle.get());
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.space.dim(), 16u);
+}
+
+/// Deliberately wrong engine: identity dynamics (every image is the input
+/// ket) — the injected divergence the cross-check must catch.
+class IdentityImage final : public ImageComputer {
+ public:
+  using ImageComputer::ImageComputer;
+  [[nodiscard]] std::string name() const override { return "identity"; }
+
+ protected:
+  struct Nothing : Prepared {
+    void collect_roots(std::vector<tdd::Edge>&) const override {}
+  };
+  std::unique_ptr<Prepared> prepare(const circ::Circuit&) override {
+    return std::make_unique<Nothing>();
+  }
+  tdd::Edge apply(const Prepared&, const tdd::Edge& ket, std::uint32_t) override { return ket; }
+};
+
+TEST(CrossCheck, DetectsAnInjectedDivergence) {
+  tdd::Manager mgr;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto primary = make_engine(mgr, "basic");
+  IdentityImage broken(mgr);
+  FixpointDriver driver(*primary, sys);
+  driver.set_max_iterations(64).set_oracle(broken);
+  EXPECT_THROW((void)driver.run(), InternalError);
+  // And through the reachable_space plumbing, in both roles.
+  EXPECT_THROW((void)reachable_space(*primary, sys, 64, nullptr, &broken), InternalError);
+  const auto dense = make_engine(mgr, "statevector");
+  EXPECT_THROW((void)reachable_space(broken, sys, 64, nullptr, dense.get()), InternalError);
+}
+
+TEST(CrossCheck, RejectsAForeignManagerOracle) {
+  tdd::Manager mgr;
+  tdd::Manager other;
+  const TransitionSystem sys = make_ghz_system(mgr, 3);
+  const auto primary = make_engine(mgr, "basic");
+  const auto foreign = make_engine(other, "statevector");
+  FixpointDriver driver(*primary, sys);
+  EXPECT_THROW((void)driver.set_oracle(*foreign), InvalidArgument);
+  EXPECT_THROW((void)driver.set_oracle(*primary), InvalidArgument);  // self-check
+}
+
+TEST(CrossCheck, SurvivesGcPressure) {
+  // gc_threshold_nodes = 1 forces a collection before every iteration; the
+  // oracle's accumulator, frontier and prepared operators must be GC roots
+  // or the comparison would read freed nodes.
+  ExecutionContext ctx;
+  ctx.set_gc_threshold_nodes(1);
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
+  const auto primary = make_engine(mgr, "contraction:2,2", &ctx);
+  const auto oracle = make_engine(mgr, "statevector", &ctx);
+  const auto r = reachable_space(*primary, sys, 32, nullptr, oracle.get());
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(ctx.stats().gc_runs, 0u);
+}
+
+}  // namespace
+}  // namespace qts

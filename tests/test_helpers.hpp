@@ -7,13 +7,26 @@
 
 #include <vector>
 
+#include "circuit/noise.hpp"
 #include "common/prng.hpp"
 #include "linalg/vector.hpp"
 #include "qts/states.hpp"
+#include "qts/system.hpp"
 #include "tdd/dense.hpp"
 #include "tdd/manager.hpp"
 
 namespace qts::test {
+
+/// A multi-Kraus workload: every operation of the system composed with a
+/// depolarizing channel on qubit 0 (4x the Kraus circuits).  Shared by the
+/// parallel, fixpoint and statevector differential suites so they all
+/// exercise the same noisy system.
+inline TransitionSystem with_depolarizing(TransitionSystem sys, double p = 0.1) {
+  for (auto& op : sys.operations) {
+    op.kraus = circ::apply_channel(op.kraus, circ::depolarizing(p), 0);
+  }
+  return sys;
+}
 
 /// Dense random tensor of the given rank with O(1)-scale entries and a
 /// sprinkling of exact zeros (exercises the zero-edge invariants).

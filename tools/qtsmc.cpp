@@ -10,10 +10,21 @@
 /// Options:
 ///   --engine SPEC                          engine spec: basic | addition:k |
 ///                                          contraction:k1,k2 | parallel:t[,spec]
+///                                          | statevector[:maxq]
 ///                                          (default contraction:4,4; parallel
 ///                                          shards the Kraus×basis loop over t
-///                                          worker threads, 0 = hardware)
+///                                          worker threads, 0 = hardware;
+///                                          statevector runs densely, capped at
+///                                          maxq qubits, default 14)
 ///   --method basic|addition|contraction    shorthand for --engine METHOD
+///   --cross-check SPEC                     run a second engine as a differential
+///                                          oracle: frontier dims, survivor
+///                                          counts and the final subspace are
+///                                          compared every iteration, and any
+///                                          divergence exits with the internal-
+///                                          error code (4)
+///   --engines                              list the registered engine methods
+///                                          and exit (no circuit file needed)
 ///   --k K                                  addition slices (default 1)
 ///   --k1 K --k2 K                          contraction cut (default 4 4)
 ///   --initial BITSTRING[,BITSTRING...]     initial basis kets (default 0…0)
@@ -57,6 +68,31 @@ namespace {
 
 using namespace qts;
 
+/// Deliberately wrong engine, registered by qtsmc only: every image is the
+/// input ket unchanged (identity dynamics).  Its sole purpose is end-to-end
+/// testing of --cross-check failure detection — `--cross-check null` must
+/// exit 4 on any circuit whose reachable space grows.
+class NullImage final : public ImageComputer {
+ public:
+  using ImageComputer::ImageComputer;
+  [[nodiscard]] std::string name() const override { return "null"; }
+
+ protected:
+  struct Nothing : Prepared {
+    void collect_roots(std::vector<tdd::Edge>&) const override {}
+  };
+  std::unique_ptr<Prepared> prepare(const circ::Circuit&) override {
+    return std::make_unique<Nothing>();
+  }
+  tdd::Edge apply(const Prepared&, const tdd::Edge& ket, std::uint32_t) override { return ket; }
+};
+
+void register_null_engine() {
+  register_engine("null", [](tdd::Manager& mgr, const EngineSpec&, ExecutionContext* ctx) {
+    return std::make_unique<NullImage>(mgr, ctx);
+  });
+}
+
 constexpr int kExitSuccess = 0;
 constexpr int kExitViolated = 1;
 constexpr int kExitUsage = 2;
@@ -67,6 +103,8 @@ struct Options {
   std::string command;
   std::string path;
   EngineSpec engine;
+  bool cross_check = false;
+  EngineSpec oracle;
   std::vector<std::string> initial;
   std::vector<std::string> noise;
   std::size_t steps = 64;
@@ -81,8 +119,14 @@ struct Options {
   std::cerr <<
       R"(usage: qtsmc <image|reach|back|invar> [options] circuit.qasm
   --engine SPEC                          basic | addition:k | contraction:k1,k2 |
-                                         parallel:t[,spec] (t threads, 0 = hardware)
+                                         parallel:t[,spec] (t threads, 0 = hardware) |
+                                         statevector[:maxq] (dense, maxq-qubit cap)
   --method basic|addition|contraction    shorthand for --engine METHOD
+  --cross-check SPEC                     differential oracle engine; divergence
+                                         from the primary engine exits 4
+                                         (SPEC "null" = deliberately wrong
+                                         test engine, guaranteed divergence)
+  --engines                              list registered engine methods and exit
   --k K                                  addition-partition slices (default 1)
   --k1 K --k2 K                          contraction cut parameters (default 4 4)
   --initial BITS[,BITS...]               initial basis kets (default all zeros)
@@ -110,6 +154,9 @@ Options parse_args(int argc, char** argv) {
     };
     if (a == "--engine") {
       opt.engine = EngineSpec::parse(next());
+    } else if (a == "--cross-check") {
+      opt.cross_check = true;
+      opt.oracle = EngineSpec::parse(next());
     } else if (a == "--method") {
       opt.engine.method = next();
     } else if (a == "--k") {
@@ -169,6 +216,23 @@ circ::Channel parse_channel(const std::string& spec, std::uint32_t& qubit) {
 
 int main(int argc, char** argv) {
   try {
+    register_null_engine();
+
+    // `qtsmc --engines` works stand-alone, without a command or circuit.
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--engines") == 0) {
+        for (const auto& name : registered_engines()) {
+          std::cout << name;
+          if (name == "null") {
+            std::cout << "   (test-only: identity dynamics, never use for real verification"
+                         " — exists to exercise --cross-check divergence detection)";
+          }
+          std::cout << "\n";
+        }
+        return kExitSuccess;
+      }
+    }
+
     const Options opt = parse_args(argc, argv);
 
     std::ifstream in(opt.path);
@@ -208,11 +272,16 @@ int main(int argc, char** argv) {
                          {QuantumOperation{"step", kraus}}};
 
     const std::unique_ptr<ImageComputer> computer = make_engine(mgr, opt.engine, &ctx);
+    // The oracle shares the manager and context: FixpointDriver::set_oracle
+    // requires the former, and the latter folds its work into one stats line.
+    std::unique_ptr<ImageComputer> oracle;
+    if (opt.cross_check) oracle = make_engine(mgr, opt.oracle, &ctx);
 
     std::cout << "circuit: " << opt.path << " (" << n << " qubits, " << circuit.size()
               << " gates, " << kraus.size() << " Kraus operator(s))\n"
               << "engine:  " << opt.engine.to_string() << "\n"
               << "initial: dimension " << sys.initial.dim() << "\n";
+    if (oracle) std::cout << "oracle:  " << opt.oracle.to_string() << " (cross-check)\n";
 
     // Per-iteration narration of the fixpoint loops (--verbose): one line per
     // frontier iteration, emitted by the FixpointDriver's observer hook.
@@ -229,27 +298,43 @@ int main(int argc, char** argv) {
     if (opt.command == "image") {
       const Subspace img = computer->image(sys, sys.initial);
       std::cout << "image:   dimension " << img.dim() << "\n";
+      if (oracle) {
+        // One-shot cross-check: the single forward image, compared in full.
+        const Subspace check = oracle->image(sys, sys.initial);
+        if (img.dim() != check.dim() || !img.same_subspace(check)) {
+          throw InternalError("cross-check divergence: image subspaces differ (primary dim " +
+                              std::to_string(img.dim()) + ", oracle dim " +
+                              std::to_string(check.dim()) + ")");
+        }
+      }
     } else if (opt.command == "reach") {
-      const auto r = reachable_space(*computer, sys, opt.steps, observer);
+      const auto r = reachable_space(*computer, sys, opt.steps, observer, oracle.get());
       std::cout << "reach:   dimension " << r.space.dim() << " of " << (1ull << std::min(n, 63u))
                 << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
                 << r.iterations << " steps\n";
     } else if (opt.command == "back") {
-      const auto r = backward_reachable(*computer, sys, sys.initial, opt.steps, observer);
+      const auto r =
+          backward_reachable(*computer, sys, sys.initial, opt.steps, observer, oracle.get());
       std::cout << "back:    dimension " << r.space.dim()
                 << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
                 << r.iterations << " steps\n";
     } else if (opt.command == "invar") {
-      const auto r = check_invariant(*computer, sys, sys.initial, opt.steps, observer);
+      const auto r = check_invariant(*computer, sys, sys.initial, opt.steps, observer, oracle.get());
       std::cout << "invar:   " << (r.holds ? "HOLDS" : "VIOLATED") << " after " << r.iterations
                 << " steps" << (r.converged ? "" : " (iteration cap hit)") << "\n";
       if (!r.holds) exit_code = kExitViolated;
     } else {
       usage("unknown command " + opt.command);
     }
+    if (oracle) std::cout << "cross:   " << opt.oracle.to_string() << " agrees\n";
 
     if (opt.stats) {
       const auto& s = ctx.stats();
+      // The canonical spec of what actually ran (not the raw flag text), so
+      // logs from differential/cross-check runs are unambiguous.
+      std::cout << "ran:     engine " << opt.engine.to_string();
+      if (oracle) std::cout << ", cross-checked against " << opt.oracle.to_string();
+      std::cout << "\n";
       std::cout << "stats:   " << format_fixed(s.seconds, 3) << " s in image computation, peak "
                 << s.peak_nodes << " TDD nodes, " << s.kraus_applications
                 << " Kraus applications, " << mgr.live_nodes() << " live nodes, " << s.gc_runs
