@@ -19,6 +19,19 @@ using cplx = std::complex<double>;
 /// Grid width for approximate equality / bucketed hashing of weights.
 inline constexpr double kEps = 1e-10;
 
+/// Shared subspace tolerances.  Every state representation (TDD
+/// qts::Subspace, dense sim::DenseSubspace, sparse sim::SparseSubspace)
+/// draws the same three lines, so membership verdicts cannot disagree near
+/// a threshold:
+///   * a ket with norm at or below `kZeroNormTol` is the zero vector,
+///   * a squared Gram-Schmidt residual at or below `kResidualTol2` is
+///     "already in the subspace" (states are unit-scale at that point, so
+///     the absolute threshold is meaningful),
+///   * membership tests compare the residual norm against `kMembershipTol`.
+inline constexpr double kZeroNormTol = 1e-12;
+inline constexpr double kResidualTol2 = 1e-14;
+inline constexpr double kMembershipTol = 1e-7;
+
 /// Componentwise approximate equality with tolerance `kEps`.
 bool approx_equal(const cplx& a, const cplx& b, double eps = kEps);
 

@@ -1,6 +1,7 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <sstream>
 
 namespace qts {
@@ -50,6 +51,36 @@ std::string format_fixed(double value, int digits) {
   os.precision(digits);
   os << value;
   return os.str();
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  const std::string s(trim(text));
+  // Restrict the alphabet to plain decimal/scientific notation up front:
+  // std::stod would otherwise consume hexfloats ("0x10" = 16.0), "inf" and
+  // "nan" — surprises, not numbers, in a CLI flag.
+  if (s.empty() || s.find_first_not_of("0123456789.eE+-") != std::string::npos) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(s, &consumed);
+    if (consumed != s.size() || !std::isfinite(value)) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace qts

@@ -2,6 +2,8 @@
 /// Small string helpers shared by the QASM parser and table printers.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,5 +25,17 @@ std::string pad_right(std::string_view text, std::size_t width);
 
 /// Fixed-precision double formatting ("12.34").
 std::string format_fixed(double value, int digits);
+
+/// Strict full-match unsigned parse: the whole of `text` must be decimal
+/// digits — no sign, no whitespace, no trailing garbage ("10x"), and no
+/// wrap-around of negatives ("-1").  Returns nullopt on anything else,
+/// including values past 2^64-1.  The one parser behind every count the
+/// CLI and the engine-spec grammar accept.
+std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Strict full-match double parse (used for probabilities and timeouts):
+/// the whole of `text` must be consumed by the conversion and the value
+/// must be finite.  Returns nullopt otherwise.
+std::optional<double> parse_double(std::string_view text);
 
 }  // namespace qts

@@ -1,6 +1,10 @@
 #include "qts/encode.hpp"
 
+#include <algorithm>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "qts/states.hpp"
@@ -16,6 +20,58 @@ void check_cap(std::uint32_t n, std::uint32_t max_qubits) {
               std::to_string(max_qubits) + "-qubit cap (2^n amplitudes would be materialised)");
 }
 
+[[noreturn]] void budget_exceeded(std::size_t max_nonzeros) {
+  throw InvalidArgument("sparse ket codec: support exceeds the " +
+                        std::to_string(max_nonzeros) +
+                        "-non-zero budget (raise it with sparse:<maxnz>)");
+}
+
+/// Depth-first walk of the non-zero paths: `q` is the next qubit expected,
+/// `prefix` the basis-index bits chosen so far, `acc` the product of edge
+/// weights consumed.  Levels between state levels cannot occur in a ket on
+/// the canonical levels; a level above state_level(q) means the diagram
+/// skips qubit q and both assignments share the subtree.
+void walk_nonzero(const tdd::Edge& e, std::uint32_t q, std::uint32_t n, cplx acc,
+                  std::uint64_t prefix, std::size_t max_nonzeros, sim::SparseState& out) {
+  if (e.is_zero()) return;
+  if (q == n) {
+    require(e.is_terminal(), "sparse ket codec: tensor depends on a non-state variable");
+    if (out.nonzeros() >= max_nonzeros) budget_exceeded(max_nonzeros);
+    out.set(prefix, acc * e.weight);
+    return;
+  }
+  const tdd::Level var = tdd::state_level(q);
+  if (e.is_terminal() || e.node->level() > var) {
+    walk_nonzero(e, q + 1, n, acc, prefix << 1, max_nonzeros, out);
+    walk_nonzero(e, q + 1, n, acc, (prefix << 1) | 1u, max_nonzeros, out);
+    return;
+  }
+  require(e.node->level() == var, "sparse ket codec: tensor depends on a non-state variable");
+  const tdd::Edge lo = e.node->low();
+  const tdd::Edge hi = e.node->high();
+  if (!lo.is_zero()) walk_nonzero(lo, q + 1, n, acc * e.weight, prefix << 1, max_nonzeros, out);
+  if (!hi.is_zero()) {
+    walk_nonzero(hi, q + 1, n, acc * e.weight, (prefix << 1) | 1u, max_nonzeros, out);
+  }
+}
+
+using SparseEntry = std::pair<std::uint64_t, cplx>;
+
+/// Radix build over the sorted support: at depth `q` the bit (n-1-q) splits
+/// the (contiguous, sorted) entry range into the low and high subtrees.
+tdd::Edge build_sparse(tdd::Manager& mgr, std::span<const SparseEntry> entries, std::uint32_t q,
+                       std::uint32_t n) {
+  if (entries.empty()) return mgr.zero();
+  if (q == n) return mgr.terminal(entries.front().second);
+  const std::uint64_t bit = std::uint64_t{1} << (n - 1 - q);
+  const auto split = std::partition_point(
+      entries.begin(), entries.end(), [bit](const SparseEntry& e) { return (e.first & bit) == 0; });
+  const auto lo_count = static_cast<std::size_t>(split - entries.begin());
+  const tdd::Edge lo = build_sparse(mgr, entries.subspan(0, lo_count), q + 1, n);
+  const tdd::Edge hi = build_sparse(mgr, entries.subspan(lo_count), q + 1, n);
+  return mgr.make_node(tdd::state_level(q), lo, hi);
+}
+
 }  // namespace
 
 la::Vector decode_ket(const tdd::Edge& ket, std::uint32_t n, std::uint32_t max_qubits) {
@@ -28,6 +84,29 @@ tdd::Edge encode_ket(tdd::Manager& mgr, const la::Vector& amps, std::uint32_t n,
   check_cap(n, max_qubits);
   require(amps.size() == (std::size_t{1} << n), "encode_ket: amplitude count must be 2^n");
   return ket_from_dense(mgr, n, amps.data());
+}
+
+sim::SparseState decode_ket_sparse(const tdd::Edge& ket, std::uint32_t n,
+                                   std::size_t max_nonzeros) {
+  require(max_nonzeros >= 1, "sparse ket codec: non-zero budget must be at least 1");
+  sim::SparseState out(n);  // validates 1 <= n <= 64
+  walk_nonzero(ket, 0, n, cplx{1.0, 0.0}, 0, max_nonzeros, out);
+  return out;
+}
+
+tdd::Edge encode_ket_sparse(tdd::Manager& mgr, const sim::SparseState& state,
+                            std::size_t max_nonzeros) {
+  require(max_nonzeros >= 1, "sparse ket codec: non-zero budget must be at least 1");
+  std::vector<SparseEntry> entries;
+  entries.reserve(state.nonzeros());
+  for (const auto& [idx, amp] : state.amplitudes()) {
+    if (approx_zero(amp)) continue;  // prune rather than encode zero paths
+    if (entries.size() >= max_nonzeros) budget_exceeded(max_nonzeros);
+    entries.emplace_back(idx, amp);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) { return a.first < b.first; });
+  return build_sparse(mgr, entries, 0, state.num_qubits());
 }
 
 }  // namespace qts

@@ -1,19 +1,27 @@
 /// \file encode.hpp
-/// The ket codec between the two state representations: n-qubit TDD kets on
-/// the canonical state levels ↔ dense la::Vector amplitudes, under the
-/// shared MSB-first convention (qubit 0 is the most significant bit of a
-/// basis-state index — see states.hpp and sim/statevector.hpp, which agree
-/// by construction).
+/// The ket codecs of the state-representation seam: n-qubit TDD kets on the
+/// canonical state levels ↔ dense la::Vector amplitudes ↔ sparse
+/// sim::SparseState amplitude maps, all under the shared MSB-first
+/// convention (qubit 0 is the most significant bit of a basis-state index —
+/// see states.hpp, sim/statevector.hpp and sim/sparse_state.hpp, which
+/// agree by construction).
 ///
-/// Both directions materialise 2^n amplitudes, so each carries an explicit
-/// size guard: a register wider than `max_qubits` throws InvalidArgument
-/// instead of silently allocating gigabytes.  The default cap matches the
-/// statevector engine's (16 K amplitudes, ~256 KB per ket).
+/// The dense directions materialise 2^n amplitudes, so each carries an
+/// explicit size guard: a register wider than `max_qubits` throws
+/// InvalidArgument instead of silently allocating gigabytes.  The default
+/// cap matches the statevector engine's (16 K amplitudes, ~256 KB per ket).
+///
+/// The sparse directions never touch 2^n: decoding walks only the TDD's
+/// non-zero paths and encoding radix-builds the diagram from the sorted
+/// support — so their guard is a NON-ZERO-COUNT budget, not a qubit count.
+/// A 60-qubit basis-state-dominated ket crosses the seam in O(nnz · n).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "linalg/vector.hpp"
+#include "sim/sparse_state.hpp"
 #include "tdd/manager.hpp"
 
 namespace qts {
@@ -21,6 +29,12 @@ namespace qts {
 /// Default dense-representation cap: the widest register the codec (and the
 /// statevector engine built on it) accepts without an explicit override.
 inline constexpr std::uint32_t kDenseQubitCap = 14;
+
+/// Default sparse-representation budget: the most non-zero amplitudes one
+/// ket may carry across the codec (and through the sparse engine built on
+/// it) without an explicit override.  64 K entries ≈ the dense codec's
+/// amplitude count at its own default cap, but spendable at any width.
+inline constexpr std::size_t kSparseNonzeroCap = std::size_t{1} << 16;
 
 /// Ket TDD → dense amplitudes.  Throws InvalidArgument when n > max_qubits.
 la::Vector decode_ket(const tdd::Edge& ket, std::uint32_t n,
@@ -30,5 +44,21 @@ la::Vector decode_ket(const tdd::Edge& ket, std::uint32_t n,
 /// 2^n values; throws InvalidArgument when n > max_qubits.
 tdd::Edge encode_ket(tdd::Manager& mgr, const la::Vector& amps, std::uint32_t n,
                      std::uint32_t max_qubits = kDenseQubitCap);
+
+/// Ket TDD → sparse amplitude map, by walking the diagram's non-zero paths
+/// (a variable skipped by the reduced diagram expands to both assignments).
+/// By the canonical-form invariants every walked path has a non-zero
+/// amplitude, so the walk does work proportional to the support, never to
+/// 2^n.  Throws InvalidArgument as soon as the support would exceed
+/// `max_nonzeros` (or when n > 64, the index width).
+sim::SparseState decode_ket_sparse(const tdd::Edge& ket, std::uint32_t n,
+                                   std::size_t max_nonzeros = kSparseNonzeroCap);
+
+/// Sparse amplitude map → ket TDD on the state levels, radix-built from the
+/// sorted support in O(nnz · n) make_node calls.  (Approximately) zero
+/// amplitudes are pruned rather than encoded.  Throws InvalidArgument when
+/// the support exceeds `max_nonzeros`.
+tdd::Edge encode_ket_sparse(tdd::Manager& mgr, const sim::SparseState& state,
+                            std::size_t max_nonzeros = kSparseNonzeroCap);
 
 }  // namespace qts

@@ -7,23 +7,28 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "qts/parallel.hpp"
+#include "qts/sparse_engine.hpp"
 #include "qts/statevector_engine.hpp"
 
 namespace qts {
 
+// The spec struct's literal defaults (engine.hpp) must track the codec caps.
+static_assert(kDenseQubitCap == 14, "update EngineSpec::max_qubits' default");
+static_assert(kSparseNonzeroCap == (std::size_t{1} << 16),
+              "update EngineSpec::max_nonzeros' default");
+
 namespace {
 
-/// Strict unsigned parse: the whole piece must be digits.
+/// Strict full-match unsigned parse (common/strings.hpp parse_uint): the
+/// whole piece must be digits — "2x" and "-1" are rejected, not truncated
+/// or wrapped.
 std::size_t parse_count(std::string_view piece, const std::string& spec) {
-  if (piece.empty() || piece.find_first_not_of("0123456789") != std::string_view::npos) {
+  const auto value = parse_uint(piece);
+  if (!value.has_value()) {
     throw InvalidArgument("engine spec '" + spec + "': expected a number, got '" +
                           std::string(piece) + "'");
   }
-  try {
-    return std::stoull(std::string(piece));
-  } catch (const std::out_of_range&) {
-    throw InvalidArgument("engine spec '" + spec + "': parameter out of range");
-  }
+  return static_cast<std::size_t>(*value);
 }
 
 std::map<std::string, EngineFactory>& registry() {
@@ -44,6 +49,9 @@ std::map<std::string, EngineFactory>& registry() {
     };
     m["statevector"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
       return std::make_unique<StatevectorImage>(mgr, spec.max_qubits, ctx);
+    };
+    m["sparse"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
+      return std::make_unique<SparseImage>(mgr, spec.max_nonzeros, ctx);
     };
     return m;
   }();
@@ -101,6 +109,12 @@ EngineSpec EngineSpec::parse(const std::string& text) {
       require(spec.max_qubits >= 1 && spec.max_qubits <= 30,
               "engine spec '" + text + "': statevector cap must be between 1 and 30 qubits");
     }
+  } else if (spec.method == "sparse") {
+    if (!spec.args.empty()) {
+      spec.max_nonzeros = parse_count(spec.args, text);
+      require(spec.max_nonzeros >= 1,
+              "engine spec '" + text + "': sparse non-zero budget must be at least 1");
+    }
   }
   // Unknown methods keep their raw args; make_engine rejects them unless a
   // factory was registered.
@@ -117,6 +131,7 @@ std::string EngineSpec::to_string() const {
     return method + ":" + std::to_string(threads) + "," + inner;
   }
   if (method == "statevector") return method + ":" + std::to_string(max_qubits);
+  if (method == "sparse") return method + ":" + std::to_string(max_nonzeros);
   return args.empty() ? method : method + ":" + args;
 }
 

@@ -16,6 +16,11 @@
 ///                              2^n amplitudes, imaged densely and re-encoded;
 ///                              registers wider than maxq (default 14) throw.
 ///                              Also valid as a parallel inner spec.
+///   "sparse[:maxnz]"           sparse amplitude-map backend behind the same
+///                              seam — only non-zero amplitudes are stored,
+///                              so the guard is the per-ket non-zero budget
+///                              maxnz (default 65536), not a qubit count.
+///                              Also valid as a parallel inner spec.
 ///
 /// (Methods without parameters use the defaults below.)  Later backends
 /// plug in through register_engine without touching any call site.
@@ -42,13 +47,16 @@ struct EngineSpec {
   std::size_t threads = 0; ///< parallel: worker count (0 = hardware concurrency)
   std::string inner = "contraction:4,4";  ///< parallel: nested sequential engine spec
   std::uint32_t max_qubits = 14;  ///< statevector: dense qubit cap (kDenseQubitCap)
+  std::size_t max_nonzeros = std::size_t{1} << 16;  ///< sparse: per-ket non-zero
+                                                    ///< budget (kSparseNonzeroCap)
   std::string args;        ///< raw parameter text (custom engines)
 
   /// Parse "basic" | "addition[:k]" | "contraction[:k1,k2]" |
-  /// "parallel[:t[,spec]]" | "statevector[:maxq]" |
+  /// "parallel[:t[,spec]]" | "statevector[:maxq]" | "sparse[:maxnz]" |
   /// "name[:args]" for registered custom engines.
   /// Throws InvalidArgument on malformed input (unknown built-in parameter
-  /// shapes, non-numeric or zero counts, a nested parallel spec).
+  /// shapes, non-numeric or zero counts, trailing garbage after a count,
+  /// a nested parallel spec).
   static EngineSpec parse(const std::string& text);
 
   /// Canonical spec string; parse(to_string()) round-trips.

@@ -1,0 +1,150 @@
+/// \file seam_engine.hpp
+/// The shared engine body of the state-representation seam.
+///
+/// Every non-TDD backend (dense statevector, sparse amplitude map, and the
+/// ROADMAP's next candidates) runs the *same* iteration skeleton — decode
+/// the frontier once, image it through every Kraus circuit in the foreign
+/// representation, reduce the batch to its residual basis there, re-encode
+/// only the survivors, filter against the accumulator snapshot in TDD
+/// space — and differs only in how states are stored and crossed over.
+/// SeamImage<Rep> owns that skeleton once; a representation policy supplies
+/// the five points of variation:
+///
+///   struct Rep {
+///     using State = ...;              // the foreign ket representation
+///     using Batch = ...;              // its Gram-Schmidt subspace mirror
+///     State decode(const tdd::Edge&, std::uint32_t n) const;
+///     tdd::Edge encode(tdd::Manager&, const State&, std::uint32_t n) const;
+///     State apply_circuit(const circ::Circuit&, const State&) const;
+///     std::vector<State> apply_operation(std::span<const circ::Circuit>,
+///                                        std::span<const State>) const;
+///     Batch make_batch(std::uint32_t n) const;
+///   };
+///
+/// The policy also owns the representation's size guard (dense qubit cap,
+/// sparse non-zero budget) and enforces it inside decode/encode/apply — the
+/// skeleton never needs to know which resource is being budgeted.  A new
+/// backend is a policy struct plus a name, not a re-implementation of the
+/// iteration body that could silently drift from its siblings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qts/image.hpp"
+
+namespace qts {
+
+template <class Rep>
+class SeamImage : public ImageComputer {
+ public:
+  SeamImage(tdd::Manager& mgr, Rep rep, ExecutionContext* ctx)
+      : ImageComputer(mgr, ctx), rep_(std::move(rep)) {}
+
+  using ImageComputer::image;
+
+  /// T_σ(S), computed in the foreign representation: decode the basis once,
+  /// image it through every Kraus operator, orthonormalise the batch over
+  /// there (span(residuals) = span(images), so the TDD-side subspace is the
+  /// same T_σ(S) the other engines build), and re-encode only the surviving
+  /// residuals.
+  Subspace image(const QuantumOperation& op, const Subspace& s) override {
+    ScopedTimer timer(ctx_);
+    const std::uint32_t n = s.num_qubits();
+
+    std::vector<typename Rep::State> kets;
+    kets.reserve(s.basis().size());
+    for (const auto& b : s.basis()) kets.push_back(rep_.decode(b, n));
+
+    ctx_->check_deadline();
+    const std::vector<typename Rep::State> images = rep_.apply_operation(op.kraus, kets);
+    ctx_->stats().kraus_applications += images.size();
+
+    typename Rep::Batch batch = rep_.make_batch(n);
+    const std::vector<typename Rep::State> residuals = batch.add_states(images);
+
+    Subspace out(mgr_, n);
+    for (const auto& r : residuals) {
+      ctx_->check_deadline();
+      out.add_state(rep_.encode(mgr_, r, n));
+      tdd::record_peak(ctx_, out.projector());
+    }
+    return out;
+  }
+
+  /// Representation-changing engines claim whole frontier iterations (the
+  /// same hook the parallel engine uses to shard them): each frontier ket
+  /// crosses the seam exactly once per iteration instead of once per Kraus
+  /// application.
+  [[nodiscard]] bool shards_frontier() const override { return true; }
+
+  /// One whole frontier step: decode the frontier once, apply every Kraus
+  /// circuit of every operation in the sequential feed's order (op-major,
+  /// Kraus-major, ket-minor), run one Gram-Schmidt pass over the image
+  /// batch in the foreign representation, re-encode the residuals and drop
+  /// those already inside the accumulator snapshot.  Reports one "shard" —
+  /// the whole iteration ran on the caller's thread.
+  std::vector<tdd::Edge> frontier_candidates(const TransitionSystem& sys,
+                                             std::span<const tdd::Edge> frontier,
+                                             std::uint32_t n, const tdd::Edge& acc_projector,
+                                             std::size_t* shards_used) override {
+    ScopedTimer timer(ctx_);
+    if (shards_used != nullptr) *shards_used = 0;
+    if (frontier.empty()) return {};
+    if (shards_used != nullptr) *shards_used = 1;
+
+    std::vector<typename Rep::State> kets;
+    kets.reserve(frontier.size());
+    for (const auto& b : frontier) kets.push_back(rep_.decode(b, n));
+
+    typename Rep::Batch batch = rep_.make_batch(n);
+    std::vector<typename Rep::State> residuals;
+    for (const auto& op : sys.operations) {
+      ctx_->check_deadline();
+      std::vector<typename Rep::State> images = rep_.apply_operation(op.kraus, kets);
+      ctx_->stats().kraus_applications += images.size();
+      std::vector<typename Rep::State> fresh = batch.add_states(images);
+      residuals.insert(residuals.end(), std::make_move_iterator(fresh.begin()),
+                       std::make_move_iterator(fresh.end()));
+    }
+
+    // Re-encode only the survivors; the accumulator-snapshot filter runs in
+    // TDD space (the snapshot's projector only exists there).
+    std::vector<tdd::Edge> out;
+    out.reserve(residuals.size());
+    for (const auto& r : residuals) {
+      ctx_->check_deadline();
+      const tdd::Edge phi = rep_.encode(mgr_, r, n);
+      tdd::record_peak(ctx_, phi);
+      if (!Subspace::projector_contains(mgr_, acc_projector, phi, n)) out.push_back(phi);
+    }
+    return out;
+  }
+
+ protected:
+  /// Per-ket path for delegating callers (parallel workers, image_kets):
+  /// nothing is pre-contracted — the representation applies the circuit's
+  /// gates directly — so Prepared only pins the circuit reference.
+  struct PinnedKraus : Prepared {
+    const circ::Circuit* kraus = nullptr;
+    void collect_roots(std::vector<tdd::Edge>&) const override {}  // nothing TDD-side
+  };
+
+  std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) override {
+    auto prep = std::make_unique<PinnedKraus>();
+    prep->kraus = &kraus;
+    return prep;
+  }
+
+  tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override {
+    const auto& pinned = static_cast<const PinnedKraus&>(prep);
+    return rep_.encode(mgr_, rep_.apply_circuit(*pinned.kraus, rep_.decode(ket, n)), n);
+  }
+
+  Rep rep_;
+};
+
+}  // namespace qts

@@ -1,107 +1,14 @@
 #include "qts/statevector_engine.hpp"
 
 #include "common/error.hpp"
-#include "sim/dense_subspace.hpp"
-#include "sim/statevector.hpp"
 
 namespace qts {
 
-using tdd::Edge;
-
 StatevectorImage::StatevectorImage(tdd::Manager& mgr, std::uint32_t max_qubits,
                                    ExecutionContext* ctx)
-    : ImageComputer(mgr, ctx), max_qubits_(max_qubits) {
+    : SeamImage(mgr, DenseRep{max_qubits}, ctx) {
   require(max_qubits >= 1 && max_qubits <= 30,
           "statevector engine: qubit cap must be between 1 and 30");
-}
-
-Subspace StatevectorImage::image(const QuantumOperation& op, const Subspace& s) {
-  ScopedTimer timer(ctx_);
-  const std::uint32_t n = s.num_qubits();
-
-  std::vector<la::Vector> kets;
-  kets.reserve(s.basis().size());
-  for (const auto& b : s.basis()) kets.push_back(decode_ket(b, n, max_qubits_));
-
-  ctx_->check_deadline();
-  const std::vector<la::Vector> images = sim::apply_operation(op.kraus, kets);
-  ctx_->stats().kraus_applications += images.size();
-
-  // One dense Gram-Schmidt pass over the batch; only its residual basis is
-  // re-encoded — span(residuals) = span(images), so the TDD-side subspace is
-  // the same T_σ(S) the other engines build, reached through far fewer
-  // (and orthonormal) encodes.
-  sim::DenseSubspace batch(n);
-  const std::vector<la::Vector> residuals = batch.add_states(images);
-
-  Subspace out(mgr_, n);
-  for (const auto& r : residuals) {
-    ctx_->check_deadline();
-    out.add_state(encode_ket(mgr_, r, n, max_qubits_));
-    tdd::record_peak(ctx_, out.projector());
-  }
-  return out;
-}
-
-std::vector<Edge> StatevectorImage::frontier_candidates(const TransitionSystem& sys,
-                                                        std::span<const Edge> frontier,
-                                                        std::uint32_t n,
-                                                        const Edge& acc_projector,
-                                                        std::size_t* shards_used) {
-  ScopedTimer timer(ctx_);
-  if (shards_used != nullptr) *shards_used = 0;
-  if (frontier.empty()) return {};
-  if (shards_used != nullptr) *shards_used = 1;  // dense, on the caller's thread
-
-  // Decode the frontier once — the whole point of claiming the iteration
-  // body: the sequential image_kets path would decode each ket once per
-  // Kraus circuit.
-  std::vector<la::Vector> kets;
-  kets.reserve(frontier.size());
-  for (const auto& b : frontier) kets.push_back(decode_ket(b, n, max_qubits_));
-
-  // Dense images in the sequential feed's order (op-major, Kraus-major,
-  // ket-minor), reduced batch-wise to their residual basis.
-  sim::DenseSubspace batch(n);
-  std::vector<la::Vector> residuals;
-  for (const auto& op : sys.operations) {
-    ctx_->check_deadline();
-    const std::vector<la::Vector> images = sim::apply_operation(op.kraus, kets);
-    ctx_->stats().kraus_applications += images.size();
-    std::vector<la::Vector> fresh = batch.add_states(images);
-    residuals.insert(residuals.end(), std::make_move_iterator(fresh.begin()),
-                     std::make_move_iterator(fresh.end()));
-  }
-
-  // Re-encode only the dense survivors; the accumulator-snapshot filter runs
-  // in TDD space (the snapshot's dense projector would be 4^n amplitudes).
-  std::vector<Edge> out;
-  out.reserve(residuals.size());
-  for (const auto& r : residuals) {
-    ctx_->check_deadline();
-    const Edge phi = encode_ket(mgr_, r, n, max_qubits_);
-    tdd::record_peak(ctx_, phi);
-    if (!Subspace::projector_contains(mgr_, acc_projector, phi, n)) out.push_back(phi);
-  }
-  return out;
-}
-
-struct StatevectorImage::DenseKraus : ImageComputer::Prepared {
-  const circ::Circuit* kraus = nullptr;
-  void collect_roots(std::vector<Edge>&) const override {}  // nothing TDD-side
-};
-
-std::unique_ptr<ImageComputer::Prepared> StatevectorImage::prepare(const circ::Circuit& kraus) {
-  auto prep = std::make_unique<DenseKraus>();
-  prep->kraus = &kraus;
-  return prep;
-}
-
-Edge StatevectorImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t n) {
-  const auto& dense = static_cast<const DenseKraus&>(prep);
-  const la::Vector image =
-      sim::apply_circuit(*dense.kraus, decode_ket(ket, n, max_qubits_));
-  return encode_ket(mgr_, image, n, max_qubits_);
 }
 
 }  // namespace qts

@@ -10,7 +10,9 @@
 /// (whose apply_gate path handles non-unitary projector gates and global
 /// noise factors exactly), a dense Gram-Schmidt pass (sim::DenseSubspace)
 /// reduces the image batch to its residual basis, and only those surviving
-/// residuals are re-encoded into TDDs.
+/// residuals are re-encoded into TDDs.  The iteration skeleton itself is
+/// the shared SeamImage body (seam_engine.hpp); this file only supplies the
+/// dense representation policy.
 ///
 /// Spec: "statevector[:maxq]" — maxq is the dense qubit cap (default
 /// kDenseQubitCap = 14; 2^n amplitudes are materialised per ket, so wider
@@ -25,57 +27,48 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "qts/encode.hpp"
-#include "qts/image.hpp"
+#include "qts/seam_engine.hpp"
+#include "sim/dense_subspace.hpp"
+#include "sim/statevector.hpp"
 
 namespace qts {
 
-class StatevectorImage final : public ImageComputer {
+/// Dense representation policy: la::Vector states, DenseSubspace batches,
+/// the dense ket codec with its explicit qubit cap as the size guard.
+struct DenseRep {
+  using State = la::Vector;
+  using Batch = sim::DenseSubspace;
+
+  std::uint32_t max_qubits = kDenseQubitCap;
+
+  [[nodiscard]] State decode(const tdd::Edge& ket, std::uint32_t n) const {
+    return decode_ket(ket, n, max_qubits);
+  }
+  [[nodiscard]] tdd::Edge encode(tdd::Manager& mgr, const State& state, std::uint32_t n) const {
+    return encode_ket(mgr, state, n, max_qubits);
+  }
+  [[nodiscard]] State apply_circuit(const circ::Circuit& kraus, const State& ket) const {
+    return sim::apply_circuit(kraus, ket);
+  }
+  [[nodiscard]] std::vector<State> apply_operation(std::span<const circ::Circuit> kraus,
+                                                   std::span<const State> kets) const {
+    return sim::apply_operation(kraus, kets);
+  }
+  [[nodiscard]] Batch make_batch(std::uint32_t n) const { return Batch(n); }
+};
+
+class StatevectorImage final : public SeamImage<DenseRep> {
  public:
   explicit StatevectorImage(tdd::Manager& mgr, std::uint32_t max_qubits = kDenseQubitCap,
                             ExecutionContext* ctx = nullptr);
 
   [[nodiscard]] std::string name() const override { return "statevector"; }
-  [[nodiscard]] std::uint32_t max_qubits() const { return max_qubits_; }
-
-  using ImageComputer::image;
-
-  /// T_σ(S), computed densely: decode the basis once, image it through every
-  /// Kraus operator with sim::apply_operation, orthonormalise the batch in
-  /// dense space, and re-encode only the surviving residuals.
-  Subspace image(const QuantumOperation& op, const Subspace& s) override;
-
-  /// The statevector engine claims the whole frontier iteration body (like
-  /// the parallel engine, though it runs it densely rather than sharded):
-  /// the FixpointDriver feeds it through frontier_candidates, so each
-  /// frontier ket is decoded exactly once per iteration instead of once per
-  /// Kraus operator.
-  [[nodiscard]] bool shards_frontier() const override { return true; }
-
-  /// One dense frontier step: decode the frontier once, apply every Kraus
-  /// circuit of every operation, run one dense Gram-Schmidt pass over the
-  /// image batch (span(residuals) = span(images), so the driver's
-  /// authoritative accumulator extension sees the same span), re-encode the
-  /// residuals and drop those already inside the accumulator snapshot.
-  /// Reports one "shard" — the whole iteration ran on the caller's thread.
-  std::vector<tdd::Edge> frontier_candidates(const TransitionSystem& sys,
-                                             std::span<const tdd::Edge> frontier,
-                                             std::uint32_t n, const tdd::Edge& acc_projector,
-                                             std::size_t* shards_used) override;
-
- protected:
-  /// Per-ket path for delegating callers (parallel workers, image_kets):
-  /// nothing is pre-contracted — a dense application walks the circuit's
-  /// gates directly — so Prepared only pins the circuit reference.
-  struct DenseKraus;
-  std::unique_ptr<Prepared> prepare(const circ::Circuit& kraus) override;
-  tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override;
-
- private:
-  std::uint32_t max_qubits_;
+  [[nodiscard]] std::uint32_t max_qubits() const { return rep_.max_qubits; }
 };
 
 }  // namespace qts

@@ -10,12 +10,6 @@ namespace qts {
 using tdd::Edge;
 using tdd::Level;
 
-namespace {
-/// A squared-norm below this is treated as "already in the subspace".
-/// States are unit-scale here, so an absolute threshold is meaningful.
-constexpr double kResidualTol2 = 1e-14;
-}  // namespace
-
 Subspace::Subspace(tdd::Manager& mgr, std::uint32_t n)
     : mgr_(&mgr), n_(n), projector_(mgr.zero()) {}
 
@@ -29,7 +23,7 @@ Subspace Subspace::from_states(tdd::Manager& mgr, std::uint32_t n,
 bool Subspace::add_state(const Edge& state) {
   auto& mgr = *mgr_;
   const double in_norm = norm(mgr, state, n_);
-  if (in_norm <= 1e-12) return false;
+  if (in_norm <= kZeroNormTol) return false;
   Edge u = mgr.scale(state, cplx{1.0 / in_norm, 0.0});
 
   // Two orthogonalisation passes (CGS2) for numerical robustness.
@@ -68,7 +62,7 @@ bool Subspace::contains(const Edge& state, double tol) const {
 bool Subspace::projector_contains(tdd::Manager& mgr, const Edge& projector, const Edge& state,
                                   std::uint32_t n, double tol) {
   const double in_norm = norm(mgr, state, n);
-  if (in_norm <= 1e-12) return true;  // the zero vector is in every subspace
+  if (in_norm <= kZeroNormTol) return true;  // the zero vector is in every subspace
   const Edge u = mgr.scale(state, cplx{1.0 / in_norm, 0.0});
   if (projector.is_zero()) return false;
   const Edge r = mgr.add(u, mgr.scale(apply_operator(mgr, projector, u, n), cplx{-1.0, 0.0}));

@@ -35,6 +35,8 @@ class Subspace {
   /// Gram-Schmidt extension (§IV-B): orthogonalise `state` against the
   /// subspace; if a component survives, grow the basis and the projector.
   /// Returns true iff the dimension grew.  `state` need not be normalised.
+  /// The zero-norm and residual cutoffs are the shared representation-seam
+  /// constants of common/complex.hpp (kZeroNormTol / kResidualTol2).
   bool add_state(const tdd::Edge& state);
 
   /// Batched single-pass extension: add_state every vector in order and
@@ -48,7 +50,7 @@ class Subspace {
   void join(const Subspace& other);
 
   /// True if `state` ∈ S (up to tolerance; `state` need not be normalised).
-  [[nodiscard]] bool contains(const tdd::Edge& state, double tol = 1e-7) const;
+  [[nodiscard]] bool contains(const tdd::Edge& state, double tol = kMembershipTol) const;
 
   /// Membership test against a bare projector TDD, without a Subspace (the
   /// projector alone determines the subspace).  Used where only the
@@ -56,7 +58,7 @@ class Subspace {
   /// its images against the accumulator snapshot it was shipped.
   [[nodiscard]] static bool projector_contains(tdd::Manager& mgr, const tdd::Edge& projector,
                                                const tdd::Edge& state, std::uint32_t n,
-                                               double tol = 1e-7);
+                                               double tol = kMembershipTol);
 
   /// Mutual containment (same dimension and same span).
   [[nodiscard]] bool same_subspace(const Subspace& other) const;

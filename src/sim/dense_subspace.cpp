@@ -6,13 +6,6 @@
 
 namespace qts::sim {
 
-namespace {
-/// A squared residual norm below this is "already in the subspace" — the
-/// same constant as the TDD Subspace, so both representations draw the line
-/// between dependent and new vectors at the same place.
-constexpr double kResidualTol2 = 1e-14;
-}  // namespace
-
 DenseSubspace::DenseSubspace(std::uint32_t n) : n_(n) {
   require(n <= 30, "dense subspace limited to 30 qubits");
 }
@@ -26,7 +19,7 @@ DenseSubspace DenseSubspace::from_states(std::uint32_t n, const std::vector<la::
 bool DenseSubspace::add_state(const la::Vector& state) {
   require(state.size() == (std::size_t{1} << n_), "state size does not match qubit count");
   const double in_norm = state.norm();
-  if (in_norm <= 1e-12) return false;
+  if (in_norm <= kZeroNormTol) return false;
   la::Vector u = state * cplx{1.0 / in_norm, 0.0};
 
   // Two orthogonalisation passes (CGS2), mirroring qts::Subspace::add_state.
@@ -51,7 +44,7 @@ std::vector<la::Vector> DenseSubspace::add_states(const std::vector<la::Vector>&
 bool DenseSubspace::contains(const la::Vector& state, double tol) const {
   require(state.size() == (std::size_t{1} << n_), "state size does not match qubit count");
   const double in_norm = state.norm();
-  if (in_norm <= 1e-12) return true;  // the zero vector is in every subspace
+  if (in_norm <= kZeroNormTol) return true;  // the zero vector is in every subspace
   la::Vector u = state * cplx{1.0 / in_norm, 0.0};
   for (const auto& b : basis_) u -= b * b.dot(u);
   return u.norm() <= tol;

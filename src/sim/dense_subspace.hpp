@@ -30,8 +30,10 @@ class DenseSubspace {
   /// Gram-Schmidt extension: orthogonalise `state` against the subspace; if
   /// a component survives, grow the basis.  Returns true iff the dimension
   /// grew.  `state` need not be normalised.  The normalisation and residual
-  /// tolerances mirror qts::Subspace::add_state so the two representations
-  /// agree on which vectors count as "new".
+  /// cutoffs are the shared constants of common/complex.hpp
+  /// (kZeroNormTol / kResidualTol2), the same lines qts::Subspace and
+  /// sim::SparseSubspace draw, so the representations agree on which
+  /// vectors count as "new".
   bool add_state(const la::Vector& state);
 
   /// Batched extension: add_state every vector in order and return the
@@ -40,7 +42,7 @@ class DenseSubspace {
   std::vector<la::Vector> add_states(const std::vector<la::Vector>& states);
 
   /// True if `state` ∈ S (up to tolerance; `state` need not be normalised).
-  [[nodiscard]] bool contains(const la::Vector& state, double tol = 1e-7) const;
+  [[nodiscard]] bool contains(const la::Vector& state, double tol = kMembershipTol) const;
 
   /// Mutual containment (same dimension and same span).
   [[nodiscard]] bool same_subspace(const DenseSubspace& other) const;

@@ -1,0 +1,131 @@
+/// \file sparse_state.hpp
+/// Sparse amplitude-map simulation: a ket as a hash map of its non-zero
+/// amplitudes, with Kraus-aware operation application and a Gram-Schmidt
+/// subspace mirror.  This is the third state representation behind the
+/// engine seam (TDD kets, dense la::Vector, now sparse maps): where the
+/// dense simulator materialises 2^n amplitudes regardless of structure, a
+/// sparse state pays only for its populated basis states — so a
+/// basis-state-dominated workload (noisy walks, GHZ-style preparation,
+/// stabilizer-ish frontiers) scales by non-zero count, not qubit count.
+///
+/// Conventions match sim/statevector.hpp exactly: qubit 0 is the MOST
+/// significant bit of a basis-state index.  Registers up to 64 qubits fit
+/// the 64-bit index keys.
+///
+/// Tolerances are the TDD package's: amplitudes within `kEps` of zero
+/// relative to the state's largest magnitude are pruned (mirroring the
+/// manager's zero-snapping of normalised child weights), and the subspace
+/// mirror draws the zero-norm / residual / membership lines at the shared
+/// constants of common/complex.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/complex.hpp"
+
+namespace qts::sim {
+
+/// A ket stored as {basis index -> non-zero amplitude}.  Unpopulated
+/// indices are amplitude zero.
+class SparseState {
+ public:
+  using Map = std::unordered_map<std::uint64_t, cplx>;
+
+  /// The zero vector of an n-qubit space (1 <= n <= 64).
+  explicit SparseState(std::uint32_t n);
+
+  /// |basis_index⟩.
+  static SparseState basis(std::uint32_t n, std::uint64_t basis_index);
+
+  [[nodiscard]] std::uint32_t num_qubits() const { return n_; }
+  [[nodiscard]] std::size_t nonzeros() const { return amps_.size(); }
+  [[nodiscard]] bool empty() const { return amps_.empty(); }
+  [[nodiscard]] const Map& amplitudes() const { return amps_; }
+
+  /// Amplitude at `basis_index` (zero when unpopulated).
+  [[nodiscard]] cplx amplitude(std::uint64_t basis_index) const;
+
+  /// Set one amplitude; an (exactly) zero value erases the entry, so the
+  /// map never stores explicit zeros.
+  void set(std::uint64_t basis_index, const cplx& amp);
+
+  /// this += coeff * other (no pruning; callers prune at batch boundaries).
+  void axpy(const cplx& coeff, const SparseState& other);
+
+  SparseState& operator*=(const cplx& scalar);
+
+  /// Hermitian inner product ⟨this|other⟩ (conjugate-linear in `this`).
+  [[nodiscard]] cplx dot(const SparseState& other) const;
+
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const;
+
+  /// Drop entries whose magnitude is at or below `eps` times the largest
+  /// magnitude — the sparse mirror of the TDD manager's zero-snapping of
+  /// normalised child weights.  Cancellation residue from gate application
+  /// and Gram-Schmidt would otherwise accumulate as junk entries and
+  /// inflate the non-zero count the codec budgets against.
+  void prune(double eps = kEps);
+
+ private:
+  std::uint32_t n_;
+  Map amps_;
+};
+
+/// Apply one gate, touching only the populated basis states and their
+/// images.  Handles any number of positive/negative controls and 1- or
+/// 2-qubit base matrices (including non-unitary projector bases), exactly
+/// like the dense apply_gate — but as a scatter over the support instead of
+/// a gather over all 2^n indices.
+SparseState apply_gate(const SparseState& state, const circ::Gate& gate, std::uint32_t n);
+
+/// Apply a whole circuit (including its global factor), pruning
+/// cancellation residue once at the end.
+SparseState apply_circuit(const circ::Circuit& circuit, const SparseState& input);
+
+/// Kraus-aware sparse operation application: the (unnormalised) images
+/// E|ψ⟩ of every input ket under every Kraus circuit, Kraus-major and
+/// ket-minor — the exact order of the TDD engines' sequential Kraus×basis
+/// loop and of the dense sim::apply_operation.
+std::vector<SparseState> apply_operation(std::span<const circ::Circuit> kraus,
+                                         std::span<const SparseState> kets);
+
+/// Sparse Gram-Schmidt subspace — the amplitude-map mirror of
+/// qts::Subspace and sim::DenseSubspace: an orthonormal basis grown by the
+/// same CGS2 extension procedure, with add_states returning the orthonormal
+/// residuals.  All three representations share the tolerance constants of
+/// common/complex.hpp, so they agree on which vectors count as "new".
+class SparseSubspace {
+ public:
+  /// The zero subspace of an n-qubit space (1 <= n <= 64).
+  explicit SparseSubspace(std::uint32_t n);
+
+  /// span of the given (not necessarily orthogonal or normalised) kets.
+  static SparseSubspace from_states(std::uint32_t n, const std::vector<SparseState>& states);
+
+  [[nodiscard]] std::uint32_t num_qubits() const { return n_; }
+  [[nodiscard]] std::size_t dim() const { return basis_.size(); }
+  [[nodiscard]] const std::vector<SparseState>& basis() const { return basis_; }
+
+  /// Gram-Schmidt extension; returns true iff the dimension grew.
+  bool add_state(const SparseState& state);
+
+  /// Batched extension returning the appended orthonormal residuals.
+  std::vector<SparseState> add_states(const std::vector<SparseState>& states);
+
+  /// True if `state` ∈ S (up to tolerance; need not be normalised).
+  [[nodiscard]] bool contains(const SparseState& state, double tol = kMembershipTol) const;
+
+  /// Mutual containment (same dimension and same span).
+  [[nodiscard]] bool same_subspace(const SparseSubspace& other) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<SparseState> basis_;
+};
+
+}  // namespace qts::sim

@@ -37,7 +37,28 @@ check 0 "$QTSMC" reach --engine statevector "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" reach --engine statevector:10 --stats "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" reach --engine parallel:2,statevector "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" image --engine statevector --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine sparse "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine sparse:1024 --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine parallel:2,sparse "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" image --engine sparse --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" --engines
+
+# The sparse engine works past the dense qubit cap (ghz16.qasm is 16 qubits:
+# the statevector engine refuses with a usage error, the sparse engine pays
+# only for the two-entry support).  The full 16-qubit reach fixpoint would
+# saturate a 2^16-dim space, so the wide checks are one-shot / step-capped.
+check 0 "$QTSMC" image --engine sparse "$EXAMPLES/ghz16.qasm"
+check 0 "$QTSMC" reach --engine sparse --steps 3 "$EXAMPLES/ghz16.qasm"
+check 1 "$QTSMC" invar --engine sparse "$EXAMPLES/ghz16.qasm"
+check 2 "$QTSMC" image --engine statevector "$EXAMPLES/ghz16.qasm"
+
+# The registry must list the sparse method.
+if "$QTSMC" --engines | grep -q '^sparse$'; then
+  echo "ok: --engines lists sparse"
+else
+  echo "FAIL: --engines does not list sparse" >&2
+  failures=$((failures + 1))
+fi
 
 # 0 — cross-checked runs: a second engine replays every iteration and the
 # verdicts/subspaces must agree.
@@ -46,12 +67,20 @@ check 0 "$QTSMC" reach --engine parallel:2 --cross-check statevector "$EXAMPLES/
 check 0 "$QTSMC" image --cross-check statevector "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" back --cross-check statevector --steps 4 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" invar --cross-check statevector "$EXAMPLES/phase_oracle.qasm"
+check 0 "$QTSMC" reach --cross-check sparse --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine sparse --cross-check statevector "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine parallel:2 --cross-check sparse "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" image --cross-check sparse --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" back --cross-check sparse --steps 4 "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" invar --cross-check sparse "$EXAMPLES/phase_oracle.qasm"
 
 # 1 — property violated: the GHZ step leaves span{|000>}.
 check 1 "$QTSMC" invar "$EXAMPLES/ghz.qasm"
 check 1 "$QTSMC" invar --engine parallel:2 --verbose "$EXAMPLES/ghz.qasm"
 check 1 "$QTSMC" invar --engine statevector "$EXAMPLES/ghz.qasm"
 check 1 "$QTSMC" invar --cross-check statevector "$EXAMPLES/ghz.qasm"
+check 1 "$QTSMC" invar --engine sparse "$EXAMPLES/ghz.qasm"
+check 1 "$QTSMC" invar --cross-check sparse "$EXAMPLES/ghz.qasm"
 
 # 2 — CLI and input errors.
 check 2 "$QTSMC"
@@ -69,7 +98,25 @@ check 2 "$QTSMC" reach --noise bitflip:0.1:99 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine statevector:x "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine statevector:0 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine statevector:2 "$EXAMPLES/ghz.qasm"  # 3 qubits > cap 2
+check 2 "$QTSMC" reach --engine sparse:x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine sparse:0 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine sparse:2x "$EXAMPLES/ghz.qasm"      # trailing garbage
+check 2 "$QTSMC" reach --engine sparse:1 "$EXAMPLES/ghz.qasm"      # budget < image support
 check 2 "$QTSMC" reach --cross-check bogus "$EXAMPLES/ghz.qasm"
+
+# 2 — strict count/number parsing: trailing garbage and wrapped negatives
+# are usage errors, not silently-truncated values.
+check 2 "$QTSMC" reach --steps 10x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --steps -1 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --gc-nodes -1 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --gc-nodes 64k "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --k1 2x --k2 2 --method contraction "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --timeout 5x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --timeout 0x10 "$EXAMPLES/ghz.qasm"  # no hexfloats
+check 2 "$QTSMC" reach --noise depol:0x1:0 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --noise bitflip:0.1:0x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine parallel:2x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine addition:99999999999999999999 "$EXAMPLES/ghz.qasm"
 
 # 3 — wall-clock budget exceeded, including a deadline that expires INSIDE a
 # parallel worker: the DeadlineExceeded crosses the thread join and still
@@ -78,12 +125,14 @@ check 3 "$QTSMC" reach --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
 check 3 "$QTSMC" reach --engine parallel:2 --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
 check 3 "$QTSMC" invar --engine parallel:2 --timeout 0.000000001 --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
 check 3 "$QTSMC" reach --engine statevector --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
+check 3 "$QTSMC" reach --engine sparse --timeout 0.000000001 "$EXAMPLES/ghz.qasm"
 
 # 4 — cross-check divergence surfaces as an internal error: the qtsmc-only
 # "null" engine (identity dynamics) is the injected wrong result.
 check 4 "$QTSMC" reach --cross-check null "$EXAMPLES/ghz.qasm"
 check 4 "$QTSMC" image --cross-check null "$EXAMPLES/ghz.qasm"
 check 4 "$QTSMC" reach --engine null --cross-check statevector "$EXAMPLES/ghz.qasm"
+check 4 "$QTSMC" reach --engine null --cross-check sparse "$EXAMPLES/ghz.qasm"
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures qtsmc CLI check(s) failed" >&2

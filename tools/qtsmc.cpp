@@ -10,12 +10,15 @@
 /// Options:
 ///   --engine SPEC                          engine spec: basic | addition:k |
 ///                                          contraction:k1,k2 | parallel:t[,spec]
-///                                          | statevector[:maxq]
+///                                          | statevector[:maxq] | sparse[:maxnz]
 ///                                          (default contraction:4,4; parallel
 ///                                          shards the Kraus×basis loop over t
 ///                                          worker threads, 0 = hardware;
 ///                                          statevector runs densely, capped at
-///                                          maxq qubits, default 14)
+///                                          maxq qubits, default 14; sparse
+///                                          stores only non-zero amplitudes,
+///                                          budgeted at maxnz per ket,
+///                                          default 65536)
 ///   --method basic|addition|contraction    shorthand for --engine METHOD
 ///   --cross-check SPEC                     run a second engine as a differential
 ///                                          oracle: frontier dims, survivor
@@ -120,7 +123,9 @@ struct Options {
       R"(usage: qtsmc <image|reach|back|invar> [options] circuit.qasm
   --engine SPEC                          basic | addition:k | contraction:k1,k2 |
                                          parallel:t[,spec] (t threads, 0 = hardware) |
-                                         statevector[:maxq] (dense, maxq-qubit cap)
+                                         statevector[:maxq] (dense, maxq-qubit cap) |
+                                         sparse[:maxnz] (amplitude map, maxnz
+                                         non-zeros per ket)
   --method basic|addition|contraction    shorthand for --engine METHOD
   --cross-check SPEC                     differential oracle engine; divergence
                                          from the primary engine exits 4
@@ -142,6 +147,28 @@ exit codes: 0 success/holds, 1 property violated, 2 usage or parse error,
   std::exit(kExitUsage);
 }
 
+/// Strict full-match count parse for CLI flag values.  The previous bare
+/// std::stoul silently accepted trailing garbage ("--steps 10x" ran 10
+/// steps) and wrapped negatives ("--gc-nodes -1" became a huge threshold);
+/// anything but pure digits is now a usage error (exit 2).
+std::uint64_t parse_count(const std::string& flag, const std::string& text,
+                          std::uint64_t max_value = ~std::uint64_t{0}) {
+  const auto value = parse_uint(text);
+  if (!value.has_value() || *value > max_value) {
+    usage(flag + " expects a non-negative integer" +
+          (max_value == ~std::uint64_t{0} ? "" : " <= " + std::to_string(max_value)) +
+          ", got '" + text + "'");
+  }
+  return *value;
+}
+
+/// Strict full-match double parse ("--timeout 5x" is an error, not 5 s).
+double parse_number(const std::string& flag, const std::string& text) {
+  const auto value = parse_double(text);
+  if (!value.has_value()) usage(flag + " expects a number, got '" + text + "'");
+  return *value;
+}
+
 Options parse_args(int argc, char** argv) {
   Options opt;
   if (argc < 3) usage();
@@ -160,21 +187,21 @@ Options parse_args(int argc, char** argv) {
     } else if (a == "--method") {
       opt.engine.method = next();
     } else if (a == "--k") {
-      opt.engine.k = static_cast<std::size_t>(std::stoul(next()));
+      opt.engine.k = static_cast<std::size_t>(parse_count(a, next()));
     } else if (a == "--k1") {
-      opt.engine.k1 = static_cast<std::uint32_t>(std::stoul(next()));
+      opt.engine.k1 = static_cast<std::uint32_t>(parse_count(a, next(), 0xFFFFFFFFu));
     } else if (a == "--k2") {
-      opt.engine.k2 = static_cast<std::uint32_t>(std::stoul(next()));
+      opt.engine.k2 = static_cast<std::uint32_t>(parse_count(a, next(), 0xFFFFFFFFu));
     } else if (a == "--initial") {
       opt.initial = split(next(), ",");
     } else if (a == "--noise") {
       opt.noise.push_back(next());
     } else if (a == "--steps") {
-      opt.steps = static_cast<std::size_t>(std::stoul(next()));
+      opt.steps = static_cast<std::size_t>(parse_count(a, next()));
     } else if (a == "--timeout") {
-      opt.timeout_s = std::stod(next());
+      opt.timeout_s = parse_number(a, next());
     } else if (a == "--gc-nodes") {
-      opt.gc_nodes = static_cast<std::size_t>(std::stoul(next()));
+      opt.gc_nodes = static_cast<std::size_t>(parse_count(a, next()));
     } else if (a == "--stats") {
       opt.stats = true;
     } else if (a == "--verbose") {
@@ -203,8 +230,13 @@ std::uint64_t parse_bits(const std::string& bits, std::uint32_t n) {
 circ::Channel parse_channel(const std::string& spec, std::uint32_t& qubit) {
   const auto parts = split(spec, ":");
   require(parts.size() == 3, "noise spec must be CHANNEL:P:QUBIT");
-  const double p = std::stod(parts[1]);
-  qubit = static_cast<std::uint32_t>(std::stoul(parts[2]));
+  const auto parsed_p = parse_double(parts[1]);
+  require(parsed_p.has_value(), "noise probability must be a number, got '" + parts[1] + "'");
+  const double p = *parsed_p;
+  const auto parsed_q = parse_uint(parts[2]);
+  require(parsed_q.has_value() && *parsed_q <= 0xFFFFFFFFu,
+          "noise qubit must be a non-negative integer, got '" + parts[2] + "'");
+  qubit = static_cast<std::uint32_t>(*parsed_q);
   if (parts[0] == "bitflip") return circ::bit_flip(p);
   if (parts[0] == "phaseflip") return circ::phase_flip(p);
   if (parts[0] == "depol") return circ::depolarizing(p);
@@ -361,7 +393,7 @@ int main(int argc, char** argv) {
   } catch (const qts::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitUsage;
-  } catch (const std::invalid_argument&) {  // std::stoul/stod on bad numbers
+  } catch (const std::invalid_argument&) {  // residual std::stod (QASM literals)
     std::cerr << "error: option expects a numeric value\n";
     return kExitUsage;
   } catch (const std::out_of_range&) {
