@@ -4,11 +4,15 @@
 /// Each bench prints its human table as before and additionally writes
 /// `BENCH_<bench>.json` into the working directory on exit:
 ///
-///   {"bench": "parallel",
+///   {"bench": "parallel", "hardware_concurrency": 8,
 ///    "records": [
 ///      {"name": "grover11x16/parallel:4", "wall_ms": 812.4,
 ///       "peak_nodes": 1234, "threads": 4, "timeout": false},
 ///      ...]}
+///
+/// "hardware_concurrency" records the machine the numbers came from: a
+/// thread sweep on a 1-core container and the same sweep on an 8-way box
+/// are different experiments.
 ///
 /// so the perf trajectory can be tracked across PRs without scraping the
 /// formatted tables.  A timed-out cell keeps wall_ms = the budget it burned
@@ -20,6 +24,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -49,7 +54,8 @@ class JsonWriter {
       std::cerr << "warning: cannot write " << path << "\n";
       return;
     }
-    os << "{\"bench\": \"" << escaped(bench_) << "\", \"records\": [";
+    os << "{\"bench\": \"" << escaped(bench_) << "\", \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ", \"records\": [";
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       if (i != 0) os << ",";

@@ -13,6 +13,9 @@ ExecutionContext ExecutionContext::worker_view() const {
   view.deadline_ = deadline_;
   view.cancel_ = cancel_;  // one flag for the whole fork/join group
   view.gc_threshold_nodes_ = gc_threshold_nodes_;
+  view.adaptive_gc_ = adaptive_gc_;
+  view.adaptive_gc_floor_ = adaptive_gc_floor_;
+  view.adaptive_gc_growth_ = adaptive_gc_growth_;
   return view;
 }
 
@@ -33,6 +36,14 @@ void ExecutionContext::join_worker(const ExecutionContext& worker) {
   stats_.add_misses += w.add_misses;
   stats_.cont_hits += w.cont_hits;
   stats_.cont_misses += w.cont_misses;
+  // Storage gauges describe the one shared manager, so max-merge them.
+  if (w.table_nodes > stats_.table_nodes) stats_.table_nodes = w.table_nodes;
+  if (w.table_load_factor > stats_.table_load_factor) {
+    stats_.table_load_factor = w.table_load_factor;
+  }
+  if (w.table_shards > stats_.table_shards) stats_.table_shards = w.table_shards;
+  if (w.arena_blocks > stats_.arena_blocks) stats_.arena_blocks = w.arena_blocks;
+  if (w.arena_capacity > stats_.arena_capacity) stats_.arena_capacity = w.arena_capacity;
 }
 
 }  // namespace qts

@@ -39,6 +39,15 @@ struct RunStats {
   std::size_t add_misses = 0;
   std::size_t cont_hits = 0;
   std::size_t cont_misses = 0;
+
+  // Shared-manager storage gauges (sampled, not accumulated: the manager
+  // copies its current shape in via Manager::sample_storage; join_worker
+  // max-merges them since every worker shares the one manager).
+  std::size_t table_nodes = 0;        ///< entries across all unique-table shards
+  double table_load_factor = 0.0;     ///< table_nodes / hash buckets
+  std::size_t table_shards = 0;       ///< lock stripes in the unique table
+  std::size_t arena_blocks = 0;       ///< node slabs allocated
+  std::size_t arena_capacity = 0;     ///< node slots across all slabs
 };
 
 /// hits / (hits + misses) as a percentage; 0 when no lookups happened.
@@ -111,15 +120,37 @@ class ExecutionContext {
 
   /// When non-zero, fixpoint loops run a mark-sweep GC whenever the
   /// manager's live node count exceeds this threshold (roots: the live
-  /// subspaces plus the engine's prepared operators).
+  /// subspaces plus the engine's prepared operators).  A manual threshold
+  /// overrides the adaptive policy below.
   void set_gc_threshold_nodes(std::size_t n) { gc_threshold_nodes_ = n; }
   [[nodiscard]] std::size_t gc_threshold_nodes() const { return gc_threshold_nodes_; }
+
+  /// Adaptive GC (the default when no manual threshold is set): fixpoint
+  /// loops collect when the live node count has grown past `growth` times
+  /// the count measured after the previous collection — i.e. the trigger
+  /// tracks the live-node growth rate instead of a fixed ceiling — but never
+  /// below `floor` nodes, so small workloads pay nothing.
+  void set_adaptive_gc(bool enabled, std::size_t floor = kAdaptiveGcFloor,
+                       double growth = kAdaptiveGcGrowth) {
+    adaptive_gc_ = enabled;
+    adaptive_gc_floor_ = floor;
+    adaptive_gc_growth_ = growth;
+  }
+  [[nodiscard]] bool adaptive_gc() const { return adaptive_gc_; }
+  [[nodiscard]] std::size_t adaptive_gc_floor() const { return adaptive_gc_floor_; }
+  [[nodiscard]] double adaptive_gc_growth() const { return adaptive_gc_growth_; }
+
+  static constexpr std::size_t kAdaptiveGcFloor = std::size_t{1} << 16;
+  static constexpr double kAdaptiveGcGrowth = 2.0;
 
  private:
   Deadline deadline_;
   RunStats stats_;
   std::shared_ptr<std::atomic<bool>> cancel_ = std::make_shared<std::atomic<bool>>(false);
   std::size_t gc_threshold_nodes_ = 0;
+  bool adaptive_gc_ = true;
+  std::size_t adaptive_gc_floor_ = kAdaptiveGcFloor;
+  double adaptive_gc_growth_ = kAdaptiveGcGrowth;
 };
 
 /// RAII region timer: adds the scope's wall-clock time to the context's

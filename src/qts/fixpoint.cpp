@@ -111,18 +111,37 @@ FixpointDriver::Result FixpointDriver::run() {
   std::size_t iters = 0;
   const std::size_t full_dim_cap =
       n >= 20 ? ~std::size_t{0} : (std::size_t{1} << n);
+  gc_baseline_ = computer_.manager().live_nodes();
 
   while (iters < max_iterations_ && acc.dim() < full_dim_cap) {
     ++iters;
     ctx.check_deadline();
-    if (ctx.gc_threshold_nodes() != 0 &&
-        computer_.manager().live_nodes() > ctx.gc_threshold_nodes()) {
+
+    // Top of an iteration = quiescent point of the (shared) manager: no
+    // workers are running, so collecting here is safe for every engine.
+    const std::size_t live = computer_.manager().live_nodes();
+    bool collect = false;
+    if (ctx.gc_threshold_nodes() != 0) {
+      // Manual ceiling: the historical --gc-nodes contract, unchanged.
+      collect = live > ctx.gc_threshold_nodes();
+    } else if (ctx.adaptive_gc()) {
+      // Adaptive growth-rate trigger: collect once the pool has grown past
+      // `growth` times its level after the previous collection.  The floor
+      // keeps small workloads (and short tests) collection-free.
+      collect = live >= ctx.adaptive_gc_floor() &&
+                static_cast<double>(live) >=
+                    ctx.adaptive_gc_growth() * static_cast<double>(gc_baseline_);
+    }
+    if (collect) {
       collect_and_gc(acc, frontier, &oracle_acc, &oracle_frontier);
+      gc_baseline_ = computer_.manager().live_nodes();
     }
 
     IterationStats it;
     it.iteration = iters;
     it.frontier_dim = frontier.size();
+    it.live_nodes = live;
+    it.gc = collect;
 
     // Imaging only the frontier is sound because T(A ∨ B) = T(A) ∨ T(B)
     // (Proposition 1) and previously imaged vectors add nothing new.  Either

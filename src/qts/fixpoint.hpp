@@ -48,6 +48,8 @@ struct IterationStats {
   std::size_t survivors = 0;     ///< residuals that extended the accumulator
   std::size_t shards = 0;        ///< frontier shards dispatched (1 = sequential path)
   std::size_t acc_dim = 0;       ///< accumulated dimension after the iteration
+  std::size_t live_nodes = 0;    ///< manager live nodes entering the iteration
+  bool gc = false;               ///< a collection ran before this iteration's imaging
 };
 
 /// Callback invoked after every completed iteration (e.g. qtsmc --verbose).
@@ -95,11 +97,15 @@ class FixpointDriver {
   };
 
   /// Drive the iteration to the fixpoint, the iteration cap, a deadline, or
-  /// a predicate violation.  GC runs under the context's
-  /// gc_threshold_nodes policy with roots = the computer's prepared
-  /// operators, the system's initial subspace, the accumulator, the
-  /// frontier, every keep_alive subspace, and — under set_oracle — the
-  /// oracle's prepared operators, accumulator and frontier.
+  /// a predicate violation.  GC runs at the top of an iteration — a
+  /// quiescent point of the shared manager — under the context's policy: a
+  /// manual gc_threshold_nodes bound when set, otherwise the adaptive
+  /// growth-rate trigger (collect when live nodes exceed `growth` times the
+  /// level measured after the previous collection, never below the floor).
+  /// Roots = the computer's prepared operators, the system's initial
+  /// subspace, the accumulator, the frontier, every keep_alive subspace,
+  /// and — under set_oracle — the oracle's prepared operators, accumulator
+  /// and frontier.
   Result run();
 
   /// Per-iteration statistics of the last run(), oldest first.
@@ -117,6 +123,7 @@ class FixpointDriver {
   ImageComputer* oracle_ = nullptr;
   std::vector<const Subspace*> extra_roots_;
   std::vector<IterationStats> history_;
+  std::size_t gc_baseline_ = 0;  ///< live nodes after the last collection (adaptive policy)
 };
 
 }  // namespace qts

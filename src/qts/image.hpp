@@ -116,8 +116,11 @@ class ImageComputer {
 
   /// TDD roots held by the prepared-operator cache.  Long-running fixpoint
   /// loops pass these (plus their own live subspaces) to Manager::gc so the
-  /// node pool stays bounded without invalidating cached operators.
-  [[nodiscard]] std::vector<tdd::Edge> prepared_roots() const;
+  /// node pool stays bounded without invalidating cached operators.  Virtual
+  /// because delegating engines must report the caches they actually fill:
+  /// the parallel engine's workers prepare operators in the SHARED manager,
+  /// so omitting their roots would let a driver GC sweep live operators.
+  [[nodiscard]] virtual std::vector<tdd::Edge> prepared_roots() const;
 
   [[nodiscard]] tdd::Manager& manager() const { return mgr_; }
 

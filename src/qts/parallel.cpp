@@ -5,22 +5,22 @@
 #include <exception>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
-#include "tdd/transfer.hpp"
 
 namespace qts {
 
 using tdd::Edge;
 
-/// One worker: a private manager, a private context view and a private inner
-/// engine.  The engine's prepared-operator cache lives in the worker manager
-/// and survives across image() calls, exactly like a sequential engine's.
+/// One worker: a slot into the shared manager, a private context view and a
+/// private inner engine (built on the shared manager).  The engine's
+/// prepared-operator cache keys on Circuit addresses and its operator TDDs
+/// live in the shared manager, deduplicated against the siblings' by
+/// hash-consing.
 struct ParallelImage::Worker {
-  tdd::Manager mgr;
   ExecutionContext ctx;
+  tdd::Manager::ThreadSlot* slot = nullptr;
   std::unique_ptr<ImageComputer> engine;
 };
 
@@ -35,8 +35,8 @@ ParallelImage::ParallelImage(tdd::Manager& mgr, std::size_t threads, EngineSpec 
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     auto w = std::make_unique<Worker>();
-    w->mgr.bind_context(&w->ctx);
-    w->engine = make_engine(w->mgr, inner_, &w->ctx);
+    w->slot = &mgr.create_slot(&w->ctx);
+    w->engine = make_engine(mgr, inner_, &w->ctx);
     workers_.push_back(std::move(w));
   }
 }
@@ -47,7 +47,7 @@ std::size_t ParallelImage::shard_count(std::size_t tasks) const {
   if (tasks == 0) return 0;
   if (tasks <= kInlineTasks) return 1;  // run_pool(1) executes inline
   // Floor division: every shard keeps at least kMinTasksPerShard tasks, so
-  // per-shard transfer overhead stays amortised.
+  // per-shard fork/join overhead stays amortised.
   const std::size_t by_load = tasks / kMinTasksPerShard;
   return std::min(workers_.size(), by_load);
 }
@@ -73,33 +73,27 @@ Subspace ParallelImage::image(const QuantumOperation& op, const Subspace& s) {
   Subspace out(mgr_, n);
   if (tasks.empty()) return out;
 
-  std::vector<Edge> results(tasks.size());  // each owned by its worker's manager
+  // Results land straight in the shared manager — no per-worker pools, no
+  // ket shipping: the input kets are immutable shared data while workers
+  // run, and a result edge is valid in the parent's hands the moment its
+  // worker stores it.
+  std::vector<Edge> results(tasks.size());
   std::atomic<std::size_t> cursor{0};
 
   const std::size_t active = shard_count(tasks.size());
   run_pool(active, [&](std::size_t idx) {
     Worker& w = *workers_[idx];
-    // Per-round transfer memo: the task list holds #kraus × #basis entries
-    // but only #basis distinct kets, so ship each ket in once per worker.
-    std::unordered_map<const Edge*, Edge> ket_cache;
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) break;
-      auto it = ket_cache.find(tasks[i].ket);
-      if (it == ket_cache.end()) {
-        // The parent manager is quiescent while workers run, so transferring
-        // out of it concurrently is safe (transfer only reads the source).
-        it = ket_cache.emplace(tasks[i].ket, tdd::transfer(*tasks[i].ket, w.mgr)).first;
-      }
-      results[i] = w.engine->apply_kraus(*tasks[i].kraus, it->second, n);
+      results[i] = w.engine->apply_kraus(*tasks[i].kraus, *tasks[i].ket, n);
     }
   });
 
-  // Deterministic join: ship every result into the parent manager and reduce
-  // in task order, mirroring the sequential loop body.
+  // Deterministic join: reduce in task order, mirroring the sequential loop
+  // body.
   for (const Edge& result : results) {
-    const Edge phi = tdd::transfer(result, mgr_);
-    out.add_state(phi);
+    out.add_state(result);
     tdd::record_peak(ctx_, out.projector());
   }
   return out;
@@ -141,26 +135,19 @@ std::vector<Edge> ParallelImage::frontier_candidates(const TransitionSystem& sys
     bounds[s + 1] = bounds[s] + tasks.size() / nshards + (s < tasks.size() % nshards ? 1 : 0);
   }
 
-  // Per-shard survivors, each owned by its worker's manager until the join.
+  // Per-shard survivors; every edge already lives in the shared manager.
   std::vector<std::vector<Edge>> kept(nshards);
 
   run_pool(nshards, [&](std::size_t s) {
     Worker& w = *workers_[s];
-    // The snapshot is identical for every shard, so each task's keep/drop
-    // verdict depends only on the snapshot and the task itself, never on
-    // where the shard boundaries fall — the source of the thread-count
-    // invariance.
-    const Edge snapshot = tdd::transfer(acc_projector, w.mgr);
-    // Ship each of this shard's kets in once (a ket's tasks are contiguous,
-    // but a boundary may split them across two workers — each transfers).
-    std::unordered_map<const Edge*, Edge> ket_cache;
+    // The accumulator projector is immutable shared data while workers run
+    // (the driver only grows it between iterations), so every shard filters
+    // against the identical diagram: a task's keep/drop verdict depends only
+    // on the projector and the task itself, never on where the shard
+    // boundaries fall — the source of the thread-count invariance.
     for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
-      auto it = ket_cache.find(tasks[i].ket);
-      if (it == ket_cache.end()) {
-        it = ket_cache.emplace(tasks[i].ket, tdd::transfer(*tasks[i].ket, w.mgr)).first;
-      }
-      const Edge phi = w.engine->apply_kraus(*tasks[i].kraus, it->second, n);
-      if (!Subspace::projector_contains(w.mgr, snapshot, phi, n)) kept[s].push_back(phi);
+      const Edge phi = w.engine->apply_kraus(*tasks[i].kraus, *tasks[i].ket, n);
+      if (!Subspace::projector_contains(mgr_, acc_projector, phi, n)) kept[s].push_back(phi);
     }
   });
 
@@ -169,7 +156,7 @@ std::vector<Edge> ParallelImage::frontier_candidates(const TransitionSystem& sys
   std::vector<Edge> out;
   for (std::size_t s = 0; s < nshards; ++s) {
     for (const Edge& phi : kept[s]) {
-      out.push_back(tdd::transfer(phi, mgr_));
+      out.push_back(phi);
       tdd::record_peak(ctx_, out.back());
     }
   }
@@ -180,24 +167,8 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
   // Fresh context views each round: workers share this round's deadline and
   // cancel flag and start with zeroed stats (last round's were merged).
   // Assignment keeps every Worker::ctx address stable, which the worker's
-  // manager and engine hold pointers to.
+  // slot and engine hold pointers to.
   for (auto& w : workers_) w->ctx = ctx_->worker_view();
-
-  // Between-round GC under the parent's policy: only the inner engine's
-  // prepared operators survive (earlier results were already shipped to the
-  // parent manager).
-  const auto maybe_gc = [](Worker& w) {
-    if (w.ctx.gc_threshold_nodes() != 0 && w.mgr.live_nodes() > w.ctx.gc_threshold_nodes()) {
-      const auto roots = w.engine->prepared_roots();
-      w.mgr.gc(roots);
-    }
-  };
-  // Workers this round leaves idle (a frontier or task list narrower than
-  // the pool) still honour the node-pool bound: their managers are
-  // quiescent, so collect here on the caller's thread — otherwise a
-  // narrowing frontier would strand earlier rounds' nodes in them for the
-  // rest of a long run.
-  for (std::size_t i = active; i < workers_.size(); ++i) maybe_gc(*workers_[i]);
 
   std::exception_ptr first_error;
   bool first_error_cancel_induced = false;
@@ -205,8 +176,10 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
 
   auto run_worker = [&](std::size_t idx) {
     Worker& w = *workers_[idx];
+    // Route this thread's manager traffic through the worker's slot: its
+    // operation caches, its allocation free-list, its stats/deadline sink.
+    const tdd::Manager::SlotGuard guard(*w.slot);
     try {
-      maybe_gc(w);
       task(idx);
     } catch (...) {
       // If the shared flag was already set when this worker failed, the stop
@@ -222,12 +195,12 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
         }
       }
       // Stop the siblings at their next deadline poll — including polls deep
-      // inside Manager contractions via Manager::tick().
+      // inside Manager contractions via the slot tick.
       w.ctx.request_cancel();
     }
   };
 
-  // Worker state (manager, inner engine, prepared caches) persists across
+  // Worker state (slot, inner engine, prepared caches) persists across
   // rounds; the threads themselves are per-round, which is noise next to the
   // Kraus applications they run.  A single-worker round skips the spawn and
   // runs inline on the calling thread — same worker state, same results.
@@ -240,7 +213,12 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
     for (auto& t : pool) t.join();
   }
 
-  for (const auto& w : workers_) ctx_->join_worker(w->ctx);
+  // Joining the threads above is the happens-before edge that lets the
+  // parent read worker stats — and lets a driver GC sweep the arena — safely.
+  for (const auto& w : workers_) {
+    mgr_.sample_storage(w->ctx.stats());
+    ctx_->join_worker(w->ctx);
+  }
   if (first_error) {
     // Re-arm a stop THIS round's failing worker initiated (its deadline or
     // error), so later rounds are not poisoned, and hand the original error
@@ -255,6 +233,15 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
 void ParallelImage::clear_prepared() {
   ImageComputer::clear_prepared();
   for (const auto& w : workers_) w->engine->clear_prepared();
+}
+
+std::vector<Edge> ParallelImage::prepared_roots() const {
+  std::vector<Edge> roots = ImageComputer::prepared_roots();
+  for (const auto& w : workers_) {
+    const auto worker_roots = w->engine->prepared_roots();
+    roots.insert(roots.end(), worker_roots.begin(), worker_roots.end());
+  }
+  return roots;
 }
 
 std::unique_ptr<ImageComputer::Prepared> ParallelImage::prepare(const circ::Circuit&) {

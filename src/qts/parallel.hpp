@@ -1,32 +1,39 @@
 /// \file parallel.hpp
-/// The parallel image engine: shard the Kraus×basis loop across per-thread
-/// TDD managers.
+/// The parallel image engine: shard the Kraus×basis loop across worker
+/// threads sharing ONE concurrent TDD manager.
 ///
 /// `ImageComputer::image(op, s)` is embarrassingly parallel at the
 /// Kraus×basis grain — every `apply` is independent and the results are only
-/// combined at the end — but a tdd::Manager is single-threaded by design.
-/// ParallelImage therefore runs a pool of workers, each owning a *private*
-/// Manager, a private inner engine (any registered sequential engine; default
-/// contraction) and a private ExecutionContext view:
+/// combined at the end.  Since the tdd::Manager became thread-safe (sharded
+/// unique table, arena node storage, per-thread operation caches),
+/// ParallelImage runs a pool of workers directly on the caller's manager:
 ///
 ///   1. the task list (one task per Kraus operator × basis ket) is fixed in
 ///      the sequential loop's order before any worker starts;
-///   2. workers claim tasks from an atomic cursor, `tdd::transfer` the input
-///      ket from the (quiescent) parent manager into their own, and apply
-///      the Kraus operator there;
-///   3. after all workers join, the parent transfers the result kets back
-///      and reduces them *in task order*, so the output subspace is
-///      bit-for-bit independent of the worker count.
+///   2. workers claim tasks from an atomic cursor and apply the Kraus
+///      operator in place — input kets, prepared operators and result kets
+///      all live in the one shared manager, so nothing is ever copied
+///      between node pools (`tdd::transfer` is not involved; a test pins
+///      this at zero calls);
+///   3. after all workers join, the parent reduces the result edges *in
+///      task order*, so the output subspace is bit-for-bit independent of
+///      the worker count.
 ///
-/// The workers' context views share the parent's deadline and cancellation
-/// flag: a DeadlineExceeded inside one worker's contraction cancels the
-/// siblings cooperatively, and the parent rethrows after the join.  Worker
-/// stats are merged into the parent (counters summed, peak = max).
+/// Each worker owns a Manager::ThreadSlot (operation caches, allocation
+/// free-list, stats sink) installed via SlotGuard for the duration of a
+/// round, a private inner engine (any registered sequential engine; default
+/// contraction) whose prepared-operator cache lives in the shared manager,
+/// and a private ExecutionContext view.  The views share the parent's
+/// deadline and cancellation flag: a DeadlineExceeded inside one worker's
+/// contraction cancels the siblings cooperatively, and the parent rethrows
+/// after the join.  Worker stats are merged into the parent (counters
+/// summed, peak = max).
 ///
-/// Worker *state* — manager, inner engine, prepared-operator caches — is
-/// persistent across image() calls; the OS threads are spawned per round
-/// (their cost is noise against the Kraus applications they run), and a
-/// round with a single active worker executes inline on the caller's thread.
+/// Garbage collection is not the engine's business any more: with one shared
+/// manager the driver's quiescent-point policy (manual threshold or adaptive
+/// growth-rate trigger) covers worker allocations too.  Between fork/join
+/// rounds the manager is quiescent, which is exactly when the FixpointDriver
+/// collects.
 #pragma once
 
 #include <cstddef>
@@ -42,9 +49,7 @@ class ParallelImage final : public ImageComputer {
  public:
   /// `threads` == 0 picks std::thread::hardware_concurrency (at least 1).
   /// `inner` names the sequential engine each worker runs; it must not be
-  /// "parallel" itself.  `mgr` stays the parent manager: inputs are shipped
-  /// out of it and results land back in it, so callers (fixpoint loops, GC)
-  /// see the usual single-manager contract.
+  /// "parallel" itself.  `mgr` is shared by the parent and every worker.
   ParallelImage(tdd::Manager& mgr, std::size_t threads, EngineSpec inner,
                 ExecutionContext* ctx = nullptr);
   ~ParallelImage() override;
@@ -55,13 +60,13 @@ class ParallelImage final : public ImageComputer {
 
   /// Adaptive shard sizing.  A round's parallelism is derived from its task
   /// count, not fixed at one-shard-per-worker: at or below kInlineTasks the
-  /// whole round runs inline on the caller's thread (per-ket transfers plus
-  /// a thread spawn dominate such tiny rounds), and above it the task list
-  /// is cut into floor(tasks / kMinTasksPerShard) contiguous shards, capped
-  /// at the worker count — so a shard never holds fewer than
-  /// kMinTasksPerShard tasks and idle-worker overhead stays off narrow
-  /// frontiers.  Determinism is untouched either way: results join in task
-  /// order, so shard boundaries never show in the output.
+  /// whole round runs inline on the caller's thread (a thread spawn
+  /// dominates such tiny rounds), and above it the task list is cut into
+  /// floor(tasks / kMinTasksPerShard) contiguous shards, capped at the
+  /// worker count — so a shard never holds fewer than kMinTasksPerShard
+  /// tasks and idle-worker overhead stays off narrow frontiers.  Determinism
+  /// is untouched either way: results join in task order, so shard
+  /// boundaries never show in the output.
   static constexpr std::size_t kInlineTasks = 4;
   static constexpr std::size_t kMinTasksPerShard = 4;
 
@@ -79,15 +84,15 @@ class ParallelImage final : public ImageComputer {
 
   /// One sharded frontier step.  The frontier's ket-major ket×Kraus task
   /// list is split into contiguous balanced shards (shard_count of them)
-  /// *before* any worker starts; each worker transfers its shard's kets
-  /// plus the accumulator-projector snapshot into its private manager,
-  /// applies its Kraus×ket tasks there, and locally drops images already
-  /// inside the snapshot (Subspace::projector_contains).  Survivor
-  /// candidates are transferred back and concatenated in shard order — the
-  /// task list's own ket-major order — so the result is bit-for-bit
-  /// independent of the worker count: the shard boundaries move with
-  /// `threads`, but every per-candidate value and keep/drop verdict depends
-  /// only on the snapshot and the task itself, never on a sibling shard.
+  /// *before* any worker starts; each worker applies its Kraus×ket tasks on
+  /// the shared manager and locally drops images already inside the
+  /// accumulator projector (Subspace::projector_contains) — the projector
+  /// needs no snapshot copy, it is immutable shared data while workers run.
+  /// Survivors are concatenated in shard order — the task list's own
+  /// ket-major order — so the result is bit-for-bit independent of the
+  /// worker count: the shard boundaries move with `threads`, but every
+  /// per-candidate value and keep/drop verdict depends only on the projector
+  /// and the task itself, never on a sibling shard.
   std::vector<tdd::Edge> frontier_candidates(const TransitionSystem& sys,
                                              std::span<const tdd::Edge> frontier,
                                              std::uint32_t n, const tdd::Edge& acc_projector,
@@ -96,6 +101,11 @@ class ParallelImage final : public ImageComputer {
   /// The prepared-operator caches live in the workers' inner engines (keyed
   /// on Circuit addresses, like any sequential engine's); forward the drop.
   void clear_prepared() override;
+
+  /// Everything the workers' prepared caches keep alive in the SHARED
+  /// manager, plus the base engine's own cache.  Driver GCs must see these
+  /// or they would sweep live operators out from under the workers.
+  [[nodiscard]] std::vector<tdd::Edge> prepared_roots() const override;
 
  protected:
   // The parallel engine shards at the image level; per-circuit preparation
@@ -108,10 +118,10 @@ class ParallelImage final : public ImageComputer {
   struct Worker;
 
   /// Run `task(worker_index)` on the first `active` workers: fresh context
-  /// views, between-round worker GC under the parent's policy, per-round
-  /// thread spawn (inline when active == 1), deterministic error capture
-  /// with sibling cancellation, stat merge on join, and rethrow of the
-  /// first error.  Shared by image() and frontier_candidates().
+  /// views, per-round thread spawn (inline when active == 1), the worker's
+  /// ThreadSlot installed for the round, deterministic error capture with
+  /// sibling cancellation, stat merge on join, and rethrow of the first
+  /// error.  Shared by image() and frontier_candidates().
   void run_pool(std::size_t active, const std::function<void(std::size_t)>& task);
 
   EngineSpec inner_;

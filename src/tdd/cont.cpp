@@ -1,4 +1,5 @@
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "tdd/manager.hpp"
@@ -21,14 +22,20 @@ Edge Manager::contract(const Edge& a, const Edge& b, std::span<const Level> gamm
     require(gamma[i - 1] < gamma[i], "contract: gamma must be sorted and duplicate-free");
   }
   // Weights factor straight out of a multilinear contraction; the cache then
-  // only ever sees weight-1 operands.
-  ContCache cache;
-  cache.reserve(256);
-  Edge r = cont_rec(a.node, b.node, gamma, 0, cache);
+  // only ever sees weight-1 operands.  The cache itself is call-local but its
+  // capacity is recycled through the thread slot's scratch slot: moving it
+  // out (instead of borrowing a reference) keeps re-entrant contract calls —
+  // and a future work-stealing scheduler — safe.
+  ThreadSlot& sl = slot();
+  ContCache cache = std::move(sl.cont_scratch_);
+  cache.clear();
+  if (cache.bucket_count() == 0) cache.reserve(256);
+  Edge r = cont_rec(sl, a.node, b.node, gamma, 0, cache);
+  sl.cont_scratch_ = std::move(cache);
   return scale(r, a.weight * b.weight);
 }
 
-Edge Manager::cont_rec(const Node* a, const Node* b, std::span<const Level> gamma,
+Edge Manager::cont_rec(ThreadSlot& sl, const Node* a, const Node* b, std::span<const Level> gamma,
                        std::size_t pos, ContCache& cache) {
   if (a == nullptr && b == nullptr) {
     // Both operands are constant 1.  Every gamma variable still pending is
@@ -39,11 +46,11 @@ Edge Manager::cont_rec(const Node* a, const Node* b, std::span<const Level> gamm
 
   ContKey key{a, b, pos};
   if (auto it = cache.find(key); it != cache.end()) {
-    if (ctx_ != nullptr) ++ctx_->stats().cont_hits;
+    if (RunStats* st = sl.stats()) ++st->cont_hits;
     return it->second;
   }
-  if (ctx_ != nullptr) ++ctx_->stats().cont_misses;
-  tick();
+  if (RunStats* st = sl.stats()) ++st->cont_misses;
+  sl.tick();
 
   const Level la = (a == nullptr) ? kTermLevel : a->level();
   const Level lb = (b == nullptr) ? kTermLevel : b->level();
@@ -59,8 +66,8 @@ Edge Manager::cont_rec(const Node* a, const Node* b, std::span<const Level> gamm
   const Edge b0 = slice_top(b, x, 0);
   const Edge b1 = slice_top(b, x, 1);
 
-  const Edge r0 = scale(cont_rec(a0.node, b0.node, gamma, next, cache), a0.weight * b0.weight);
-  const Edge r1 = scale(cont_rec(a1.node, b1.node, gamma, next, cache), a1.weight * b1.weight);
+  const Edge r0 = scale(cont_rec(sl, a0.node, b0.node, gamma, next, cache), a0.weight * b0.weight);
+  const Edge r1 = scale(cont_rec(sl, a1.node, b1.node, gamma, next, cache), a1.weight * b1.weight);
 
   const Edge result = summed ? add(r0, r1) : make_node(x, r0, r1);
   cache.emplace(key, result);

@@ -1,6 +1,7 @@
 #include "tdd/manager.hpp"
 
 #include <cmath>
+#include <new>
 #include <unordered_set>
 #include <vector>
 
@@ -8,20 +9,24 @@
 
 namespace qts::tdd {
 
+thread_local Manager::ThreadSlot* Manager::tl_slot_ = nullptr;
+
+namespace {
+/// Nodes pulled from the arena's global free pool per refill.  Big enough to
+/// amortise the pool mutex, small enough not to strand recycled nodes on an
+/// idle thread.
+constexpr std::size_t kRefillBatch = 64;
+}  // namespace
+
 Manager::Manager() {
-  unique_.reserve(1 << 16);
-  add_cache_.reserve(1 << 14);
+  slots_.push_back(std::unique_ptr<ThreadSlot>(new ThreadSlot(this, nullptr)));
+  main_slot_ = slots_.front().get();
 }
 
-std::size_t Manager::NodeKeyHash::operator()(const NodeKey& k) const {
-  std::size_t h = std::hash<Level>{}(k.level);
-  h = hash_combine(h, std::hash<const void*>{}(k.low));
-  h = hash_combine(h, std::hash<const void*>{}(k.high));
-  h = hash_combine(h, std::hash<double>{}(k.w_low.real()));
-  h = hash_combine(h, std::hash<double>{}(k.w_low.imag()));
-  h = hash_combine(h, std::hash<double>{}(k.w_high.real()));
-  h = hash_combine(h, std::hash<double>{}(k.w_high.imag()));
-  return h;
+Manager::ThreadSlot& Manager::create_slot(ExecutionContext* ctx) {
+  const std::lock_guard<std::mutex> lock(slots_mutex_);
+  slots_.push_back(std::unique_ptr<ThreadSlot>(new ThreadSlot(this, ctx)));
+  return *slots_.back();
 }
 
 std::size_t Manager::AddKeyHash::operator()(const AddKey& k) const {
@@ -38,23 +43,47 @@ std::size_t Manager::ContKeyHash::operator()(const ContKey& k) const {
   return hash_combine(h, std::hash<std::size_t>{}(k.pos));
 }
 
-const Node* Manager::intern(Level level, const Edge& low, const Edge& high) {
-  NodeKey key{level, low.node, high.node, bucketed(low.weight), bucketed(high.weight)};
-  if (auto it = unique_.find(key); it != unique_.end()) {
-    if (ctx_ != nullptr) ++ctx_->stats().unique_hits;
-    return it->second;
-  }
-  if (ctx_ != nullptr) ++ctx_->stats().unique_misses;
+Node* Manager::allocate_node(ThreadSlot& sl, Level level, const Edge& low, const Edge& high) {
+  if (sl.free_list_.empty()) arena_.refill(sl.free_list_, kRefillBatch);
   Node* n;
-  if (!free_.empty()) {
-    n = free_.back();
-    free_.pop_back();
-    *n = Node(level, low, high);
+  if (!sl.free_list_.empty()) {
+    n = sl.free_list_.back();
+    sl.free_list_.pop_back();
+    *n = Node(level, low, high);  // assignment resets mark_ and freed_
   } else {
-    n = &pool_.emplace_back(level, low, high);
+    if (sl.block_ == nullptr || sl.bump_ == NodeArena::kBlockNodes) {
+      sl.block_ = arena_.acquire_block();
+      sl.bump_ = 0;
+    }
+    n = new (sl.block_->nodes() + sl.bump_) Node(level, low, high);
+    sl.block_->used = ++sl.bump_;
+    arena_.note_constructed();
   }
-  unique_.emplace(key, n);
+  arena_.note_live(1);
   return n;
+}
+
+void Manager::recycle_candidate(ThreadSlot& sl, Node* n) {
+  n->freed_ = true;  // the GC sweep must not free it a second time
+  sl.free_list_.push_back(n);
+  arena_.note_live(-1);
+}
+
+const Node* Manager::intern(ThreadSlot& sl, Level level, const Edge& low, const Edge& high) {
+  const NodeKey key{level, low.node, high.node, bucketed(low.weight), bucketed(high.weight)};
+  const std::size_t hash = NodeKeyHash{}(key);
+  if (const Node* hit = unique_.find(key, hash); hit != nullptr) {
+    if (RunStats* st = sl.stats()) ++st->unique_hits;
+    return hit;
+  }
+  if (RunStats* st = sl.stats()) ++st->unique_misses;
+  // Allocate-then-publish: build the candidate outside any lock, offer it to
+  // the table, and recycle it if a concurrent identical intern won the race.
+  Node* candidate = allocate_node(sl, level, low, high);
+  bool inserted = false;
+  const Node* winner = unique_.insert(key, hash, candidate, &inserted);
+  if (!inserted) recycle_candidate(sl, candidate);
+  return winner;
 }
 
 Edge Manager::make_node(Level level, const Edge& low, const Edge& high) {
@@ -92,7 +121,7 @@ Edge Manager::make_node(Level level, const Edge& low, const Edge& high) {
     return Edge{lo.node, lo.weight * pivot};
   }
 
-  return Edge{intern(level, lo, hi), pivot};
+  return Edge{intern(slot(), level, lo, hi), pivot};
 }
 
 namespace {
@@ -120,34 +149,30 @@ Edge Manager::add(const Edge& a, const Edge& b) {
   }
   // Factor the weights out so the cache works on weight-1 operands:
   //   a + b = w_a * (A' + (w_b / w_a) B').
-  // Commutativity lets us order the operands by pointer for a better hit
-  // rate; the ratio is inverted accordingly.
-  const Node* na = a.node;
-  const Node* nb = b.node;
-  cplx wa = a.weight;
-  cplx wb = b.weight;
-  if (na > nb) {
-    std::swap(na, nb);
-    std::swap(wa, wb);
-  }
-  const cplx ratio = wb / wa;
-  Edge r = add_norm(na, nb, ratio);
-  return scale(r, wa);
+  // The operands are NOT reordered by pool address (the classic commutative
+  // cache trick): under the shared concurrent manager, addresses depend on
+  // which thread allocated first, and wa*(A' + (wb/wa)B') differs from
+  // wb*(B' + (wa/wb)A') in the last ulps.  Caller order is deterministic;
+  // addresses are not.
+  ThreadSlot& sl = slot();
+  const cplx ratio = b.weight / a.weight;
+  Edge r = add_norm(sl, a.node, b.node, ratio);
+  return scale(r, a.weight);
 }
 
-Edge Manager::add_norm(const Node* a, const Node* b, const cplx& ratio) {
+Edge Manager::add_norm(ThreadSlot& sl, const Node* a, const Node* b, const cplx& ratio) {
   // Precondition: not both terminal with a == b (handled by add()).
   if (a == nullptr && b == nullptr) {
     const cplx w = cplx{1.0, 0.0} + ratio;
     return terminal(w);
   }
   AddKey key{a, b, bucketed(ratio)};
-  if (auto it = add_cache_.find(key); it != add_cache_.end()) {
-    if (ctx_ != nullptr) ++ctx_->stats().add_hits;
+  if (auto it = sl.add_cache_.find(key); it != sl.add_cache_.end()) {
+    if (RunStats* st = sl.stats()) ++st->add_hits;
     return it->second;
   }
-  if (ctx_ != nullptr) ++ctx_->stats().add_misses;
-  tick();
+  if (RunStats* st = sl.stats()) ++st->add_misses;
+  sl.tick();
 
   const Level la = (a == nullptr) ? kTermLevel : a->level();
   const Level lb = (b == nullptr) ? kTermLevel : b->level();
@@ -163,11 +188,22 @@ Edge Manager::add_norm(const Node* a, const Node* b, const cplx& ratio) {
     const Edge r1 = add(a1, scale(b1, ratio));
     result = make_node(x, r0, r1);
   }
-  add_cache_.emplace(key, result);
+  sl.add_cache_.emplace(key, result);
   return result;
 }
 
-void Manager::clear_caches() { add_cache_.clear(); }
+void Manager::bind_context(ExecutionContext* ctx) {
+  ctx_ = ctx;
+  main_slot_->ctx_ = ctx;
+}
+
+void Manager::clear_caches() {
+  const std::lock_guard<std::mutex> lock(slots_mutex_);
+  for (auto& sl : slots_) {
+    sl->add_cache_.clear();
+    sl->cont_scratch_.clear();
+  }
+}
 
 void Manager::mark(const Node* n, std::uint64_t epoch) const {
   // Iterative with an explicit stack: recursion depth equals diagram depth,
@@ -188,6 +224,7 @@ void Manager::mark(const Node* n, std::uint64_t epoch) const {
 }
 
 std::size_t Manager::gc(std::span<const Edge> roots) {
+  // Quiescent point: no concurrent mutators (the caller joined its workers).
   if (ctx_ != nullptr) ++ctx_->stats().gc_runs;
   const std::uint64_t epoch = ++gc_epoch_;
   for (const Edge& r : roots) mark(r.node, epoch);
@@ -196,19 +233,45 @@ std::size_t Manager::gc(std::span<const Edge> roots) {
   unique_.clear();
 
   std::size_t freed = 0;
-  for (Node& n : pool_) {
-    if (n.freed_) continue;
+  std::vector<Node*> dead;
+  arena_.for_each_constructed([&](Node& n) {
+    if (n.freed_) return;  // already on a free list (GC pool or a thread's)
     if (n.mark_ == epoch) {
-      NodeKey key{n.level(), n.low().node, n.high().node, bucketed(n.low().weight),
-                  bucketed(n.high().weight)};
-      unique_.emplace(key, &n);
+      unique_.rebuild_insert(NodeKey{n.level(), n.low().node, n.high().node,
+                                     bucketed(n.low().weight), bucketed(n.high().weight)},
+                             &n);
     } else {
       n.freed_ = true;
-      free_.push_back(&n);
+      dead.push_back(&n);
       ++freed;
     }
-  }
+  });
+  arena_.recycle(std::move(dead));
+  arena_.note_live(-static_cast<std::ptrdiff_t>(freed));
   return freed;
+}
+
+Manager::StorageStats Manager::storage_stats() {
+  const UniqueTable::Stats t = unique_.stats();
+  StorageStats s;
+  s.table_nodes = t.nodes;
+  s.table_buckets = t.buckets;
+  s.table_shards = t.shards;
+  s.table_load_factor = t.load_factor;
+  s.arena_blocks = arena_.blocks();
+  s.arena_capacity = arena_.capacity();
+  s.live_nodes = arena_.live();
+  s.allocated_nodes = arena_.constructed();
+  return s;
+}
+
+void Manager::sample_storage(RunStats& stats) {
+  const StorageStats s = storage_stats();
+  stats.table_nodes = s.table_nodes;
+  stats.table_load_factor = s.table_load_factor;
+  stats.table_shards = s.table_shards;
+  stats.arena_blocks = s.arena_blocks;
+  stats.arena_capacity = s.arena_capacity;
 }
 
 std::size_t node_count(const Edge& root) {

@@ -4,13 +4,17 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/complex.hpp"
 #include "common/execution_context.hpp"
+#include "tdd/arena.hpp"
 #include "tdd/node.hpp"
+#include "tdd/unique_table.hpp"
 
 namespace qts::tdd {
 
@@ -18,12 +22,110 @@ namespace qts::tdd {
 /// the paper: addition, contraction, slicing, conjugation, scaling and
 /// (order-preserving) index renaming.
 ///
-/// Thread-compatibility: a Manager is single-threaded; use one per thread.
+/// Concurrency model (the Sylvan-style shared-manager design): canonical
+/// node identity is GLOBAL — a sharded, independently locked unique table
+/// over slab/arena node storage — while every piece of mutable per-thread
+/// execution state (operation caches, allocation free-lists, statistics
+/// sinks, deadline-tick counters) lives in a ThreadSlot.  The tensor
+/// operations (make_node, add, contract, slice, conjugate, rename) are
+/// therefore safe to call from many threads at once, PROVIDED each
+/// concurrent thread has installed its own slot with a SlotGuard:
+///
+///   Manager mgr;
+///   Manager::ThreadSlot& slot = mgr.create_slot(&worker_ctx);  // once
+///   ...
+///   {                                    // inside the worker thread
+///     Manager::SlotGuard guard(slot);
+///     mgr.add(a, b); mgr.contract(...);  // lock-free hot path, shared nodes
+///   }
+///
+/// A thread with no installed slot uses the manager's built-in main slot, so
+/// purely sequential code keeps the old single-threaded API unchanged — but
+/// two guard-less threads would share that main slot, which is undefined.
+///
+/// Storage management (gc, clear_caches, storage_stats) and bind_context are
+/// QUIESCENT-ONLY: callers must make sure no other thread is inside a
+/// manager operation (the parallel engine's fork/join rounds provide exactly
+/// this discipline — collections run between rounds on the caller's thread).
 class Manager {
+ private:
+  // Operation-cache keys (per-thread caches; see ThreadSlot below).
+  struct AddKey {
+    const Node* a;
+    const Node* b;
+    cplx ratio;  // bucketed weight ratio w_b / w_a
+    bool operator==(const AddKey&) const = default;
+  };
+  struct AddKeyHash {
+    std::size_t operator()(const AddKey& k) const;
+  };
+  struct ContKey {
+    const Node* a;
+    const Node* b;
+    std::size_t pos;  // index into the gamma suffix still to be summed out
+    bool operator==(const ContKey&) const = default;
+  };
+  struct ContKeyHash {
+    std::size_t operator()(const ContKey& k) const;
+  };
+  using ContCache = std::unordered_map<ContKey, Edge, ContKeyHash>;
+
  public:
+  /// Per-thread execution state: the add cache and contraction scratch cache
+  /// (hot lookups stay lock-free while node identity is global), the node
+  /// free-list and bump-allocation block, the statistics sink, and the
+  /// deadline-tick counter.  Created once per worker via create_slot (the
+  /// manager owns it, addresses are stable) and installed on the worker's
+  /// thread with a SlotGuard for the duration of a round.
+  class ThreadSlot {
+   public:
+    ThreadSlot(const ThreadSlot&) = delete;
+    ThreadSlot& operator=(const ThreadSlot&) = delete;
+
+   private:
+    friend class Manager;
+    ThreadSlot(Manager* owner, ExecutionContext* ctx) : owner_(owner), ctx_(ctx) {
+      add_cache_.reserve(1 << 12);
+    }
+
+    /// Cooperative deadline poll: cheap counter, one real clock read every
+    /// ~16k cache misses.
+    void tick() {
+      if (ctx_ != nullptr && (++ticks_ & 0x3FFF) == 0) ctx_->check_deadline();
+    }
+    [[nodiscard]] RunStats* stats() const { return ctx_ != nullptr ? &ctx_->stats() : nullptr; }
+
+    Manager* owner_;
+    ExecutionContext* ctx_;
+    std::vector<Node*> free_list_;
+    NodeArena::Block* block_ = nullptr;
+    std::size_t bump_ = 0;
+    std::unordered_map<AddKey, Edge, AddKeyHash> add_cache_;
+    ContCache cont_scratch_;  // reused (moved out/in) by contract()
+    std::uint64_t ticks_ = 0;
+  };
+
+  /// RAII installation of a slot on the calling thread.  Operations on the
+  /// slot's manager between construction and destruction run through it;
+  /// other managers are unaffected.  Nesting restores the previous slot.
+  class SlotGuard {
+   public:
+    explicit SlotGuard(ThreadSlot& slot) : prev_(tl_slot_) { tl_slot_ = &slot; }
+    ~SlotGuard() { tl_slot_ = prev_; }
+    SlotGuard(const SlotGuard&) = delete;
+    SlotGuard& operator=(const SlotGuard&) = delete;
+
+   private:
+    ThreadSlot* prev_;
+  };
+
   Manager();
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
+
+  /// Create a persistent worker slot reporting through `ctx` (nullable).
+  /// Thread-safe; the slot lives as long as the manager.
+  ThreadSlot& create_slot(ExecutionContext* ctx = nullptr);
 
   // -- construction ---------------------------------------------------------
 
@@ -44,7 +146,11 @@ class Manager {
 
   // -- tensor operations ----------------------------------------------------
 
-  /// Pointwise sum A + B (indices implicitly aligned by level).
+  /// Pointwise sum A + B (indices implicitly aligned by level).  The
+  /// evaluation order is fixed by the caller's operand order — never by the
+  /// operands' pool addresses, which are interleaving-dependent under the
+  /// shared concurrent manager — so results are bit-for-bit reproducible
+  /// whatever threads allocated the inputs.
   Edge add(const Edge& a, const Edge& b);
 
   /// Tensor contraction: multiply A and B pointwise over their shared
@@ -75,81 +181,82 @@ class Manager {
   /// reordered across mapped ones — callers use disjoint ranges).
   Edge rename(const Edge& a, std::span<const std::pair<Level, Level>> map);
 
-  // -- storage management ---------------------------------------------------
+  // -- storage management (quiescent points only) ---------------------------
 
-  /// Bind the run-control spine.  While bound, the manager reports cache
-  /// counters into `ctx->stats()` and polls the context's deadline from deep
-  /// inside long contractions/additions, so DeadlineExceeded surfaces even
-  /// when a single TDD operation dominates the run.  Pass nullptr to unbind.
-  void bind_context(ExecutionContext* ctx) { ctx_ = ctx; }
+  /// Bind the run-control spine of the MAIN slot (sequential callers).
+  /// While bound, guard-less operations report cache counters into
+  /// `ctx->stats()` and poll the context's deadline from deep inside long
+  /// contractions/additions.  Worker slots carry their own context, given to
+  /// create_slot.  Pass nullptr to unbind.
+  void bind_context(ExecutionContext* ctx);
   [[nodiscard]] ExecutionContext* context() const { return ctx_; }
 
-  /// Number of live (allocated, not freed) nodes.
-  [[nodiscard]] std::size_t live_nodes() const { return pool_.size() - free_.size(); }
+  /// Number of live (interned, not freed) nodes.
+  [[nodiscard]] std::size_t live_nodes() const { return arena_.live(); }
 
-  /// Total nodes ever allocated (monotone; diagnostic only).
-  [[nodiscard]] std::size_t allocated_nodes() const { return pool_.size(); }
+  /// Total node slots ever constructed (monotone; diagnostic only).
+  [[nodiscard]] std::size_t allocated_nodes() const { return arena_.constructed(); }
 
-  /// Drop operation caches (automatically done by gc()).
+  /// Drop every slot's operation caches (automatically done by gc()).
   void clear_caches();
 
   /// Mark-and-sweep garbage collection.  Everything not reachable from
-  /// `roots` is recycled.  Returns the number of nodes freed.
+  /// `roots` is recycled into the arena's global free pool and the unique
+  /// table is rebuilt from the survivors.  Quiescent points only.
+  /// Returns the number of nodes freed.
   std::size_t gc(std::span<const Edge> roots);
 
+  /// Storage observability: unique-table occupancy/load and arena shape.
+  struct StorageStats {
+    std::size_t table_nodes = 0;
+    std::size_t table_buckets = 0;
+    std::size_t table_shards = 0;
+    double table_load_factor = 0.0;
+    std::size_t arena_blocks = 0;
+    std::size_t arena_capacity = 0;  ///< node slots across all blocks
+    std::size_t live_nodes = 0;
+    std::size_t allocated_nodes = 0;
+  };
+  [[nodiscard]] StorageStats storage_stats();
+
+  /// Copy the storage gauges into a RunStats block (e.g. before printing
+  /// `qtsmc --stats`).
+  void sample_storage(RunStats& stats);
+
  private:
-  struct NodeKey {
-    Level level;
-    const Node* low;
-    const Node* high;
-    cplx w_low;   // bucketed
-    cplx w_high;  // bucketed
-    bool operator==(const NodeKey&) const = default;
-  };
-  struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& k) const;
-  };
-  struct AddKey {
-    const Node* a;
-    const Node* b;
-    cplx ratio;  // bucketed weight ratio w_b / w_a
-    bool operator==(const AddKey&) const = default;
-  };
-  struct AddKeyHash {
-    std::size_t operator()(const AddKey& k) const;
-  };
-  struct ContKey {
-    const Node* a;
-    const Node* b;
-    std::size_t pos;  // index into the gamma suffix still to be summed out
-    bool operator==(const ContKey&) const = default;
-  };
-  struct ContKeyHash {
-    std::size_t operator()(const ContKey& k) const;
-  };
-  using ContCache = std::unordered_map<ContKey, Edge, ContKeyHash>;
-
-  const Node* intern(Level level, const Edge& low, const Edge& high);
-  void mark(const Node* n, std::uint64_t epoch) const;
-
-  /// Cooperative deadline poll for the hot recursions: cheap counter, one
-  /// real clock read every ~16k cache misses.
-  void tick() {
-    if (ctx_ != nullptr && (++tick_counter_ & 0x3FFF) == 0) ctx_->check_deadline();
+  /// The calling thread's slot: the SlotGuard-installed one if it belongs to
+  /// this manager, the built-in main slot otherwise.
+  [[nodiscard]] ThreadSlot& slot() const {
+    ThreadSlot* s = tl_slot_;
+    return (s != nullptr && s->owner_ == this) ? *s : *main_slot_;
   }
 
-  // Recursion helpers; see the .cpp files.
-  Edge add_norm(const Node* a, const Node* b, const cplx& ratio);
-  Edge cont_rec(const Node* a, const Node* b, std::span<const Level> gamma, std::size_t pos,
-                ContCache& cache);
+  const Node* intern(ThreadSlot& sl, Level level, const Edge& low, const Edge& high);
 
-  std::deque<Node> pool_;
-  std::vector<Node*> free_;
-  std::unordered_map<NodeKey, const Node*, NodeKeyHash> unique_;
-  std::unordered_map<AddKey, Edge, AddKeyHash> add_cache_;
+  /// Allocate-and-construct a node through `sl`: local free-list first, then
+  /// the slot's bump block, refilling from the arena's global pools when both
+  /// run dry.  (Lives on Manager, not ThreadSlot, because only Manager is a
+  /// friend of Node.)
+  Node* allocate_node(ThreadSlot& sl, Level level, const Edge& low, const Edge& high);
+  /// Take back a node that lost an intern race (never published).
+  void recycle_candidate(ThreadSlot& sl, Node* n);
+
+  void mark(const Node* n, std::uint64_t epoch) const;
+
+  // Recursion helpers; see the .cpp files.
+  Edge add_norm(ThreadSlot& sl, const Node* a, const Node* b, const cplx& ratio);
+  Edge cont_rec(ThreadSlot& sl, const Node* a, const Node* b, std::span<const Level> gamma,
+                std::size_t pos, ContCache& cache);
+
+  static thread_local ThreadSlot* tl_slot_;
+
+  NodeArena arena_;
+  UniqueTable unique_;
+  std::mutex slots_mutex_;
+  std::deque<std::unique_ptr<ThreadSlot>> slots_;  // stable addresses; [0] is the main slot
+  ThreadSlot* main_slot_;
   std::uint64_t gc_epoch_ = 0;
   ExecutionContext* ctx_ = nullptr;
-  std::uint64_t tick_counter_ = 0;
 };
 
 /// Number of non-terminal nodes reachable from `root` (the paper's "#node").

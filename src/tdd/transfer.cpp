@@ -1,11 +1,19 @@
 #include "tdd/transfer.hpp"
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
 namespace qts::tdd {
 
+namespace {
+std::atomic<std::uint64_t> transfer_calls_{0};
+}  // namespace
+
+std::uint64_t transfer_calls() { return transfer_calls_.load(std::memory_order_relaxed); }
+
 Edge transfer(const Edge& root, Manager& dst) {
+  transfer_calls_.fetch_add(1, std::memory_order_relaxed);
   if (root.node == nullptr) return dst.terminal(root.weight);
 
   // Post-order over the source DAG with an explicit stack: a node is rebuilt

@@ -8,12 +8,18 @@
 /// validated against it in the test suite), without the text format.
 ///
 /// The copy only *reads* the source diagram: it never touches the source
-/// manager's tables or pools.  Several threads may therefore transfer from
-/// the same quiescent source manager into their own private managers
-/// concurrently — the hand-off pattern of the parallel image engine: the
-/// parent ships basis kets out to per-thread managers, and ships each
-/// worker's results back once the worker has joined.
+/// manager's tables or pools, so several threads may transfer from the same
+/// quiescent source concurrently.
+///
+/// Since the shared concurrent Manager, transfer is an IO/interop facility
+/// only: the parallel engines operate directly on one shared manager and
+/// never copy diagrams between pools (a test asserts zero transfer calls on
+/// the frontier path, via transfer_calls() below).  Use it to move diagrams
+/// between genuinely separate managers — cross-checking engines, test
+/// fixtures, external tools.
 #pragma once
+
+#include <cstdint>
 
 #include "tdd/manager.hpp"
 
@@ -25,5 +31,10 @@ namespace qts::tdd {
 /// be the manager that owns `root`, in which case the result is the same
 /// canonical diagram.
 Edge transfer(const Edge& root, Manager& dst);
+
+/// Process-wide count of transfer() invocations (monotone, relaxed atomic).
+/// Purely diagnostic: the parallel-engine tests snapshot it around a run to
+/// prove the frontier path performs zero cross-manager copies.
+std::uint64_t transfer_calls();
 
 }  // namespace qts::tdd

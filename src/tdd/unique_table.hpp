@@ -1,0 +1,118 @@
+/// \file unique_table.hpp
+/// The sharded hash-consing table of the shared concurrent TDD manager.
+///
+/// Canonical node identity is global: every thread interning the same
+/// (level, children, bucketed weights) key must observe the same Node*.  The
+/// single `unordered_map` the Manager used to carry cannot serve concurrent
+/// make_node calls, so the table is split into kShards independently locked
+/// shards selected by the key hash.  Each shard is guarded by a tiny
+/// test-and-set spinlock: the critical sections are a handful of hash-map
+/// probes, uncontended acquisition is two atomic operations (cheaper than a
+/// pthread mutex on the hot intern path), and acquire/release ordering
+/// publishes freshly constructed nodes to every thread that later finds
+/// them.
+///
+/// The insert protocol is allocate-then-publish: a missing key is
+/// constructed *outside* the lock and offered with insert(); losing the race
+/// to a concurrent identical intern returns the winner so the caller can
+/// recycle its candidate.  clear() and rebuild() are for the quiescent GC
+/// path only.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <unordered_map>
+
+#include "common/complex.hpp"
+#include "tdd/node.hpp"
+
+namespace qts::tdd {
+
+/// Identity of a canonical node: level, child nodes, and the children's
+/// weights snapped onto the kEps grid (hashing tolerance-compatible weights
+/// is the standard DD-package compromise, see complex.hpp).
+struct NodeKey {
+  Level level;
+  const Node* low;
+  const Node* high;
+  cplx w_low;   // bucketed
+  cplx w_high;  // bucketed
+  bool operator==(const NodeKey&) const = default;
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const {
+    std::size_t h = std::hash<Level>{}(k.level);
+    h = hash_combine(h, std::hash<const void*>{}(k.low));
+    h = hash_combine(h, std::hash<const void*>{}(k.high));
+    h = hash_combine(h, std::hash<double>{}(k.w_low.real()));
+    h = hash_combine(h, std::hash<double>{}(k.w_low.imag()));
+    h = hash_combine(h, std::hash<double>{}(k.w_high.real()));
+    h = hash_combine(h, std::hash<double>{}(k.w_high.imag()));
+    return h;
+  }
+};
+
+/// Minimal test-and-set spinlock.  Shard critical sections are a few map
+/// probes long, so spinning (with a yield for the oversubscribed case) beats
+/// parking the thread.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class UniqueTable {
+ public:
+  static constexpr std::size_t kShards = 64;  // power of two
+
+  UniqueTable();
+  UniqueTable(const UniqueTable&) = delete;
+  UniqueTable& operator=(const UniqueTable&) = delete;
+
+  [[nodiscard]] static std::size_t shard_of(std::size_t hash) { return hash & (kShards - 1); }
+
+  /// The node interned under `key`, or nullptr.  `hash` must be
+  /// NodeKeyHash{}(key).
+  [[nodiscard]] const Node* find(const NodeKey& key, std::size_t hash);
+
+  /// Publish `candidate` under `key`; returns the winning node — `candidate`
+  /// itself, or the node a concurrent intern published first (then
+  /// `*inserted` is false and the caller recycles its candidate).
+  const Node* insert(const NodeKey& key, std::size_t hash, Node* candidate, bool* inserted);
+
+  /// Drop every entry.  Quiescent points only (GC).
+  void clear();
+
+  /// Re-intern a surviving node during the GC rebuild.  Quiescent points
+  /// only; no locking, no race handling.
+  void rebuild_insert(const NodeKey& key, Node* node);
+
+  struct Stats {
+    std::size_t nodes = 0;        ///< interned entries across all shards
+    std::size_t buckets = 0;      ///< hash buckets across all shards
+    std::size_t shards = kShards;
+    double load_factor = 0.0;     ///< nodes / buckets
+  };
+  /// Sizes are read per shard under its lock, so this is safe any time; the
+  /// result is a consistent-enough gauge, not a snapshot.
+  [[nodiscard]] Stats stats();
+
+ private:
+  struct alignas(64) Shard {  // one cache line per lock: no false sharing
+    SpinLock lock;
+    std::unordered_map<NodeKey, Node*, NodeKeyHash> map;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace qts::tdd

@@ -1,0 +1,219 @@
+/// Stress tests for the shared concurrent TDD manager: several threads
+/// hammering make_node / add / contract on ONE manager through their own
+/// ThreadSlots must produce pointer-identical diagrams (global canonical
+/// identity), keep the live-node accounting exact (intern race losers are
+/// recycled, never leaked), and leave the pool collectable at quiescence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "tdd/dense.hpp"
+#include "tdd/manager.hpp"
+#include "test_helpers.hpp"
+
+namespace qts::tdd {
+namespace {
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kRank = 4;
+
+const std::vector<Level>& levels() {
+  static const std::vector<Level> idx{0, 1, 2, 3};
+  return idx;
+}
+
+/// A deterministic family of `count` random rank-4 tensors.  Every caller
+/// with the same seed builds bit-identical weight chains, so two threads
+/// building the same family must meet in the unique table.
+std::vector<Edge> build_family(Manager& mgr, std::uint64_t seed, std::size_t count,
+                               std::vector<std::vector<cplx>>* dense_out = nullptr) {
+  Prng rng(seed);
+  std::vector<Edge> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<cplx> dense = test::random_dense(rng, kRank);
+    out.push_back(from_dense(mgr, dense, levels()));
+    if (dense_out != nullptr) dense_out->push_back(dense);
+  }
+  return out;
+}
+
+TEST(ConcurrentManager, ThreadsInternPointerIdenticalNodes) {
+  Manager mgr;
+  std::vector<std::vector<Edge>> results(kThreads);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      Manager::ThreadSlot& slot = mgr.create_slot();
+      pool.emplace_back([&mgr, &slot, &out = results[t]] {
+        const Manager::SlotGuard guard(slot);
+        out = build_family(mgr, /*seed=*/7, /*count=*/32);
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  // Global canonical identity: every thread observed the same Node* for the
+  // same tensor, and identical arithmetic gave bit-identical weights.
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), results[0].size());
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      EXPECT_EQ(results[t][i].node, results[0][i].node) << "thread " << t << " tensor " << i;
+      EXPECT_EQ(results[t][i].weight, results[0][i].weight) << "thread " << t << " tensor " << i;
+    }
+  }
+
+  // The diagrams mean the right tensors (checked against a fresh sequential
+  // manager building the same family).
+  Manager reference;
+  std::vector<std::vector<cplx>> dense;
+  (void)build_family(reference, /*seed=*/7, /*count=*/32, &dense);
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    test::expect_tdd_matches(results[0][i], levels(), dense[i]);
+  }
+
+  // kThreads-way duplicated interning left no leaks: every live node is
+  // interned (race-losing candidates were recycled, not stranded).
+  const Manager::StorageStats st = mgr.storage_stats();
+  EXPECT_EQ(st.table_nodes, st.live_nodes);
+  EXPECT_EQ(st.live_nodes, mgr.live_nodes());
+  EXPECT_GE(st.allocated_nodes, st.live_nodes);
+  EXPECT_GE(st.arena_capacity, st.live_nodes);
+}
+
+TEST(ConcurrentManager, ConcurrentAddAndContractMatchSequential) {
+  Manager mgr;
+  // Shared immutable inputs, built on the main slot before any thread runs.
+  const std::vector<Edge> as = build_family(mgr, /*seed=*/11, /*count=*/16);
+  const std::vector<Edge> bs = build_family(mgr, /*seed=*/13, /*count=*/16);
+  const std::vector<Level> gamma{1, 2};
+
+  struct PerThread {
+    std::vector<Edge> sums;
+    std::vector<Edge> conts;
+  };
+  std::vector<PerThread> results(kThreads);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      Manager::ThreadSlot& slot = mgr.create_slot();
+      pool.emplace_back([&, t] {
+        const Manager::SlotGuard guard(slot);
+        for (std::size_t i = 0; i < as.size(); ++i) {
+          results[t].sums.push_back(mgr.add(as[i], bs[i]));
+          results[t].conts.push_back(mgr.contract(as[i], bs[i], gamma));
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  // Every thread computed the same edges — operand order fixes the result,
+  // whatever the interleaving (and whatever pool addresses nodes got).
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      EXPECT_EQ(results[t].sums[i].node, results[0].sums[i].node) << "sum " << i;
+      EXPECT_EQ(results[t].sums[i].weight, results[0].sums[i].weight) << "sum " << i;
+      EXPECT_EQ(results[t].conts[i].node, results[0].conts[i].node) << "cont " << i;
+      EXPECT_EQ(results[t].conts[i].weight, results[0].conts[i].weight) << "cont " << i;
+    }
+  }
+
+  // And they are the semantically right edges: a fresh sequential manager
+  // agrees densely.
+  Manager reference;
+  std::vector<std::vector<cplx>> dense_a;
+  std::vector<std::vector<cplx>> dense_b;
+  const std::vector<Edge> ras = build_family(reference, /*seed=*/11, /*count=*/16, &dense_a);
+  const std::vector<Edge> rbs = build_family(reference, /*seed=*/13, /*count=*/16, &dense_b);
+  const std::vector<Level> out_levels{0, 3};
+  for (std::size_t i = 0; i < ras.size(); ++i) {
+    test::expect_tdd_matches(results[0].sums[i], levels(),
+                             test::dense_add(dense_a[i], dense_b[i]));
+    const Edge expected_cont = reference.contract(ras[i], rbs[i], gamma);
+    test::expect_dense_eq(to_dense(results[0].conts[i], out_levels),
+                          to_dense(expected_cont, out_levels));
+  }
+}
+
+TEST(ConcurrentManager, QuiescentGcPreservesRootsAndRecyclesStorage) {
+  Manager mgr;
+  // Each thread builds its own garbage family plus one shared root family.
+  std::vector<Edge> roots;
+  {
+    std::vector<std::thread> pool;
+    std::vector<std::vector<Edge>> kept(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      Manager::ThreadSlot& slot = mgr.create_slot();
+      pool.emplace_back([&mgr, &slot, t, &out = kept[t]] {
+        const Manager::SlotGuard guard(slot);
+        (void)build_family(mgr, /*seed=*/100 + t, /*count=*/24);  // garbage
+        out = build_family(mgr, /*seed=*/17, /*count=*/8);        // shared roots
+      });
+    }
+    for (auto& th : pool) th.join();
+    roots = std::move(kept[0]);
+  }
+
+  std::vector<std::vector<cplx>> before;
+  before.reserve(roots.size());
+  for (const Edge& r : roots) before.push_back(to_dense(r, levels()));
+
+  const std::size_t live_before = mgr.live_nodes();
+  const std::size_t freed = mgr.gc(roots);
+  EXPECT_GT(freed, 0u);  // the per-thread garbage families
+  EXPECT_EQ(mgr.live_nodes(), live_before - freed);
+
+  // Roots survive the sweep and the table rebuild bit-for-bit.
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    test::expect_dense_eq(to_dense(roots[i], levels()), before[i]);
+  }
+  const Manager::StorageStats st = mgr.storage_stats();
+  EXPECT_EQ(st.table_nodes, st.live_nodes);
+
+  // New construction draws from the recycled pool: rebuilding one garbage
+  // family must not grow the arena beyond what the pre-GC run already
+  // allocated.
+  const std::size_t constructed_before = mgr.allocated_nodes();
+  (void)build_family(mgr, /*seed=*/100, /*count=*/24);
+  EXPECT_EQ(mgr.allocated_nodes(), constructed_before);
+  // And re-interning the roots' tensors finds the rebuilt table entries.
+  const std::vector<Edge> again = build_family(mgr, /*seed=*/17, /*count=*/8);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(again[i].node, roots[i].node) << "root " << i;
+  }
+}
+
+TEST(ConcurrentManager, SlotGuardNestsAndRestores) {
+  // Guard-less use runs through the main slot; nested guards restore the
+  // previous slot — the pattern an engine uses when it re-enters the
+  // manager from a worker thread.
+  Manager mgr;
+  const Edge a = mgr.literal(0, cplx{1.0, 0.0}, cplx{2.0, 0.0});
+  Manager::ThreadSlot& slot = mgr.create_slot();
+  {
+    const Manager::SlotGuard guard(slot);
+    const Edge b = mgr.literal(0, cplx{1.0, 0.0}, cplx{2.0, 0.0});
+    EXPECT_EQ(a.node, b.node);
+    {
+      Manager::ThreadSlot& inner_slot = mgr.create_slot();
+      const Manager::SlotGuard inner(inner_slot);
+      EXPECT_EQ(mgr.literal(0, cplx{1.0, 0.0}, cplx{2.0, 0.0}).node, a.node);
+    }
+    EXPECT_EQ(mgr.literal(0, cplx{1.0, 0.0}, cplx{2.0, 0.0}).node, a.node);
+  }
+  // A slot for manager A must not capture operations on manager B.
+  Manager other;
+  const Manager::SlotGuard guard(slot);
+  const Edge c = other.literal(0, cplx{1.0, 0.0}, cplx{2.0, 0.0});
+  EXPECT_NE(c.node, a.node);  // different managers, different pools
+  EXPECT_EQ(other.live_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace qts::tdd

@@ -15,6 +15,7 @@
 #include "qts/fixpoint.hpp"
 #include "qts/reachability.hpp"
 #include "qts/workloads.hpp"
+#include "tdd/transfer.hpp"
 #include "test_helpers.hpp"
 
 namespace qts {
@@ -101,6 +102,21 @@ TEST(ShardedReachability, BitForBitDeterministicAcrossRunsAndThreadCounts) {
       EXPECT_EQ(first.space.basis()[i].node, other->space.basis()[i].node) << "ket " << i;
     }
   }
+}
+
+TEST(ShardedReachability, FrontierPathPerformsZeroTransfers) {
+  // The shared-manager engine works in place: workers apply Kraus operators
+  // and filter against the accumulator projector directly on the one
+  // manager.  tdd::transfer is an io/interop facility only — a whole
+  // multi-threaded fixpoint must not perform a single cross-manager copy.
+  tdd::Manager mgr;
+  const TransitionSystem sys = with_depolarizing(make_qrw_system(mgr, 4, 0.1, true, 0));
+  const auto engine = make_engine(mgr, "parallel:4");
+  const std::uint64_t transfers_before = tdd::transfer_calls();
+  const auto r = reachable_space(*engine, sys, 32);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GE(r.space.dim(), 1u);
+  EXPECT_EQ(tdd::transfer_calls(), transfers_before);
 }
 
 TEST(ShardedReachability, DeadlineInsideFrontierShardPropagatesAndRearms) {
@@ -249,6 +265,53 @@ TEST(ShardedReachability, GcThresholdKeepsResultsIdentical) {
   EXPECT_EQ(got.iterations, expected.iterations);
   EXPECT_EQ(got.space.dim(), expected.space.dim());
   EXPECT_TRUE(got.space.same_subspace(expected.space));
+}
+
+TEST(FixpointDriver, AdaptiveGcTriggersOnGrowthAndKeepsVerdictsUnchanged) {
+  // Reference run: adaptive GC off, no manual threshold — no collections.
+  tdd::Manager ref_mgr;
+  const TransitionSystem ref_sys = with_depolarizing(make_qrw_system(ref_mgr, 4, 0.1, true, 0));
+  ExecutionContext ref_ctx;
+  ref_ctx.set_adaptive_gc(false);
+  ref_mgr.bind_context(&ref_ctx);
+  const auto ref_engine = make_engine(ref_mgr, "basic", &ref_ctx);
+  const auto expected = reachable_space(*ref_engine, ref_sys, 32);
+  EXPECT_EQ(ref_ctx.stats().gc_runs, 0u);
+
+  // Same workload under an aggressive adaptive policy (floor 1, growth 1.0:
+  // the pool has always "grown" past its post-GC baseline, so every
+  // iteration collects) — the verdict must not move.
+  tdd::Manager mgr;
+  const TransitionSystem sys = with_depolarizing(make_qrw_system(mgr, 4, 0.1, true, 0));
+  ExecutionContext ctx;
+  ctx.set_adaptive_gc(true, /*floor=*/1, /*growth=*/1.0);
+  mgr.bind_context(&ctx);
+  const auto engine = make_engine(mgr, "basic", &ctx);
+  FixpointDriver driver(*engine, sys);
+  driver.set_max_iterations(32);
+  const auto r = driver.run();
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, expected.iterations);
+  EXPECT_EQ(r.space.dim(), expected.space.dim());
+  EXPECT_GT(ctx.stats().gc_runs, 0u);
+  ASSERT_EQ(driver.history().size(), r.iterations);
+  bool saw_gc = false;
+  for (const auto& it : driver.history()) {
+    EXPECT_GT(it.live_nodes, 0u) << "iteration " << it.iteration;
+    saw_gc = saw_gc || it.gc;
+  }
+  EXPECT_TRUE(saw_gc);
+
+  // The default policy (adaptive on, production floor) never fires on a
+  // workload this small: the floor is what keeps short runs collection-free.
+  ExecutionContext default_ctx;
+  EXPECT_TRUE(default_ctx.adaptive_gc());
+  const auto default_engine = make_engine(mgr, "basic", &default_ctx);
+  FixpointDriver default_driver(*default_engine, sys);
+  default_driver.set_max_iterations(32).keep_alive(r.space);
+  const auto r2 = default_driver.run();
+  EXPECT_EQ(r2.space.dim(), expected.space.dim());
+  EXPECT_EQ(default_ctx.stats().gc_runs, 0u);
 }
 
 TEST(FixpointDriver, SequentialEngineRejectsFrontierCandidates) {

@@ -130,43 +130,51 @@ TEST(ParallelImage, ReachabilityFixpointMatchesSequential) {
   EXPECT_TRUE(r_par.space.same_subspace(r_seq.space));
 }
 
-TEST(ParallelImage, WorkerManagersGarbageCollectUnderTheParentPolicy) {
+TEST(ParallelImage, DriverGcPolicyCoversWorkerAllocationsInTheSharedManager) {
+  // Since the shared-manager rewrite the parallel engine performs no GC of
+  // its own: worker allocations land in the one shared manager, and the
+  // driver's quiescent-point policy must bound them.  The workers' prepared
+  // operators live in the shared manager too, so every collection exercises
+  // ParallelImage::prepared_roots (sweeping them would corrupt the run).
   ExecutionContext ctx;
-  ctx.set_gc_threshold_nodes(1);  // force a worker GC every round
+  ctx.set_gc_threshold_nodes(1);  // collect at the top of every iteration
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
+  const auto reference = make_engine(mgr, "basic");
+  const auto expected = reachable_space(*reference, sys, 32);
+
+  const auto engine = make_engine(mgr, "parallel:2", &ctx);
+  FixpointDriver driver(*engine, sys);
+  driver.set_max_iterations(32).keep_alive(expected.space);
+  const auto r = driver.run();
+  EXPECT_EQ(r.iterations, expected.iterations);
+  EXPECT_TRUE(r.space.same_subspace(expected.space));
+  EXPECT_GT(ctx.stats().gc_runs, 0u);
+}
+
+TEST(ParallelImage, ReportsSharedStorageGaugesThroughRunStats) {
+  // Satellite observability: after a parallel round the parent context must
+  // carry the shared manager's storage shape (sampled in the workers'
+  // views and max-merged on join).
+  ExecutionContext ctx;
   tdd::Manager mgr;
   mgr.bind_context(&ctx);
   const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
   const auto engine = make_engine(mgr, "parallel:2", &ctx);
-  const Subspace first = engine->image(sys, sys.initial);
-  const Subspace second = engine->image(sys, first);
-  EXPECT_GE(second.dim(), 1u);
-  EXPECT_GT(ctx.stats().gc_runs, 0u);
-}
-
-TEST(ParallelImage, IdleWorkersHonourTheGcPolicy) {
-  ExecutionContext ctx;
-  tdd::Manager mgr;
-  mgr.bind_context(&ctx);
-  // 4 depolarizing Kraus circuits: a 4-ket frontier is a 16-task round,
-  // which adaptive sizing cuts into one shard per worker (static
-  // shard↔worker assignment), leaving nodes behind in all four managers.
-  const TransitionSystem sys = with_depolarizing(make_ghz_system(mgr, 3));
-  const auto engine = make_engine(mgr, "parallel:4", &ctx);
-  auto& par = dynamic_cast<ParallelImage&>(*engine);
-  std::vector<tdd::Edge> frontier;
-  for (std::uint64_t b = 0; b < 4; ++b) frontier.push_back(ket_basis(mgr, 3, b));
-  std::size_t shards = 0;
-  (void)par.frontier_candidates(sys, frontier, 3, sys.initial.projector(), &shards);
-  EXPECT_EQ(shards, 4u);
-  // A single-ket frontier (4 tasks) runs inline on worker 0; with the
-  // threshold armed the three idle workers' managers must be collected too,
-  // not just the active worker's — 4 worker GCs in the round.
-  ctx.reset_stats();
-  ctx.set_gc_threshold_nodes(1);
-  const std::vector<tdd::Edge> one{frontier[0]};
-  (void)par.frontier_candidates(sys, one, 3, sys.initial.projector(), &shards);
-  EXPECT_EQ(shards, 1u);
-  EXPECT_GE(ctx.stats().gc_runs, 4u);
+  const Subspace img = engine->image(sys, sys.initial);
+  EXPECT_GE(img.dim(), 1u);
+  const RunStats& s = ctx.stats();
+  EXPECT_GT(s.table_nodes, 0u);
+  EXPECT_GT(s.table_shards, 0u);
+  EXPECT_GT(s.table_load_factor, 0.0);
+  EXPECT_GE(s.arena_blocks, 1u);
+  EXPECT_GE(s.arena_capacity, s.table_nodes);
+  // At quiescence every live node is interned: the table and the arena's
+  // live counter must agree exactly (a fresh sample, after the join's
+  // reduction allocated more nodes than the merged mid-round gauges saw).
+  const tdd::Manager::StorageStats st = mgr.storage_stats();
+  EXPECT_EQ(st.table_nodes, st.live_nodes);
 }
 
 TEST(ParallelImage, AdaptiveShardSizingDerivesShardsFromTaskCount) {

@@ -35,12 +35,17 @@
 ///                                          bitflip:0.1:0 or depol:0.05:2
 ///   --steps N                              fixpoint iteration cap (default 64)
 ///   --timeout S                            wall-clock budget in seconds
-///   --gc-nodes N                           run a mark-sweep GC whenever the
-///                                          manager holds more than N live
-///                                          nodes (0 = never, the default)
+///   --gc-nodes N                           manual GC ceiling: run a mark-sweep
+///                                          GC whenever the manager holds more
+///                                          than N live nodes.  Default (0):
+///                                          the adaptive policy, which collects
+///                                          when the live-node count doubles
+///                                          since the last collection (above a
+///                                          64k-node floor)
 ///   --stats                                print run statistics (time, peak
 ///                                          #node, cache hit rates, GC runs,
-///                                          frontier iteration totals)
+///                                          frontier iteration totals, storage
+///                                          shape of the shared manager)
 ///   --verbose                              print one line per fixpoint
 ///                                          iteration: frontier dim, image
 ///                                          candidates, survivors, shards
@@ -138,7 +143,7 @@ struct Options {
   --noise CHANNEL:P:QUBIT                bitflip|phaseflip|depol|damp channel
   --steps N                              fixpoint iteration cap (default 64)
   --timeout S                            wall-clock budget in seconds
-  --gc-nodes N                           GC above N live manager nodes (0 = never)
+  --gc-nodes N                           GC above N live manager nodes (0 = adaptive policy)
   --stats                                print run statistics
   --verbose                              print per-iteration fixpoint statistics
 exit codes: 0 success/holds, 1 property violated, 2 usage or parse error,
@@ -322,7 +327,8 @@ int main(int argc, char** argv) {
       observer = [](const IterationStats& it) {
         std::cout << "iter " << it.iteration << ": frontier " << it.frontier_dim << " ket(s), "
                   << it.shards << " shard(s) -> " << it.candidates << " candidate(s), "
-                  << it.survivors << " new, reached dimension " << it.acc_dim << "\n";
+                  << it.survivors << " new, reached dimension " << it.acc_dim << ", "
+                  << it.live_nodes << " live node(s)" << (it.gc ? " [gc]" : "") << "\n";
       };
     }
 
@@ -382,6 +388,12 @@ int main(int argc, char** argv) {
                 << "% hit, cont " << format_fixed(hit_rate_pct(s.cont_hits, s.cont_misses), 1)
                 << "% hit, unique "
                 << format_fixed(hit_rate_pct(s.unique_hits, s.unique_misses), 1) << "% hit\n";
+      // Shared-manager storage shape at the end of the run.
+      const tdd::Manager::StorageStats st = mgr.storage_stats();
+      std::cout << "storage: unique table " << st.table_nodes << " node(s) in "
+                << st.table_shards << " shard(s), load " << format_fixed(st.table_load_factor, 3)
+                << "; arena " << st.arena_blocks << " block(s), capacity " << st.arena_capacity
+                << " node(s), " << st.allocated_nodes << " ever constructed\n";
     }
     return exit_code;
   } catch (const qts::DeadlineExceeded&) {
