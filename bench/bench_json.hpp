@@ -7,8 +7,14 @@
 ///   {"bench": "parallel", "hardware_concurrency": 8,
 ///    "records": [
 ///      {"name": "grover11x16/parallel:4", "wall_ms": 812.4,
-///       "peak_nodes": 1234, "threads": 4, "timeout": false},
+///       "peak_nodes": 1234, "threads": 4, "timeout": false,
+///       "degradations": 0, "table_nodes": 5678},
 ///      ...]}
+///
+/// "degradations" counts fallback-chain backend switches during the run (0
+/// for plain engines) and "table_nodes" is the unique table's peak sampled
+/// entry count — together they tell a regression hunt whether a slow cell
+/// actually ran the engine its name claims, or fell down a chain.
 ///
 /// "hardware_concurrency" records the machine the numbers came from: a
 /// thread sweep on a 1-core container and the same sweep on an 8-way box
@@ -36,6 +42,8 @@ struct Record {
   std::size_t peak_nodes = 0;
   std::size_t threads = 1;
   bool timeout = false;
+  std::size_t degradations = 0;  ///< fallback-chain backend switches
+  std::size_t table_nodes = 0;   ///< peak sampled unique-table entries
 };
 
 /// Collects records and writes BENCH_<bench>.json when destroyed.
@@ -61,7 +69,9 @@ class JsonWriter {
       if (i != 0) os << ",";
       os << "\n  {\"name\": \"" << escaped(r.name) << "\", \"wall_ms\": " << fmt(r.wall_ms)
          << ", \"peak_nodes\": " << r.peak_nodes << ", \"threads\": " << r.threads
-         << ", \"timeout\": " << (r.timeout ? "true" : "false") << "}";
+         << ", \"timeout\": " << (r.timeout ? "true" : "false")
+         << ", \"degradations\": " << r.degradations << ", \"table_nodes\": " << r.table_nodes
+         << "}";
     }
     os << "\n]}\n";
     std::cerr << "wrote " << path << " (" << records_.size() << " record(s))\n";

@@ -16,6 +16,7 @@
 /// printed first; every parallel row reports speedup against it (or against
 /// parallel:1 when the sweep includes it).  Results land in
 /// BENCH_reachability.json.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -38,6 +39,8 @@ struct Measurement {
   std::size_t peak_nodes = 0;
   std::size_t dim = 0;
   std::size_t iterations = 0;
+  std::size_t degradations = 0;
+  std::size_t table_nodes = 0;
 };
 
 Measurement run_once(const std::string& engine_spec, std::uint32_t n, double p,
@@ -59,6 +62,10 @@ Measurement run_once(const std::string& engine_spec, std::uint32_t n, double p,
     m.ms = std::nullopt;
   }
   m.peak_nodes = ctx.stats().peak_nodes;
+  m.degradations = ctx.stats().degradations;
+  // Workers sample the unique-table gauge as they join; sequential runs
+  // never do, so take the max with an end-of-run sample.
+  m.table_nodes = std::max(ctx.stats().table_nodes, mgr.storage_stats().table_nodes);
   return m;
 }
 
@@ -123,7 +130,7 @@ int main(int argc, char** argv) {
               << pad_left(std::to_string(m.peak_nodes), 10) << pad_left(speedup, 10) << "\n"
               << std::flush;
     json.add({workload + "/" + spec, m.ms.value_or(timeout_s * 1e3), m.peak_nodes, nthreads,
-              !m.ms.has_value()});
+              !m.ms.has_value(), m.degradations, m.table_nodes});
   };
 
   // Sequential reference: the inner engine run directly — the driver's

@@ -14,6 +14,7 @@
 /// Defaults: n = 8 (within the dense cap so all three engines can run),
 /// p = 0.1, TDD reference engine contraction:4,4, 6-step cap, 30 s budget
 /// per cell.  Results land in BENCH_sparse.json.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -38,6 +39,8 @@ struct Measurement {
   std::size_t peak_nodes = 0;
   std::size_t dim = 0;
   std::size_t iterations = 0;
+  std::size_t degradations = 0;
+  std::size_t table_nodes = 0;
 };
 
 Measurement run_once(const std::string& engine_spec, std::uint32_t n, double p,
@@ -70,6 +73,10 @@ Measurement run_once(const std::string& engine_spec, std::uint32_t n, double p,
     m.ms = std::nullopt;
   }
   m.peak_nodes = ctx.stats().peak_nodes;
+  m.degradations = ctx.stats().degradations;
+  // Workers sample the unique-table gauge as they join; sequential runs
+  // never do, so take the max with an end-of-run sample.
+  m.table_nodes = std::max(ctx.stats().table_nodes, mgr.storage_stats().table_nodes);
   return m;
 }
 
@@ -136,7 +143,7 @@ int main(int argc, char** argv) {
                 << pad_left(std::to_string(m.peak_nodes), 10) << pad_left(ratio, 9) << "\n"
                 << std::flush;
       json.add({cell + "/" + spec, m.ms.value_or(timeout_s * 1e3), m.peak_nodes, 1,
-                !m.ms.has_value()});
+                !m.ms.has_value(), m.degradations, m.table_nodes});
     };
     report(tdd_spec, tdd);
     report("statevector", run_once("statevector", n, p, density, steps, timeout_s));

@@ -27,6 +27,36 @@ struct InternalError : Error {
   using Error::Error;
 };
 
+/// The resource whose budget a ResourceExhausted throw ran out of.  Kept
+/// machine-readable so recovery layers (fallback engine chains, the qtsmc
+/// exit-code ladder) can branch on the cause instead of parsing messages.
+enum class Resource {
+  kQubits,    ///< dense statevector qubit cap (statevector:<maxq>)
+  kNonzeros,  ///< sparse per-ket non-zero budget (sparse:<maxnz>)
+  kNodes,     ///< live TDD node budget (--max-nodes)
+  kMemory,    ///< allocation failure at the node-arena slab boundary
+};
+
+/// Stable lower-case name for a Resource ("qubits", "nonzeros", ...).
+inline const char* to_string(Resource r) {
+  switch (r) {
+    case Resource::kQubits: return "qubits";
+    case Resource::kNonzeros: return "nonzeros";
+    case Resource::kNodes: return "nodes";
+    case Resource::kMemory: return "memory";
+  }
+  return "unknown";
+}
+
+/// A resource budget was exhausted.  Unlike InvalidArgument (caller bug) and
+/// InternalError (library bug), this failure is *recoverable*: a different
+/// backend, a larger budget or a smaller workload may succeed, so fallback
+/// chains catch exactly this type and nothing else.
+struct ResourceExhausted : Error {
+  ResourceExhausted(Resource r, const std::string& message) : Error(message), resource(r) {}
+  Resource resource;
+};
+
 /// Throws InvalidArgument with the given message if `cond` is false.
 inline void require(bool cond, const std::string& message) {
   if (!cond) throw InvalidArgument(message);

@@ -12,14 +12,20 @@ ExecutionContext ExecutionContext::worker_view() const {
   ExecutionContext view;
   view.deadline_ = deadline_;
   view.cancel_ = cancel_;  // one flag for the whole fork/join group
+  view.active_views_ = active_views_;
+  view.fault_plan_ = fault_plan_;  // shared: probe counters span the group
+  view.max_nodes_ = max_nodes_;
+  view.current_iteration_ = current_iteration_;
   view.gc_threshold_nodes_ = gc_threshold_nodes_;
   view.adaptive_gc_ = adaptive_gc_;
   view.adaptive_gc_floor_ = adaptive_gc_floor_;
   view.adaptive_gc_growth_ = adaptive_gc_growth_;
+  active_views_->fetch_add(1, std::memory_order_acq_rel);
   return view;
 }
 
 void ExecutionContext::join_worker(const ExecutionContext& worker) {
+  active_views_->fetch_sub(1, std::memory_order_acq_rel);
   const RunStats& w = worker.stats_;
   stats_.seconds += w.seconds;
   if (w.peak_nodes > stats_.peak_nodes) stats_.peak_nodes = w.peak_nodes;
@@ -36,6 +42,10 @@ void ExecutionContext::join_worker(const ExecutionContext& worker) {
   stats_.add_misses += w.add_misses;
   stats_.cont_hits += w.cont_hits;
   stats_.cont_misses += w.cont_misses;
+  stats_.degradations += w.degradations;
+  for (std::size_t i = 0; i < w.degradation_causes.size(); ++i) {
+    stats_.degradation_causes[i] += w.degradation_causes[i];
+  }
   // Storage gauges describe the one shared manager, so max-merge them.
   if (w.table_nodes > stats_.table_nodes) stats_.table_nodes = w.table_nodes;
   if (w.table_load_factor > stats_.table_load_factor) {

@@ -8,10 +8,14 @@
 /// historical trio of ImageStats / PeakStats / Manager::CacheStats.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <utility>
 
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 
 namespace qts {
@@ -31,6 +35,11 @@ struct RunStats {
   std::size_t frontier_shards = 0;      ///< frontier shards dispatched (1 per sequential iteration)
   std::size_t frontier_survivors = 0;   ///< image vectors that extended the accumulator
   std::size_t max_frontier_dim = 0;     ///< widest frontier seen in any iteration
+
+  // Graceful-degradation counters (filled by the fallback engine chain).
+  std::size_t degradations = 0;  ///< backend switches after ResourceExhausted
+  /// Switches by cause, indexed by static_cast<std::size_t>(Resource).
+  std::array<std::size_t, 4> degradation_causes{};
 
   // TDD manager cache counters (unique table / add cache / cont cache).
   std::size_t unique_hits = 0;
@@ -74,8 +83,10 @@ class ExecutionContext {
   /// Throws DeadlineExceeded when the budget is spent or a cancellation was
   /// requested (a cancelled computation's result is never used, so stopping
   /// through the same exception path keeps every layer's unwind identical).
+  /// Armed `deadline@...` faults fire here too, through the same exception.
   void check_deadline() const {
     if (cancel_->load(std::memory_order_relaxed)) throw DeadlineExceeded{};
+    if (fault_plan_) fault_plan_->probe_deadline();
     deadline_.check();
   }
 
@@ -88,8 +99,25 @@ class ExecutionContext {
     return cancel_->load(std::memory_order_relaxed);
   }
   /// Re-arm after a cancelled fork/join round.  Single-threaded: only call
-  /// once every sharing worker has stopped.
-  void clear_cancel() { cancel_->store(false, std::memory_order_relaxed); }
+  /// once every sharing worker has stopped — i.e. once every outstanding
+  /// worker_view() has been handed back through join_worker().  Debug builds
+  /// enforce that with the shared active-view count.
+  void clear_cancel() {
+#ifndef NDEBUG
+    if (active_views_->load(std::memory_order_acquire) > 0) {
+      throw InternalError(
+          "ExecutionContext::clear_cancel called while worker views are still "
+          "active; join every worker_view with join_worker first");
+    }
+#endif
+    cancel_->store(false, std::memory_order_relaxed);
+  }
+
+  /// Worker views created from this group and not yet joined back.  The
+  /// count is shared across the whole view group (like the cancel flag).
+  [[nodiscard]] std::size_t active_worker_views() const {
+    return static_cast<std::size_t>(active_views_->load(std::memory_order_acquire));
+  }
 
   // -- fork/join ------------------------------------------------------------
 
@@ -104,6 +132,51 @@ class ExecutionContext {
   /// nothing by default, and a fork/join parent accounts wall-clock with its
   /// own ScopedTimer around the whole round.
   void join_worker(const ExecutionContext& worker);
+
+  // -- resource budgets -----------------------------------------------------
+
+  /// Hard live-node budget (`qtsmc --max-nodes`): when non-zero, the TDD
+  /// manager refuses to allocate past this many live nodes and throws
+  /// ResourceExhausted(Resource::kNodes) instead.  Unlike the GC threshold
+  /// (which reclaims garbage and keeps going) this is a ceiling on the live
+  /// set itself — the signal a fallback chain degrades on.
+  void set_max_nodes(std::size_t n) { max_nodes_ = n; }
+  [[nodiscard]] std::size_t max_nodes() const { return max_nodes_; }
+
+  /// Called by the manager's allocation path with the current live-node
+  /// count; throws ResourceExhausted when the budget is exceeded and runs
+  /// any armed allocation faults.
+  void check_node_budget(std::size_t live_nodes) const {
+    if (max_nodes_ != 0 && live_nodes >= max_nodes_) {
+      throw ResourceExhausted(Resource::kNodes,
+                              "TDD manager: live node count " + std::to_string(live_nodes) +
+                                  " reached the --max-nodes budget of " +
+                                  std::to_string(max_nodes_));
+    }
+    if (fault_plan_) fault_plan_->probe_alloc();
+  }
+
+  // -- fault injection ------------------------------------------------------
+
+  /// Attach a deterministic fault plan (see common/fault.hpp).  The plan is
+  /// shared with every worker_view, like the cancel flag.
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) { fault_plan_ = std::move(plan); }
+  [[nodiscard]] const std::shared_ptr<FaultPlan>& fault_plan() const { return fault_plan_; }
+
+  /// Codec fault probe: seam-engine encode/decode paths report the resource
+  /// guard they enforce so `qubits@...`/`nonzeros@...` faults fire in the
+  /// matching codec only.  No-op without an armed plan.
+  void fault_codec(Resource guard) const {
+    if (fault_plan_) fault_plan_->probe_codec(guard);
+  }
+
+  /// Fixpoint bookkeeping: the driver announces each iteration (1-based) so
+  /// iteration-triggered faults and degradation records are deterministic.
+  void begin_iteration(std::size_t i) {
+    current_iteration_ = i;
+    if (fault_plan_) fault_plan_->begin_iteration(i);
+  }
+  [[nodiscard]] std::size_t current_iteration() const { return current_iteration_; }
 
   // -- statistics -----------------------------------------------------------
 
@@ -147,6 +220,12 @@ class ExecutionContext {
   Deadline deadline_;
   RunStats stats_;
   std::shared_ptr<std::atomic<bool>> cancel_ = std::make_shared<std::atomic<bool>>(false);
+  /// Outstanding worker views of this group (created minus joined); shared
+  /// across the group so the clear_cancel guard sees every sibling.
+  std::shared_ptr<std::atomic<long>> active_views_ = std::make_shared<std::atomic<long>>(0);
+  std::shared_ptr<FaultPlan> fault_plan_;
+  std::size_t max_nodes_ = 0;
+  std::size_t current_iteration_ = 0;
   std::size_t gc_threshold_nodes_ = 0;
   bool adaptive_gc_ = true;
   std::size_t adaptive_gc_floor_ = kAdaptiveGcFloor;

@@ -1,0 +1,120 @@
+#include "common/fault.hpp"
+
+#include <new>
+
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+
+namespace qts {
+
+namespace {
+
+FaultPlan::Kind parse_kind(std::string_view name, std::string_view spec) {
+  if (name == "nodes") return FaultPlan::Kind::kNodes;
+  if (name == "alloc") return FaultPlan::Kind::kAlloc;
+  if (name == "qubits") return FaultPlan::Kind::kQubits;
+  if (name == "nonzeros") return FaultPlan::Kind::kNonzeros;
+  if (name == "deadline") return FaultPlan::Kind::kDeadline;
+  throw InvalidArgument("fault plan: unknown fault '" + std::string(name) + "' in '" +
+                        std::string(spec) +
+                        "' (expected nodes, alloc, qubits, nonzeros or deadline)");
+}
+
+}  // namespace
+
+std::shared_ptr<FaultPlan> FaultPlan::parse(const std::string& text) {
+  if (text.empty() || text.front() == ',' || text.back() == ',' ||
+      text.find(",,") != std::string::npos) {
+    throw InvalidArgument(
+        "fault plan: expected a comma-separated list of '<fault>@<trigger>' entries, got '" +
+        text + "'");
+  }
+  auto plan = std::make_shared<FaultPlan>();
+  for (const std::string& piece : split(text, ",")) {
+    const std::string_view spec = trim(piece);
+    const std::size_t at = spec.find('@');
+    if (at == std::string_view::npos || at == 0 || at + 1 == spec.size()) {
+      throw InvalidArgument("fault plan: expected '<fault>@iter<K>' or '<fault>@count:<N>', got '" +
+                            std::string(spec) + "'");
+    }
+    auto fault = std::make_unique<Fault>();
+    fault->kind = parse_kind(spec.substr(0, at), spec);
+    fault->spec = std::string(spec);
+    const std::string_view trigger = spec.substr(at + 1);
+    if (starts_with(trigger, "iter")) {
+      const auto k = parse_uint(trigger.substr(4));
+      if (!k || *k == 0) {
+        throw InvalidArgument("fault plan: 'iter' needs a positive iteration number in '" +
+                              std::string(spec) + "'");
+      }
+      fault->iteration = static_cast<std::size_t>(*k);
+    } else if (starts_with(trigger, "count:")) {
+      const auto n = parse_uint(trigger.substr(6));
+      if (!n || *n == 0) {
+        throw InvalidArgument("fault plan: 'count:' needs a positive probe count in '" +
+                              std::string(spec) + "'");
+      }
+      fault->count = *n;
+    } else {
+      throw InvalidArgument("fault plan: unknown trigger '" + std::string(trigger) + "' in '" +
+                            std::string(spec) + "' (expected iter<K> or count:<N>)");
+    }
+    plan->faults_.push_back(std::move(fault));
+  }
+  if (plan->faults_.empty()) {
+    throw InvalidArgument("fault plan: expected at least one '<fault>@<trigger>' entry");
+  }
+  return plan;
+}
+
+bool FaultPlan::should_fire(Fault& f) {
+  if (f.fired.load(std::memory_order_relaxed)) return false;
+  if (f.count > 0) {
+    // Count-triggered: the N-th probe of this kind fires, no earlier and no
+    // later.  fetch_add hands every probe a unique ordinal, so exactly one
+    // caller sees the match even under concurrent probing.
+    if (f.probes.fetch_add(1, std::memory_order_relaxed) + 1 != f.count) return false;
+  } else {
+    // Iteration-triggered: the first probe that observes the armed
+    // iteration wins the fired latch; concurrent losers keep running.
+    if (iteration_.load(std::memory_order_relaxed) != f.iteration) return false;
+  }
+  bool expected = false;
+  return f.fired.compare_exchange_strong(expected, true, std::memory_order_relaxed);
+}
+
+void FaultPlan::probe_alloc() {
+  for (const auto& f : faults_) {
+    if (f->kind == Kind::kNodes && should_fire(*f)) {
+      throw ResourceExhausted(Resource::kNodes,
+                              "injected fault '" + f->spec + "': live TDD node budget exhausted");
+    }
+    if (f->kind == Kind::kAlloc && should_fire(*f)) throw std::bad_alloc{};
+  }
+}
+
+void FaultPlan::probe_codec(Resource guard) {
+  for (const auto& f : faults_) {
+    const bool match = (f->kind == Kind::kQubits && guard == Resource::kQubits) ||
+                       (f->kind == Kind::kNonzeros && guard == Resource::kNonzeros);
+    if (match && should_fire(*f)) {
+      throw ResourceExhausted(guard, "injected fault '" + f->spec + "': " +
+                                         std::string(to_string(guard)) + " budget exhausted");
+    }
+  }
+}
+
+void FaultPlan::probe_deadline() {
+  for (const auto& f : faults_) {
+    if (f->kind == Kind::kDeadline && should_fire(*f)) throw DeadlineExceeded{};
+  }
+}
+
+bool FaultPlan::exhausted() const {
+  for (const auto& f : faults_) {
+    if (!f->fired.load(std::memory_order_relaxed)) return false;
+  }
+  return true;
+}
+
+}  // namespace qts

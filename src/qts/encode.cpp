@@ -14,16 +14,22 @@ namespace qts {
 namespace {
 
 void check_cap(std::uint32_t n, std::uint32_t max_qubits) {
+  // A cap above 30 is a caller bug (config error); a register exceeding the
+  // cap is a recoverable budget failure a fallback chain can degrade on.
   require(max_qubits <= 30, "dense ket codec capped at 30 qubits");
-  require(n <= max_qubits,
-          "dense ket codec: " + std::to_string(n) + "-qubit register exceeds the " +
-              std::to_string(max_qubits) + "-qubit cap (2^n amplitudes would be materialised)");
+  if (n > max_qubits) {
+    throw ResourceExhausted(
+        Resource::kQubits,
+        "dense ket codec: " + std::to_string(n) + "-qubit register exceeds the " +
+            std::to_string(max_qubits) + "-qubit cap (2^n amplitudes would be materialised)");
+  }
 }
 
 [[noreturn]] void budget_exceeded(std::size_t max_nonzeros) {
-  throw InvalidArgument("sparse ket codec: support exceeds the " +
-                        std::to_string(max_nonzeros) +
-                        "-non-zero budget (raise it with sparse:<maxnz>)");
+  throw ResourceExhausted(Resource::kNonzeros,
+                          "sparse ket codec: support exceeds the " +
+                              std::to_string(max_nonzeros) +
+                              "-non-zero budget (raise it with sparse:<maxnz>)");
 }
 
 /// Depth-first walk of the non-zero paths: `q` is the next qubit expected,

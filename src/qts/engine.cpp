@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "qts/fallback_engine.hpp"
 #include "qts/parallel.hpp"
 #include "qts/sparse_engine.hpp"
 #include "qts/statevector_engine.hpp"
@@ -31,6 +32,25 @@ std::size_t parse_count(std::string_view piece, const std::string& spec) {
   return static_cast<std::size_t>(*value);
 }
 
+/// Split a "specA;specB[;...]" chain, parsing and validating each element.
+/// Shared by EngineSpec::parse (canonicalisation) and the factory.
+std::vector<EngineSpec> parse_chain(const std::string& args, const std::string& spec_text) {
+  require(!args.empty() && args.front() != ';' && args.back() != ';' &&
+              args.find(";;") == std::string::npos,
+          "engine spec '" + spec_text + "': fallback takes 'specA;specB[;...]'");
+  std::vector<EngineSpec> chain;
+  for (const std::string& piece : split(args, ";")) {
+    const EngineSpec element = EngineSpec::parse(piece);
+    require(element.method != "fallback",
+            "engine spec '" + spec_text + "': fallback chains cannot nest");
+    chain.push_back(element);
+  }
+  require(chain.size() >= 2,
+          "engine spec '" + spec_text +
+              "': fallback needs at least two engine specs ('fallback:specA;specB')");
+  return chain;
+}
+
 std::map<std::string, EngineFactory>& registry() {
   static std::map<std::string, EngineFactory> factories = [] {
     std::map<std::string, EngineFactory> m;
@@ -52,6 +72,9 @@ std::map<std::string, EngineFactory>& registry() {
     };
     m["sparse"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
       return std::make_unique<SparseImage>(mgr, spec.max_nonzeros, ctx);
+    };
+    m["fallback"] = [](tdd::Manager& mgr, const EngineSpec& spec, ExecutionContext* ctx) {
+      return std::make_unique<FallbackImage>(mgr, parse_chain(spec.args, spec.to_string()), ctx);
     };
     return m;
   }();
@@ -100,6 +123,10 @@ EngineSpec EngineSpec::parse(const std::string& text) {
         const EngineSpec inner = EngineSpec::parse(inner_text);
         require(inner.method != "parallel",
                 "engine spec '" + text + "': parallel cannot nest itself");
+        require(inner.method != "fallback",
+                "engine spec '" + text + "': a parallel inner engine cannot be a fallback "
+                "chain; put parallel inside the chain elements instead "
+                "(fallback:parallel:t,specA;parallel:t,specB)");
         spec.inner = inner.to_string();  // canonicalised
       }
     }
@@ -115,6 +142,17 @@ EngineSpec EngineSpec::parse(const std::string& text) {
       require(spec.max_nonzeros >= 1,
               "engine spec '" + text + "': sparse non-zero budget must be at least 1");
     }
+  } else if (spec.method == "fallback") {
+    // Validate every element now and canonicalise the stored args so
+    // to_string() round-trips ("fallback:sparse;basic" ->
+    // "fallback:sparse:65536;basic").
+    const std::vector<EngineSpec> chain = parse_chain(spec.args, text);
+    std::string canonical;
+    for (const EngineSpec& element : chain) {
+      if (!canonical.empty()) canonical += ";";
+      canonical += element.to_string();
+    }
+    spec.args = canonical;
   }
   // Unknown methods keep their raw args; make_engine rejects them unless a
   // factory was registered.

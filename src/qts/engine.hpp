@@ -21,6 +21,13 @@
 ///                              so the guard is the per-ket non-zero budget
 ///                              maxnz (default 65536), not a qubit count.
 ///                              Also valid as a parallel inner spec.
+///   "fallback:specA;specB[;...]"  graceful degradation: run specA and, on
+///                              ResourceExhausted (budget/cap/OOM — never on
+///                              caller or library bugs), re-seed the next
+///                              spec and continue from the last completed
+///                              iteration.  Elements may be parallel specs;
+///                              chains cannot nest and cannot be a parallel
+///                              inner engine.
 ///
 /// (Methods without parameters use the defaults below.)  Later backends
 /// plug in through register_engine without touching any call site.

@@ -80,7 +80,6 @@ FixpointDriver::Result FixpointDriver::run() {
   history_.clear();
   ExecutionContext& ctx = computer_.context();
   const std::uint32_t n = sys_.num_qubits;
-  const bool claimed = computer_.shards_frontier();
 
   Subspace acc = sys_.initial;
   // The frontier is a bare orthonormal ket family, not a Subspace: nothing
@@ -115,6 +114,10 @@ FixpointDriver::Result FixpointDriver::run() {
 
   while (iters < max_iterations_ && acc.dim() < full_dim_cap) {
     ++iters;
+    // Announce the (1-based) iteration before any polling so
+    // iteration-triggered injected faults fire inside the iteration they
+    // name, and a fallback chain records its switches against it.
+    ctx.begin_iteration(iters);
     ctx.check_deadline();
 
     // Top of an iteration = quiescent point of the (shared) manager: no
@@ -148,6 +151,9 @@ FixpointDriver::Result FixpointDriver::run() {
     // path ends in the single authoritative Gram-Schmidt pass of
     // add_states: one orthogonalisation per image vector, whose surviving
     // residuals are the next frontier.
+    // Re-read per iteration: a fallback chain's active engine (and with it
+    // the claim) can change between iterations when a backend degrades.
+    const bool claimed = computer_.shards_frontier();
     std::vector<Edge> candidates;
     if (claimed) {
       // The engine runs the whole iteration body — sharded across workers

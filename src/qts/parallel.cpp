@@ -28,6 +28,9 @@ ParallelImage::ParallelImage(tdd::Manager& mgr, std::size_t threads, EngineSpec 
                              ExecutionContext* ctx)
     : ImageComputer(mgr, ctx), inner_(std::move(inner)) {
   require(inner_.method != "parallel", "parallel engine cannot nest itself");
+  require(inner_.method != "fallback",
+          "parallel engine: the inner engine cannot be a fallback chain; put parallel "
+          "inside the chain elements instead");
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw == 0 ? 1 : hw;

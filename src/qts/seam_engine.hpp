@@ -13,19 +13,26 @@
 ///   struct Rep {
 ///     using State = ...;              // the foreign ket representation
 ///     using Batch = ...;              // its Gram-Schmidt subspace mirror
+///     static constexpr Resource kGuard = ...;  // the budgeted resource
 ///     State decode(const tdd::Edge&, std::uint32_t n) const;
 ///     tdd::Edge encode(tdd::Manager&, const State&, std::uint32_t n) const;
-///     State apply_circuit(const circ::Circuit&, const State&) const;
+///     State apply_circuit(const circ::Circuit&, const State&,
+///                         const ExecutionContext*) const;
 ///     std::vector<State> apply_operation(std::span<const circ::Circuit>,
-///                                        std::span<const State>) const;
+///                                        std::span<const State>,
+///                                        const ExecutionContext*) const;
 ///     Batch make_batch(std::uint32_t n) const;
 ///   };
 ///
 /// The policy also owns the representation's size guard (dense qubit cap,
-/// sparse non-zero budget) and enforces it inside decode/encode/apply — the
-/// skeleton never needs to know which resource is being budgeted.  A new
-/// backend is a policy struct plus a name, not a re-implementation of the
-/// iteration body that could silently drift from its siblings.
+/// sparse non-zero budget) and enforces it inside decode/encode/apply by
+/// throwing ResourceExhausted(kGuard) — the skeleton never needs to know
+/// which resource is being budgeted, and `kGuard` is also what the codec
+/// fault probes report so injected qubit/non-zero faults fire only in the
+/// matching representation.  The ExecutionContext handed to the apply hooks
+/// lets the sim kernels poll the deadline mid-sweep.  A new backend is a
+/// policy struct plus a name, not a re-implementation of the iteration body
+/// that could silently drift from its siblings.
 #pragma once
 
 #include <cstdint>
@@ -57,10 +64,13 @@ class SeamImage : public ImageComputer {
 
     std::vector<typename Rep::State> kets;
     kets.reserve(s.basis().size());
-    for (const auto& b : s.basis()) kets.push_back(rep_.decode(b, n));
+    for (const auto& b : s.basis()) {
+      ctx_->fault_codec(Rep::kGuard);
+      kets.push_back(rep_.decode(b, n));
+    }
 
     ctx_->check_deadline();
-    const std::vector<typename Rep::State> images = rep_.apply_operation(op.kraus, kets);
+    const std::vector<typename Rep::State> images = rep_.apply_operation(op.kraus, kets, ctx_);
     ctx_->stats().kraus_applications += images.size();
 
     typename Rep::Batch batch = rep_.make_batch(n);
@@ -69,6 +79,7 @@ class SeamImage : public ImageComputer {
     Subspace out(mgr_, n);
     for (const auto& r : residuals) {
       ctx_->check_deadline();
+      ctx_->fault_codec(Rep::kGuard);
       out.add_state(rep_.encode(mgr_, r, n));
       tdd::record_peak(ctx_, out.projector());
     }
@@ -98,13 +109,16 @@ class SeamImage : public ImageComputer {
 
     std::vector<typename Rep::State> kets;
     kets.reserve(frontier.size());
-    for (const auto& b : frontier) kets.push_back(rep_.decode(b, n));
+    for (const auto& b : frontier) {
+      ctx_->fault_codec(Rep::kGuard);
+      kets.push_back(rep_.decode(b, n));
+    }
 
     typename Rep::Batch batch = rep_.make_batch(n);
     std::vector<typename Rep::State> residuals;
     for (const auto& op : sys.operations) {
       ctx_->check_deadline();
-      std::vector<typename Rep::State> images = rep_.apply_operation(op.kraus, kets);
+      std::vector<typename Rep::State> images = rep_.apply_operation(op.kraus, kets, ctx_);
       ctx_->stats().kraus_applications += images.size();
       std::vector<typename Rep::State> fresh = batch.add_states(images);
       residuals.insert(residuals.end(), std::make_move_iterator(fresh.begin()),
@@ -117,6 +131,7 @@ class SeamImage : public ImageComputer {
     out.reserve(residuals.size());
     for (const auto& r : residuals) {
       ctx_->check_deadline();
+      ctx_->fault_codec(Rep::kGuard);
       const tdd::Edge phi = rep_.encode(mgr_, r, n);
       tdd::record_peak(ctx_, phi);
       if (!Subspace::projector_contains(mgr_, acc_projector, phi, n)) out.push_back(phi);
@@ -141,7 +156,8 @@ class SeamImage : public ImageComputer {
 
   tdd::Edge apply(const Prepared& prep, const tdd::Edge& ket, std::uint32_t n) override {
     const auto& pinned = static_cast<const PinnedKraus&>(prep);
-    return rep_.encode(mgr_, rep_.apply_circuit(*pinned.kraus, rep_.decode(ket, n)), n);
+    ctx_->fault_codec(Rep::kGuard);
+    return rep_.encode(mgr_, rep_.apply_circuit(*pinned.kraus, rep_.decode(ket, n), ctx_), n);
   }
 
   Rep rep_;

@@ -8,23 +8,25 @@ namespace qts {
 
 void SparseRep::check_budget(const sim::SparseState& state) const {
   if (state.nonzeros() > max_nonzeros) {
-    throw InvalidArgument("sparse engine: image support of " +
-                          std::to_string(state.nonzeros()) + " non-zeros exceeds the " +
-                          std::to_string(max_nonzeros) +
-                          "-non-zero budget (raise it with sparse:<maxnz>)");
+    throw ResourceExhausted(Resource::kNonzeros,
+                            "sparse engine: image support of " +
+                                std::to_string(state.nonzeros()) + " non-zeros exceeds the " +
+                                std::to_string(max_nonzeros) +
+                                "-non-zero budget (raise it with sparse:<maxnz>)");
   }
 }
 
-sim::SparseState SparseRep::apply_circuit(const circ::Circuit& kraus,
-                                          const sim::SparseState& ket) const {
-  sim::SparseState image = sim::apply_circuit(kraus, ket);
+sim::SparseState SparseRep::apply_circuit(const circ::Circuit& kraus, const sim::SparseState& ket,
+                                          const ExecutionContext* ctx) const {
+  sim::SparseState image = sim::apply_circuit(kraus, ket, ctx);
   check_budget(image);
   return image;
 }
 
-std::vector<sim::SparseState> SparseRep::apply_operation(
-    std::span<const circ::Circuit> kraus, std::span<const sim::SparseState> kets) const {
-  std::vector<sim::SparseState> images = sim::apply_operation(kraus, kets);
+std::vector<sim::SparseState> SparseRep::apply_operation(std::span<const circ::Circuit> kraus,
+                                                         std::span<const sim::SparseState> kets,
+                                                         const ExecutionContext* ctx) const {
+  std::vector<sim::SparseState> images = sim::apply_operation(kraus, kets, ctx);
   for (const auto& img : images) check_budget(img);
   return images;
 }

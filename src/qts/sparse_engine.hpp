@@ -40,6 +40,7 @@ namespace qts {
 struct SparseRep {
   using State = sim::SparseState;
   using Batch = sim::SparseSubspace;
+  static constexpr Resource kGuard = Resource::kNonzeros;
 
   std::size_t max_nonzeros = kSparseNonzeroCap;
 
@@ -49,12 +50,14 @@ struct SparseRep {
   [[nodiscard]] tdd::Edge encode(tdd::Manager& mgr, const State& state, std::uint32_t) const {
     return encode_ket_sparse(mgr, state, max_nonzeros);
   }
-  [[nodiscard]] State apply_circuit(const circ::Circuit& kraus, const State& ket) const;
+  [[nodiscard]] State apply_circuit(const circ::Circuit& kraus, const State& ket,
+                                    const ExecutionContext* ctx) const;
   [[nodiscard]] std::vector<State> apply_operation(std::span<const circ::Circuit> kraus,
-                                                   std::span<const State> kets) const;
+                                                   std::span<const State> kets,
+                                                   const ExecutionContext* ctx) const;
   [[nodiscard]] Batch make_batch(std::uint32_t n) const { return Batch(n); }
 
-  /// Throws InvalidArgument when an image outgrows the budget.
+  /// Throws ResourceExhausted(kNonzeros) when an image outgrows the budget.
   void check_budget(const State& state) const;
 };
 

@@ -16,7 +16,8 @@
 ///
 /// Spec: "statevector[:maxq]" — maxq is the dense qubit cap (default
 /// kDenseQubitCap = 14; 2^n amplitudes are materialised per ket, so wider
-/// registers throw InvalidArgument instead of thrashing).  The spec is also
+/// registers throw ResourceExhausted instead of thrashing — the signal a
+/// fallback chain degrades on).  The spec is also
 /// accepted as a parallel inner engine ("parallel:4,statevector"): workers
 /// then drive the per-ket prepare/apply path on their private managers.
 ///
@@ -43,6 +44,7 @@ namespace qts {
 struct DenseRep {
   using State = la::Vector;
   using Batch = sim::DenseSubspace;
+  static constexpr Resource kGuard = Resource::kQubits;
 
   std::uint32_t max_qubits = kDenseQubitCap;
 
@@ -52,12 +54,14 @@ struct DenseRep {
   [[nodiscard]] tdd::Edge encode(tdd::Manager& mgr, const State& state, std::uint32_t n) const {
     return encode_ket(mgr, state, n, max_qubits);
   }
-  [[nodiscard]] State apply_circuit(const circ::Circuit& kraus, const State& ket) const {
-    return sim::apply_circuit(kraus, ket);
+  [[nodiscard]] State apply_circuit(const circ::Circuit& kraus, const State& ket,
+                                    const ExecutionContext* ctx) const {
+    return sim::apply_circuit(kraus, ket, ctx);
   }
   [[nodiscard]] std::vector<State> apply_operation(std::span<const circ::Circuit> kraus,
-                                                   std::span<const State> kets) const {
-    return sim::apply_operation(kraus, kets);
+                                                   std::span<const State> kets,
+                                                   const ExecutionContext* ctx) const {
+    return sim::apply_operation(kraus, kets, ctx);
   }
   [[nodiscard]] Batch make_batch(std::uint32_t n) const { return Batch(n); }
 };

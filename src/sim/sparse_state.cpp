@@ -76,7 +76,8 @@ void SparseState::prune(double eps) {
   }
 }
 
-SparseState apply_gate(const SparseState& state, const circ::Gate& gate, std::uint32_t n) {
+SparseState apply_gate(const SparseState& state, const circ::Gate& gate, std::uint32_t n,
+                       const ExecutionContext* ctx) {
   require(state.num_qubits() == n, "state width does not match qubit count");
   require(gate.max_qubit() < n, "gate qubit out of range");
 
@@ -88,7 +89,11 @@ SparseState apply_gate(const SparseState& state, const circ::Gate& gate, std::ui
   // output indices, so the work is O(nnz · 2^t) regardless of n.
   SparseState out(n);
   SparseState::Map scattered;
+  std::size_t polled = 0;
   for (const auto& [idx, amp] : state.amplitudes()) {
+    // Cooperative poll: the support can reach the non-zero budget (2^16 by
+    // default), so a sweep over it polls the deadline like the dense kernel.
+    if (ctx != nullptr && (polled++ & 0x3FFF) == 0) ctx->check_deadline();
     bool fire = true;
     for (const auto& c : gate.controls()) {
       const int bit = static_cast<int>((idx >> (n - 1 - c.qubit)) & 1u);
@@ -125,22 +130,27 @@ SparseState apply_gate(const SparseState& state, const circ::Gate& gate, std::ui
   return out;
 }
 
-SparseState apply_circuit(const circ::Circuit& circuit, const SparseState& input) {
+SparseState apply_circuit(const circ::Circuit& circuit, const SparseState& input,
+                          const ExecutionContext* ctx) {
   require(input.num_qubits() == circuit.num_qubits(),
           "input width does not match circuit width");
   SparseState state = input;
-  for (const auto& g : circuit.gates()) state = apply_gate(state, g, circuit.num_qubits());
+  for (const auto& g : circuit.gates()) {
+    if (ctx != nullptr) ctx->check_deadline();
+    state = apply_gate(state, g, circuit.num_qubits(), ctx);
+  }
   state *= circuit.global_factor();
   state.prune();
   return state;
 }
 
 std::vector<SparseState> apply_operation(std::span<const circ::Circuit> kraus,
-                                         std::span<const SparseState> kets) {
+                                         std::span<const SparseState> kets,
+                                         const ExecutionContext* ctx) {
   std::vector<SparseState> images;
   images.reserve(kraus.size() * kets.size());
   for (const auto& circuit : kraus) {
-    for (const auto& ket : kets) images.push_back(apply_circuit(circuit, ket));
+    for (const auto& ket : kets) images.push_back(apply_circuit(circuit, ket, ctx));
   }
   return images;
 }

@@ -26,6 +26,7 @@
 
 #include "circuit/circuit.hpp"
 #include "common/complex.hpp"
+#include "common/execution_context.hpp"
 
 namespace qts::sim {
 
@@ -81,18 +82,23 @@ class SparseState {
 /// 2-qubit base matrices (including non-unitary projector bases), exactly
 /// like the dense apply_gate — but as a scatter over the support instead of
 /// a gather over all 2^n indices.
-SparseState apply_gate(const SparseState& state, const circ::Gate& gate, std::uint32_t n);
+/// When `ctx` is given the support sweep polls its deadline periodically,
+/// so a wide sparse iteration is cancellable mid-gate.
+SparseState apply_gate(const SparseState& state, const circ::Gate& gate, std::uint32_t n,
+                       const ExecutionContext* ctx = nullptr);
 
 /// Apply a whole circuit (including its global factor), pruning
 /// cancellation residue once at the end.
-SparseState apply_circuit(const circ::Circuit& circuit, const SparseState& input);
+SparseState apply_circuit(const circ::Circuit& circuit, const SparseState& input,
+                          const ExecutionContext* ctx = nullptr);
 
 /// Kraus-aware sparse operation application: the (unnormalised) images
 /// E|ψ⟩ of every input ket under every Kraus circuit, Kraus-major and
 /// ket-minor — the exact order of the TDD engines' sequential Kraus×basis
 /// loop and of the dense sim::apply_operation.
 std::vector<SparseState> apply_operation(std::span<const circ::Circuit> kraus,
-                                         std::span<const SparseState> kets);
+                                         std::span<const SparseState> kets,
+                                         const ExecutionContext* ctx = nullptr);
 
 /// Sparse Gram-Schmidt subspace — the amplitude-map mirror of
 /// qts::Subspace and sim::DenseSubspace: an orthonormal basis grown by the

@@ -9,7 +9,8 @@ la::Vector basis_state(std::uint32_t n, std::uint64_t basis_index) {
   return la::Vector::basis(std::size_t{1} << n, basis_index);
 }
 
-void apply_gate(la::Vector& state, const circ::Gate& gate, std::uint32_t n) {
+void apply_gate(la::Vector& state, const circ::Gate& gate, std::uint32_t n,
+                const ExecutionContext* ctx) {
   require(state.size() == (std::size_t{1} << n), "state size does not match qubit count");
   require(gate.max_qubit() < n, "gate qubit out of range");
 
@@ -20,6 +21,9 @@ void apply_gate(la::Vector& state, const circ::Gate& gate, std::uint32_t n) {
 
   la::Vector out(dim);
   for (std::size_t idx = 0; idx < dim; ++idx) {
+    // Cooperative poll: a 2^n sweep at the 30-qubit cap is ~1e9 rows, far
+    // too long to be unkillable.  One clock read every 16k rows is noise.
+    if (ctx != nullptr && (idx & 0x3FFF) == 0) ctx->check_deadline();
     // Check controls against the *input* index; uncontrolled rows copy over.
     bool fire = true;
     for (const auto& c : gate.controls()) {
@@ -55,21 +59,26 @@ void apply_gate(la::Vector& state, const circ::Gate& gate, std::uint32_t n) {
   state = std::move(out);
 }
 
-la::Vector apply_circuit(const circ::Circuit& circuit, const la::Vector& input) {
+la::Vector apply_circuit(const circ::Circuit& circuit, const la::Vector& input,
+                         const ExecutionContext* ctx) {
   require(input.size() == (std::size_t{1} << circuit.num_qubits()),
           "input size does not match circuit width");
   la::Vector state = input;
-  for (const auto& g : circuit.gates()) apply_gate(state, g, circuit.num_qubits());
+  for (const auto& g : circuit.gates()) {
+    if (ctx != nullptr) ctx->check_deadline();
+    apply_gate(state, g, circuit.num_qubits(), ctx);
+  }
   state *= circuit.global_factor();
   return state;
 }
 
 std::vector<la::Vector> apply_operation(std::span<const circ::Circuit> kraus,
-                                        std::span<const la::Vector> kets) {
+                                        std::span<const la::Vector> kets,
+                                        const ExecutionContext* ctx) {
   std::vector<la::Vector> images;
   images.reserve(kraus.size() * kets.size());
   for (const auto& circuit : kraus) {
-    for (const auto& ket : kets) images.push_back(apply_circuit(circuit, ket));
+    for (const auto& ket : kets) images.push_back(apply_circuit(circuit, ket, ctx));
   }
   return images;
 }

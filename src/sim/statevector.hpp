@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/execution_context.hpp"
 #include "linalg/vector.hpp"
 
 namespace qts::sim {
@@ -27,10 +28,14 @@ inline int qubit_bit(std::uint32_t n, std::uint64_t basis_index, std::uint32_t q
 
 /// Apply one gate in place.  Handles any number of positive/negative
 /// controls and 1- or 2-qubit base matrices (including non-unitary ones).
-void apply_gate(la::Vector& state, const circ::Gate& gate, std::uint32_t n);
+/// When `ctx` is given the 2^n-amplitude sweep polls its deadline every few
+/// thousand indices, so a dense iteration is cancellable mid-gate.
+void apply_gate(la::Vector& state, const circ::Gate& gate, std::uint32_t n,
+                const ExecutionContext* ctx = nullptr);
 
 /// Apply a whole circuit (including its global factor).
-la::Vector apply_circuit(const circ::Circuit& circuit, const la::Vector& input);
+la::Vector apply_circuit(const circ::Circuit& circuit, const la::Vector& input,
+                         const ExecutionContext* ctx = nullptr);
 
 /// Kraus-aware dense operation application: the (unnormalised) images E|ψ⟩
 /// of every input ket under every Kraus circuit of a quantum operation,
@@ -40,6 +45,7 @@ la::Vector apply_circuit(const circ::Circuit& circuit, const la::Vector& input);
 /// amplitudes) go through apply_gate's general path, so the dense images
 /// match the TDD images exactly, not just up to normalisation.
 std::vector<la::Vector> apply_operation(std::span<const circ::Circuit> kraus,
-                                        std::span<const la::Vector> kets);
+                                        std::span<const la::Vector> kets,
+                                        const ExecutionContext* ctx = nullptr);
 
 }  // namespace qts::sim

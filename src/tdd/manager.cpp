@@ -44,20 +44,35 @@ std::size_t Manager::ContKeyHash::operator()(const ContKey& k) const {
 }
 
 Node* Manager::allocate_node(ThreadSlot& sl, Level level, const Edge& low, const Edge& high) {
-  if (sl.free_list_.empty()) arena_.refill(sl.free_list_, kRefillBatch);
   Node* n;
-  if (!sl.free_list_.empty()) {
-    n = sl.free_list_.back();
-    sl.free_list_.pop_back();
-    *n = Node(level, low, high);  // assignment resets mark_ and freed_
-  } else {
-    if (sl.block_ == nullptr || sl.bump_ == NodeArena::kBlockNodes) {
-      sl.block_ = arena_.acquire_block();
-      sl.bump_ = 0;
+  try {
+    // Budget gate + fault probe run BEFORE any storage is touched, so a
+    // ResourceExhausted throw leaves the arena accounting untouched and the
+    // caller's diagram graph still consistent (the node was never
+    // published).  Injected `alloc@...` faults raise bad_alloc here and
+    // take the same translation path as a real slab failure below.
+    if (sl.ctx_ != nullptr) sl.ctx_->check_node_budget(arena_.live());
+    if (sl.free_list_.empty()) arena_.refill(sl.free_list_, kRefillBatch);
+    if (!sl.free_list_.empty()) {
+      n = sl.free_list_.back();
+      sl.free_list_.pop_back();
+      *n = Node(level, low, high);  // assignment resets mark_ and freed_
+    } else {
+      if (sl.block_ == nullptr || sl.bump_ == NodeArena::kBlockNodes) {
+        sl.block_ = arena_.acquire_block();
+        sl.bump_ = 0;
+      }
+      n = new (sl.block_->nodes() + sl.bump_) Node(level, low, high);
+      sl.block_->used = ++sl.bump_;
+      arena_.note_constructed();
     }
-    n = new (sl.block_->nodes() + sl.bump_) Node(level, low, high);
-    sl.block_->used = ++sl.bump_;
-    arena_.note_constructed();
+  } catch (const std::bad_alloc&) {
+    // The slab boundary: a real (or injected) allocation failure surfaces
+    // as a recoverable budget error instead of an unhandled bad_alloc, so
+    // fallback chains can degrade to a leaner representation.
+    throw ResourceExhausted(Resource::kMemory,
+                            "TDD node arena: slab allocation failed (out of memory) with " +
+                                std::to_string(arena_.live()) + " live nodes");
   }
   arena_.note_live(1);
   return n;

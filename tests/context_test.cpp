@@ -79,10 +79,79 @@ TEST(ExecutionContext, CancellationIsSharedWithWorkerViews) {
   EXPECT_THROW(parent.check_deadline(), DeadlineExceeded);
   EXPECT_THROW(view.check_deadline(), DeadlineExceeded);
 
-  parent.clear_cancel();  // ...and the parent re-arms the whole group
+  // ...and the parent re-arms the whole group — after joining its workers
+  // (re-arming with workers still running would race their cancel checks;
+  // debug builds enforce the ordering, see ClearCancelGuard below).
+  parent.join_worker(view);
+  parent.clear_cancel();
   EXPECT_FALSE(view.cancel_requested());
   EXPECT_NO_THROW(parent.check_deadline());
   EXPECT_NO_THROW(view.check_deadline());
+}
+
+TEST(ExecutionContext, TracksActiveWorkerViews) {
+  ExecutionContext parent;
+  EXPECT_EQ(parent.active_worker_views(), 0u);
+  ExecutionContext a = parent.worker_view();
+  ExecutionContext b = parent.worker_view();
+  EXPECT_EQ(parent.active_worker_views(), 2u);
+  EXPECT_EQ(a.active_worker_views(), 2u);  // the counter is group-wide
+  parent.join_worker(a);
+  EXPECT_EQ(parent.active_worker_views(), 1u);
+  parent.join_worker(b);
+  EXPECT_EQ(parent.active_worker_views(), 0u);
+}
+
+#ifndef NDEBUG
+TEST(ExecutionContext, ClearCancelGuardRejectsUnjoinedWorkers) {
+  // Re-arming the shared stop flag while a worker view is still live is a
+  // lost-cancellation race; debug builds turn it into a loud InternalError.
+  ExecutionContext parent;
+  ExecutionContext view = parent.worker_view();
+  view.request_cancel();
+  EXPECT_THROW(parent.clear_cancel(), InternalError);
+  parent.join_worker(view);
+  EXPECT_NO_THROW(parent.clear_cancel());
+}
+#endif
+
+TEST(ExecutionContext, CancelJoinRearmReuseCycle) {
+  // The full pool round-trip a fallback retry depends on: a worker trips the
+  // flag, the parent joins it, re-arms, and the SAME context group runs the
+  // next round undisturbed.
+  ExecutionContext parent;
+  for (int round = 0; round < 3; ++round) {
+    ExecutionContext worker = parent.worker_view();
+    worker.request_cancel();
+    EXPECT_THROW(worker.check_deadline(), DeadlineExceeded);
+    parent.join_worker(worker);
+    parent.clear_cancel();
+    EXPECT_FALSE(parent.cancel_requested());
+    EXPECT_NO_THROW(parent.check_deadline());
+    // A fresh view after the re-arm starts unpoisoned.
+    ExecutionContext next = parent.worker_view();
+    EXPECT_NO_THROW(next.check_deadline());
+    parent.join_worker(next);
+  }
+}
+
+TEST(ExecutionContext, NodeBudgetIsEnforcedAndInertAtZero) {
+  ExecutionContext ctx;
+  EXPECT_EQ(ctx.max_nodes(), 0u);
+  EXPECT_NO_THROW(ctx.check_node_budget(1'000'000));  // 0 = unlimited
+  ctx.set_max_nodes(100);
+  EXPECT_NO_THROW(ctx.check_node_budget(99));
+  EXPECT_THROW(ctx.check_node_budget(100), ResourceExhausted);
+  try {
+    ctx.check_node_budget(250);
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource, Resource::kNodes);
+    EXPECT_NE(std::string(e.what()).find("--max-nodes"), std::string::npos);
+  }
+  // Worker views inherit the budget.
+  ExecutionContext view = ctx.worker_view();
+  EXPECT_THROW(view.check_node_budget(100), ResourceExhausted);
+  ctx.join_worker(view);
 }
 
 TEST(ExecutionContext, JoinWorkerSumsCountersAndMaxesPeak) {

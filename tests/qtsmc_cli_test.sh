@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end contract test for the qtsmc CLI exit codes:
 #   0 success / invariant holds      1 property violated
-#   2 usage or parse error           3 timeout        4 internal error
+#   2 usage or parse error           3 timeout        4 internal error / OOM
+#   5 resource budget exhausted (codec caps, --max-nodes, exhausted chains)
 # Usage: qtsmc_cli_test.sh <path-to-qtsmc> <examples-dir>
 set -u
 
@@ -44,13 +45,14 @@ check 0 "$QTSMC" image --engine sparse --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" --engines
 
 # The sparse engine works past the dense qubit cap (ghz16.qasm is 16 qubits:
-# the statevector engine refuses with a usage error, the sparse engine pays
-# only for the two-entry support).  The full 16-qubit reach fixpoint would
-# saturate a 2^16-dim space, so the wide checks are one-shot / step-capped.
+# the statevector engine refuses with the resource-exhausted code, the sparse
+# engine pays only for the two-entry support).  The full 16-qubit reach
+# fixpoint would saturate a 2^16-dim space, so the wide checks are one-shot /
+# step-capped.
 check 0 "$QTSMC" image --engine sparse "$EXAMPLES/ghz16.qasm"
 check 0 "$QTSMC" reach --engine sparse --steps 3 "$EXAMPLES/ghz16.qasm"
 check 1 "$QTSMC" invar --engine sparse "$EXAMPLES/ghz16.qasm"
-check 2 "$QTSMC" image --engine statevector "$EXAMPLES/ghz16.qasm"
+check 5 "$QTSMC" image --engine statevector "$EXAMPLES/ghz16.qasm"
 
 # The registry must list the sparse method.
 if "$QTSMC" --engines | grep -q '^sparse$'; then
@@ -97,12 +99,45 @@ check 2 "$QTSMC" reach --noise bogus:0.1:0 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --noise bitflip:0.1:99 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine statevector:x "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine statevector:0 "$EXAMPLES/ghz.qasm"
-check 2 "$QTSMC" reach --engine statevector:2 "$EXAMPLES/ghz.qasm"  # 3 qubits > cap 2
 check 2 "$QTSMC" reach --engine sparse:x "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine sparse:0 "$EXAMPLES/ghz.qasm"
 check 2 "$QTSMC" reach --engine sparse:2x "$EXAMPLES/ghz.qasm"      # trailing garbage
-check 2 "$QTSMC" reach --engine sparse:1 "$EXAMPLES/ghz.qasm"      # budget < image support
 check 2 "$QTSMC" reach --cross-check bogus "$EXAMPLES/ghz.qasm"
+# Malformed fallback chains and fault plans are usage errors too.
+check 2 "$QTSMC" reach --engine fallback:basic "$EXAMPLES/ghz.qasm"          # one element
+check 2 "$QTSMC" reach --engine "fallback:basic;" "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --engine parallel:2,fallback:sparse "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --inject bogus@iter1 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --inject nodes@iter0 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --inject nodes "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --max-nodes 10x "$EXAMPLES/ghz.qasm"
+
+# 5 — recoverable resource exhaustion: codec caps and budgets without a
+# fallback chain behind them.
+check 5 "$QTSMC" reach --engine statevector:2 "$EXAMPLES/ghz.qasm"  # 3 qubits > cap 2
+check 5 "$QTSMC" reach --engine sparse:1 "$EXAMPLES/ghz.qasm"      # budget < image support
+check 5 "$QTSMC" reach --max-nodes 8 "$EXAMPLES/ghz.qasm"          # live-node ceiling
+check 5 "$QTSMC" reach --inject nodes@iter1 "$EXAMPLES/ghz.qasm"   # injected budget trip
+check 5 "$QTSMC" reach --inject alloc@count:1 "$EXAMPLES/ghz.qasm" # injected OOM, translated
+check 5 "$QTSMC" reach --engine "fallback:statevector:2;sparse:1" --noise bitflip:0.1:0 "$EXAMPLES/ghz.qasm"  # chain exhausted
+
+# 0 — graceful degradation: the same budget trips recover behind a chain,
+# injected faults included, with the switches surfaced in --stats/--verbose.
+check 0 "$QTSMC" reach --engine "fallback:statevector:2;basic" --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine "fallback:sparse:1;basic" --verbose "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine "fallback:statevector;sparse;basic" "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine "fallback:parallel:2,statevector:2;parallel:2,basic" "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine "fallback:contraction:2,2;basic" --inject nodes@iter2 --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" invar --engine "fallback:sparse:1;basic" "$EXAMPLES/phase_oracle.qasm"
+check 3 "$QTSMC" reach --engine "fallback:sparse:1;basic" --inject deadline@iter1 "$EXAMPLES/ghz.qasm"  # deadline never degrades
+
+# The degradation trail must be visible to the user.
+if "$QTSMC" reach --engine "fallback:statevector:2;basic" --stats --verbose "$EXAMPLES/ghz.qasm" | grep -q '^degrade: statevector:2 -> basic'; then
+  echo "ok: --verbose narrates the degradation"
+else
+  echo "FAIL: --verbose did not narrate the degradation" >&2
+  failures=$((failures + 1))
+fi
 
 # 2 — strict count/number parsing: trailing garbage and wrapped negatives
 # are usage errors, not silently-truncated values.

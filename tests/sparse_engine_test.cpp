@@ -109,8 +109,10 @@ TEST(SparseCodec, RoundTripsAtTheExactNonzeroCap) {
   EXPECT_EQ(at_cap.nonzeros(), 8u);
   EXPECT_EQ(encode_ket_sparse(mgr, at_cap, 8).node, ket.node);  // cap inclusive both ways
 
-  EXPECT_THROW((void)decode_ket_sparse(ket, n, 7), InvalidArgument);
-  EXPECT_THROW((void)encode_ket_sparse(mgr, at_cap, 7), InvalidArgument);
+  // A budget trip is a recoverable resource failure (fallback chains degrade
+  // on it); a degenerate budget of 0 is a caller config error.
+  EXPECT_THROW((void)decode_ket_sparse(ket, n, 7), ResourceExhausted);
+  EXPECT_THROW((void)encode_ket_sparse(mgr, at_cap, 7), ResourceExhausted);
   EXPECT_THROW((void)decode_ket_sparse(ket, n, 0), InvalidArgument);  // degenerate budget
 }
 
@@ -148,7 +150,7 @@ TEST(SparseCodec, WorksAboveTheDenseQubitCap) {
   const tdd::Edge ghz = mgr.scale(
       mgr.add(ket_basis(mgr, n, 0), ket_basis(mgr, n, (std::uint64_t{1} << n) - 1)),
       cplx{kInvSqrt2, 0.0});
-  EXPECT_THROW((void)decode_ket(ghz, n), InvalidArgument);
+  EXPECT_THROW((void)decode_ket(ghz, n), ResourceExhausted);
 
   const sim::SparseState sparse = decode_ket_sparse(ghz, n, 2);
   EXPECT_EQ(sparse.nonzeros(), 2u);
@@ -277,12 +279,13 @@ TEST(SparseEngine, EnforcesItsNonzeroBudgetWithAClearError) {
   // Budget 1: the initial |0…0⟩ decodes fine, but the Hadamard's two-entry
   // image trips the budget with an actionable message.
   const auto engine = make_engine(mgr, "sparse:1");
-  EXPECT_THROW((void)engine->image(sys, sys.initial), InvalidArgument);
-  EXPECT_THROW((void)reachable_space(*engine, sys, 8), InvalidArgument);
+  EXPECT_THROW((void)engine->image(sys, sys.initial), ResourceExhausted);
+  EXPECT_THROW((void)reachable_space(*engine, sys, 8), ResourceExhausted);
   try {
     (void)engine->image(sys, sys.initial);
     FAIL() << "budget violation did not throw";
-  } catch (const InvalidArgument& e) {
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.resource, Resource::kNonzeros);
     EXPECT_NE(std::string(e.what()).find("budget"), std::string::npos);
   }
 }
@@ -312,7 +315,7 @@ TEST(SparseEngine, CompletesAboveTheDenseQubitCap) {
   sys.operations.push_back(QuantumOperation{"flip", {std::move(flip)}});
 
   const auto dense = make_engine(mgr, "statevector");
-  EXPECT_THROW((void)dense->image(sys, sys.initial), InvalidArgument);
+  EXPECT_THROW((void)dense->image(sys, sys.initial), ResourceExhausted);
 
   const auto sparse = make_engine(mgr, "sparse");
   const auto got = reachable_space(*sparse, sys, 8);

@@ -100,8 +100,10 @@ TEST(KetCodec, AgreesWithTheSimulatorConvention) {
 TEST(KetCodec, EnforcesTheQubitCap) {
   tdd::Manager mgr;
   const tdd::Edge ket = ket_basis(mgr, 4, 0);
-  EXPECT_THROW((void)decode_ket(ket, 4, 3), InvalidArgument);
-  EXPECT_THROW((void)encode_ket(mgr, la::Vector(16), 4, 3), InvalidArgument);
+  // Register-over-cap is a recoverable resource failure; a cap above the
+  // codec's hard 30-qubit wall is a caller config error.
+  EXPECT_THROW((void)decode_ket(ket, 4, 3), ResourceExhausted);
+  EXPECT_THROW((void)encode_ket(mgr, la::Vector(16), 4, 3), ResourceExhausted);
   EXPECT_THROW((void)decode_ket(ket, 4, 31), InvalidArgument);  // cap itself capped
   EXPECT_THROW((void)encode_ket(mgr, la::Vector(8), 4), InvalidArgument);  // 2^n mismatch
   EXPECT_NO_THROW((void)decode_ket(ket, 4, 4));
@@ -176,8 +178,8 @@ TEST(StatevectorEngine, EnforcesItsQubitCapWithAClearError) {
   tdd::Manager mgr;
   const TransitionSystem sys = make_ghz_system(mgr, 5);
   const auto engine = make_engine(mgr, "statevector:4");
-  EXPECT_THROW((void)engine->image(sys, sys.initial), InvalidArgument);
-  EXPECT_THROW((void)reachable_space(*engine, sys, 8), InvalidArgument);
+  EXPECT_THROW((void)engine->image(sys, sys.initial), ResourceExhausted);
+  EXPECT_THROW((void)reachable_space(*engine, sys, 8), ResourceExhausted);
 }
 
 TEST(StatevectorEngine, CountsKrausApplicationsLikeTheOtherEngines) {

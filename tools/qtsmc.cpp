@@ -19,6 +19,11 @@
 ///                                          stores only non-zero amplitudes,
 ///                                          budgeted at maxnz per ket,
 ///                                          default 65536)
+///                                          fallback:specA;specB[;...] runs
+///                                          specA and degrades to the next
+///                                          spec on resource exhaustion,
+///                                          resuming from the last completed
+///                                          iteration
 ///   --method basic|addition|contraction    shorthand for --engine METHOD
 ///   --cross-check SPEC                     run a second engine as a differential
 ///                                          oracle: frontier dims, survivor
@@ -35,6 +40,17 @@
 ///                                          bitflip:0.1:0 or depol:0.05:2
 ///   --steps N                              fixpoint iteration cap (default 64)
 ///   --timeout S                            wall-clock budget in seconds
+///   --max-nodes N                          hard live-TDD-node budget: the run
+///                                          fails with the resource-exhausted
+///                                          exit code (5) — or degrades, under
+///                                          a fallback engine — once the
+///                                          manager holds N live nodes
+///   --inject SPEC                          deterministic fault injection for
+///                                          testing recovery paths:
+///                                          KIND@iter<K> or KIND@count:<N>
+///                                          with KIND one of nodes | alloc |
+///                                          qubits | nonzeros | deadline
+///                                          (repeatable, comma-separable)
 ///   --gc-nodes N                           manual GC ceiling: run a mark-sweep
 ///                                          GC whenever the manager holds more
 ///                                          than N live nodes.  Default (0):
@@ -44,8 +60,9 @@
 ///                                          64k-node floor)
 ///   --stats                                print run statistics (time, peak
 ///                                          #node, cache hit rates, GC runs,
-///                                          frontier iteration totals, storage
-///                                          shape of the shared manager)
+///                                          frontier iteration totals, engine
+///                                          degradations, storage shape of the
+///                                          shared manager)
 ///   --verbose                              print one line per fixpoint
 ///                                          iteration: frontier dim, image
 ///                                          candidates, survivors, shards
@@ -57,19 +74,25 @@
 ///   2  CLI or input errors: bad flags, unknown engine, unreadable file,
 ///      QASM parse failure, malformed --initial/--noise
 ///   3  wall-clock budget exceeded (--timeout)
-///   4  internal error (library bug)
+///   4  internal error (library bug, or the process ran out of memory)
+///   5  resource budget exhausted: a dense/sparse codec cap, the --max-nodes
+///      budget, or an exhausted fallback chain (recoverable by raising the
+///      budget or extending the chain)
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <sstream>
 
 #include "circuit/noise.hpp"
 #include "circuit/qasm.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/strings.hpp"
 #include "qts/backward.hpp"
 #include "qts/engine.hpp"
+#include "qts/fallback_engine.hpp"
 #include "qts/reachability.hpp"
 
 namespace {
@@ -106,6 +129,7 @@ constexpr int kExitViolated = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitTimeout = 3;
 constexpr int kExitInternal = 4;
+constexpr int kExitResource = 5;
 
 struct Options {
   std::string command;
@@ -117,6 +141,8 @@ struct Options {
   std::vector<std::string> noise;
   std::size_t steps = 64;
   double timeout_s = 0.0;
+  std::size_t max_nodes = 0;
+  std::vector<std::string> inject;
   std::size_t gc_nodes = 0;
   bool stats = false;
   bool verbose = false;
@@ -130,7 +156,9 @@ struct Options {
                                          parallel:t[,spec] (t threads, 0 = hardware) |
                                          statevector[:maxq] (dense, maxq-qubit cap) |
                                          sparse[:maxnz] (amplitude map, maxnz
-                                         non-zeros per ket)
+                                         non-zeros per ket) |
+                                         fallback:specA;specB[;...] (degrade to
+                                         the next spec on resource exhaustion)
   --method basic|addition|contraction    shorthand for --engine METHOD
   --cross-check SPEC                     differential oracle engine; divergence
                                          from the primary engine exits 4
@@ -143,11 +171,16 @@ struct Options {
   --noise CHANNEL:P:QUBIT                bitflip|phaseflip|depol|damp channel
   --steps N                              fixpoint iteration cap (default 64)
   --timeout S                            wall-clock budget in seconds
+  --max-nodes N                          hard live-TDD-node budget (0 = unlimited)
+  --inject SPEC                          deterministic fault injection:
+                                         nodes|alloc|qubits|nonzeros|deadline
+                                         @iter<K> or @count:<N> (repeatable)
   --gc-nodes N                           GC above N live manager nodes (0 = adaptive policy)
   --stats                                print run statistics
   --verbose                              print per-iteration fixpoint statistics
 exit codes: 0 success/holds, 1 property violated, 2 usage or parse error,
-            3 timeout, 4 internal error
+            3 timeout, 4 internal error or out of memory,
+            5 resource budget exhausted
 )";
   std::exit(kExitUsage);
 }
@@ -205,6 +238,10 @@ Options parse_args(int argc, char** argv) {
       opt.steps = static_cast<std::size_t>(parse_count(a, next()));
     } else if (a == "--timeout") {
       opt.timeout_s = parse_number(a, next());
+    } else if (a == "--max-nodes") {
+      opt.max_nodes = static_cast<std::size_t>(parse_count(a, next()));
+    } else if (a == "--inject") {
+      opt.inject.push_back(next());
     } else if (a == "--gc-nodes") {
       opt.gc_nodes = static_cast<std::size_t>(parse_count(a, next()));
     } else if (a == "--stats") {
@@ -296,6 +333,16 @@ int main(int argc, char** argv) {
     ExecutionContext ctx;
     if (opt.timeout_s > 0) ctx.set_deadline(Deadline::after(opt.timeout_s));
     if (opt.gc_nodes > 0) ctx.set_gc_threshold_nodes(opt.gc_nodes);
+    if (opt.max_nodes > 0) ctx.set_max_nodes(opt.max_nodes);
+    if (!opt.inject.empty()) {
+      // Repeated --inject flags fold into one comma-joined plan.
+      std::string plan_text;
+      for (const auto& spec : opt.inject) {
+        if (!plan_text.empty()) plan_text += ",";
+        plan_text += spec;
+      }
+      ctx.set_fault_plan(FaultPlan::parse(plan_text));
+    }
     tdd::Manager mgr;
     mgr.bind_context(&ctx);
 
@@ -319,6 +366,17 @@ int main(int argc, char** argv) {
               << "engine:  " << opt.engine.to_string() << "\n"
               << "initial: dimension " << sys.initial.dim() << "\n";
     if (oracle) std::cout << "oracle:  " << opt.oracle.to_string() << " (cross-check)\n";
+
+    // Narrate fallback-chain degradations as they happen (--verbose): which
+    // backend fell, which took over, and the budget that forced the switch.
+    if (opt.verbose) {
+      if (auto* fb = dynamic_cast<FallbackImage*>(computer.get())) {
+        fb->set_switch_observer([](const DegradationEvent& ev) {
+          std::cout << "degrade: " << ev.from << " -> " << ev.to << " at iteration "
+                    << ev.iteration << " (" << to_string(ev.cause) << " exhausted)\n";
+        });
+      }
+    }
 
     // Per-iteration narration of the fixpoint loops (--verbose): one line per
     // frontier iteration, emitted by the FixpointDriver's observer hook.
@@ -383,6 +441,15 @@ int main(int argc, char** argv) {
                   << " shard(s), " << s.frontier_survivors << " survivor(s), max frontier dim "
                   << s.max_frontier_dim << "\n";
       }
+      if (s.degradations > 0) {
+        std::cout << "degrade: " << s.degradations << " engine switch(es):";
+        for (std::size_t r = 0; r < s.degradation_causes.size(); ++r) {
+          if (s.degradation_causes[r] == 0) continue;
+          std::cout << " " << to_string(static_cast<Resource>(r)) << "="
+                    << s.degradation_causes[r];
+        }
+        std::cout << "\n";
+      }
       std::cout
                 << "caches:  add " << format_fixed(hit_rate_pct(s.add_hits, s.add_misses), 1)
                 << "% hit, cont " << format_fixed(hit_rate_pct(s.cont_hits, s.cont_misses), 1)
@@ -399,6 +466,9 @@ int main(int argc, char** argv) {
   } catch (const qts::DeadlineExceeded&) {
     std::cerr << "error: timeout exceeded\n";
     return kExitTimeout;
+  } catch (const qts::ResourceExhausted& e) {
+    std::cerr << "resource exhausted: " << e.what() << "\n";
+    return kExitResource;
   } catch (const qts::InternalError& e) {
     std::cerr << "internal error: " << e.what() << "\n";
     return kExitInternal;
@@ -411,6 +481,12 @@ int main(int argc, char** argv) {
   } catch (const std::out_of_range&) {
     std::cerr << "error: numeric option value out of range\n";
     return kExitUsage;
+  } catch (const std::bad_alloc&) {
+    // Allocation failures that escaped the arena's ResourceExhausted
+    // translation (e.g. inside std:: containers): fail crisply instead of
+    // an unhandled-exception abort.
+    std::cerr << "error: out of memory\n";
+    return kExitInternal;
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << "\n";
     return kExitInternal;
