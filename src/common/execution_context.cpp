@@ -42,6 +42,9 @@ void ExecutionContext::join_worker(const ExecutionContext& worker) {
   stats_.add_misses += w.add_misses;
   stats_.cont_hits += w.cont_hits;
   stats_.cont_misses += w.cont_misses;
+  stats_.cache_hits += w.cache_hits;
+  stats_.cache_misses += w.cache_misses;
+  stats_.cache_stores += w.cache_stores;
   stats_.degradations += w.degradations;
   for (std::size_t i = 0; i < w.degradation_causes.size(); ++i) {
     stats_.degradation_causes[i] += w.degradation_causes[i];
@@ -54,6 +57,13 @@ void ExecutionContext::join_worker(const ExecutionContext& worker) {
   if (w.table_shards > stats_.table_shards) stats_.table_shards = w.table_shards;
   if (w.arena_blocks > stats_.arena_blocks) stats_.arena_blocks = w.arena_blocks;
   if (w.arena_capacity > stats_.arena_capacity) stats_.arena_capacity = w.arena_capacity;
+  if (w.op_slots > stats_.op_slots) stats_.op_slots = w.op_slots;
+  if (w.slot_add_hits > stats_.slot_add_hits) stats_.slot_add_hits = w.slot_add_hits;
+  if (w.slot_add_misses > stats_.slot_add_misses) stats_.slot_add_misses = w.slot_add_misses;
+  if (w.slot_cont_hits > stats_.slot_cont_hits) stats_.slot_cont_hits = w.slot_cont_hits;
+  if (w.slot_cont_misses > stats_.slot_cont_misses) {
+    stats_.slot_cont_misses = w.slot_cont_misses;
+  }
 }
 
 }  // namespace qts

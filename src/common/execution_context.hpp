@@ -36,6 +36,13 @@ struct RunStats {
   std::size_t frontier_survivors = 0;   ///< image vectors that extended the accumulator
   std::size_t max_frontier_dim = 0;     ///< widest frontier seen in any iteration
 
+  // Result-cache counters (filled by the cached model-checking entry points
+  // in reachability/backward when a ResultCache is attached; summed on join
+  // like the other counters).
+  std::size_t cache_hits = 0;    ///< jobs served from the result cache
+  std::size_t cache_misses = 0;  ///< jobs that had to run the fixpoint
+  std::size_t cache_stores = 0;  ///< finished jobs recorded into the cache
+
   // Graceful-degradation counters (filled by the fallback engine chain).
   std::size_t degradations = 0;  ///< backend switches after ResourceExhausted
   /// Switches by cause, indexed by static_cast<std::size_t>(Resource).
@@ -57,6 +64,18 @@ struct RunStats {
   std::size_t table_shards = 0;       ///< lock stripes in the unique table
   std::size_t arena_blocks = 0;       ///< node slabs allocated
   std::size_t arena_capacity = 0;     ///< node slots across all slabs
+
+  // Per-slot operation-cache tallies, aggregated over every ThreadSlot of
+  // the shared manager (sampled via Manager::sample_storage alongside the
+  // table/arena gauges above, and max-merged on join the same way).  Unlike
+  // the context-summed add/cont counters above these count EVERY slot,
+  // including worker slots whose context was never joined and slots created
+  // without a context at all.
+  std::size_t op_slots = 0;         ///< ThreadSlots ever created (incl. main)
+  std::size_t slot_add_hits = 0;    ///< add-cache hits summed over all slots
+  std::size_t slot_add_misses = 0;  ///< add-cache misses summed over all slots
+  std::size_t slot_cont_hits = 0;   ///< cont-cache hits summed over all slots
+  std::size_t slot_cont_misses = 0; ///< cont-cache misses summed over all slots
 };
 
 /// hits / (hits + misses) as a percentage; 0 when no lookups happened.

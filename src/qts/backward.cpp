@@ -29,11 +29,12 @@ Subspace back_image(ImageComputer& computer, const QuantumOperation& op, const S
 
 BackwardResult backward_reachable(ImageComputer& computer, const TransitionSystem& sys,
                                   const Subspace& target, std::size_t max_iterations,
-                                  IterationObserver observer, ImageComputer* oracle) {
+                                  IterationObserver observer, ImageComputer* oracle,
+                                  ResultCache* cache) {
   TransitionSystem back = adjoint_system(sys);
   back.initial = target;
   const ReachabilityResult r =
-      reachable_space(computer, back, max_iterations, std::move(observer), oracle);
+      reachable_space(computer, back, max_iterations, std::move(observer), oracle, cache);
   computer.clear_prepared();
   if (oracle != nullptr) oracle->clear_prepared();
   return {r.space, r.iterations, r.converged};

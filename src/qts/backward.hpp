@@ -7,6 +7,7 @@
 #pragma once
 
 #include "qts/fixpoint.hpp"
+#include "qts/result_cache.hpp"
 
 namespace qts {
 
@@ -30,9 +31,13 @@ struct BackwardResult {
 /// `oracle`, when non-null, cross-checks the backward fixpoint iteration by
 /// iteration (FixpointDriver::set_oracle); its prepared-operator cache is
 /// cleared alongside the primary's (the adjoint circuits die on return).
+/// `cache`, when non-null, serves/stores the job through the content-
+/// addressed result cache (the key covers the adjointed system, so backward
+/// jobs never collide with forward ones).
 BackwardResult backward_reachable(ImageComputer& computer, const TransitionSystem& sys,
                                   const Subspace& target, std::size_t max_iterations = 100,
                                   IterationObserver observer = nullptr,
-                                  ImageComputer* oracle = nullptr);
+                                  ImageComputer* oracle = nullptr,
+                                  ResultCache* cache = nullptr);
 
 }  // namespace qts

@@ -4,24 +4,56 @@ namespace qts {
 
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
                                    std::size_t max_iterations, IterationObserver observer,
-                                   ImageComputer* oracle) {
+                                   ImageComputer* oracle, ResultCache* cache) {
+  JobKey key;
+  if (cache != nullptr) {
+    key = job_key(sys, "reach", computer.manager().zero(), max_iterations);
+    if (auto hit = cache->lookup(key, computer.manager(), sys.num_qubits, "reach")) {
+      computer.context().stats().cache_hits += 1;
+      return {std::move(hit->space), hit->iterations, hit->converged};
+    }
+    computer.context().stats().cache_misses += 1;
+  }
   FixpointDriver driver(computer, sys);
   driver.set_max_iterations(max_iterations).set_observer(std::move(observer));
   if (oracle != nullptr) driver.set_oracle(*oracle);
   FixpointDriver::Result r = driver.run();
+  if (cache != nullptr) {
+    // Store only a finished run: any exception above (deadline, budget trip
+    // without a chain, injected fault) unwinds past this point, so a
+    // partial result can never poison the store.
+    cache->store(key, "reach", r.space, r.iterations, r.converged, true);
+    computer.context().stats().cache_stores += 1;
+  }
   return {std::move(r.space), r.iterations, r.converged};
 }
 
 InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem& sys,
                                 const Subspace& invariant, std::size_t max_iterations,
-                                IterationObserver observer, ImageComputer* oracle) {
+                                IterationObserver observer, ImageComputer* oracle,
+                                ResultCache* cache) {
   sys.validate();
+  JobKey key;
+  if (cache != nullptr) {
+    key = job_key(sys, "invar", invariant.projector(), max_iterations);
+    if (auto hit = cache->lookup(key, computer.manager(), sys.num_qubits, "invar")) {
+      computer.context().stats().cache_hits += 1;
+      return {hit->holds, hit->iterations, hit->converged};
+    }
+    computer.context().stats().cache_misses += 1;
+  }
   // The initial subspace is vetted up front; every later reachable direction
   // is vetted as the frontier survivor that introduced it (a non-surviving
   // image vector lies in the span of already-vetted vectors, and the
   // invariant subspace is closed under linear combination).
   for (const auto& v : sys.initial.basis()) {
-    if (!invariant.contains(v)) return {false, 0, true};
+    if (!invariant.contains(v)) {
+      if (cache != nullptr) {
+        cache->store(key, "invar", sys.initial, 0, true, false);
+        computer.context().stats().cache_stores += 1;
+      }
+      return {false, 0, true};
+    }
   }
   FixpointDriver driver(computer, sys);
   driver.set_max_iterations(max_iterations)
@@ -31,6 +63,10 @@ InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem&
       .keep_alive(invariant);
   if (oracle != nullptr) driver.set_oracle(*oracle);
   const FixpointDriver::Result r = driver.run();
+  if (cache != nullptr) {
+    cache->store(key, "invar", r.space, r.iterations, r.converged, !r.predicate_violated);
+    computer.context().stats().cache_stores += 1;
+  }
   return {!r.predicate_violated, r.iterations, r.converged};
 }
 

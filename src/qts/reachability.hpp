@@ -7,11 +7,21 @@
 /// which owns the frontier iteration — accumulator/frontier bookkeeping,
 /// deadline ticks, GC, per-iteration stats, and the sharded execution path
 /// of frontier-sharding engines (`parallel:<t>`).
+///
+/// Both loops accept an optional ResultCache (result_cache.hpp): on a
+/// content-hash hit the fixpoint is skipped entirely and the cached
+/// projector/verdict is rehydrated through the engine's manager; on a miss
+/// the finished result is stored for the next identical job.  Cache traffic
+/// is counted in RunStats::cache_{hits,misses,stores}.  The key excludes the
+/// engine spec (engines affect speed, never results — the determinism
+/// contract behind --cross-check), so a result computed by any engine,
+/// including a degraded fallback chain, serves every other.
 #pragma once
 
 #include <cstddef>
 
 #include "qts/fixpoint.hpp"
+#include "qts/result_cache.hpp"
 
 namespace qts {
 
@@ -36,7 +46,8 @@ struct ReachabilityResult {
 ReachabilityResult reachable_space(ImageComputer& computer, const TransitionSystem& sys,
                                    std::size_t max_iterations = 100,
                                    IterationObserver observer = nullptr,
-                                   ImageComputer* oracle = nullptr);
+                                   ImageComputer* oracle = nullptr,
+                                   ResultCache* cache = nullptr);
 
 struct InvariantResult {
   bool holds;              ///< no reachable state leaves `invariant`
@@ -52,6 +63,7 @@ struct InvariantResult {
 InvariantResult check_invariant(ImageComputer& computer, const TransitionSystem& sys,
                                 const Subspace& invariant, std::size_t max_iterations = 100,
                                 IterationObserver observer = nullptr,
-                                ImageComputer* oracle = nullptr);
+                                ImageComputer* oracle = nullptr,
+                                ResultCache* cache = nullptr);
 
 }  // namespace qts

@@ -1,0 +1,219 @@
+#include "qts/result_cache.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "tdd/io.hpp"
+
+namespace qts {
+
+namespace {
+
+/// One doubles formatter for every weight and matrix entry in the canonical
+/// text and the record files: 17 significant digits round-trip any double
+/// exactly, matching tdd::io's convention.
+void put_double(std::ostream& os, double v) { os << std::setprecision(17) << v; }
+
+void put_cplx(std::ostream& os, const cplx& w) {
+  put_double(os, w.real());
+  os << " ";
+  put_double(os, w.imag());
+}
+
+void put_circuit(std::ostream& os, const circ::Circuit& c) {
+  os << "circuit " << c.num_qubits() << " factor ";
+  put_cplx(os, c.global_factor());
+  os << " gates " << c.size() << "\n";
+  for (const circ::Gate& g : c.gates()) {
+    os << "gate " << g.name() << " targets " << g.targets().size();
+    for (std::uint32_t q : g.targets()) os << " " << q;
+    os << " controls " << g.controls().size();
+    for (const circ::Control& ctl : g.controls()) {
+      os << " " << ctl.qubit << (ctl.positive ? "+" : "-");
+    }
+    const la::Matrix& m = g.base();
+    os << " matrix " << m.rows() << " " << m.cols();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t col = 0; col < m.cols(); ++col) {
+        os << " ";
+        put_cplx(os, m(r, col));
+      }
+    }
+    os << "\n";
+  }
+}
+
+// FNV-1a 128-bit: offset basis and prime from the FNV reference parameters.
+using u128 = unsigned __int128;
+constexpr u128 kFnvOffset =
+    (u128{0x6c62272e07bb0142ULL} << 64) | u128{0x62b821756295c58dULL};
+constexpr u128 kFnvPrime = (u128{0x0000000001000000ULL} << 64) | u128{0x000000000000013bULL};
+
+JobKey fnv1a_128(std::string_view text) {
+  u128 h = kFnvOffset;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return JobKey{static_cast<std::uint64_t>(h >> 64), static_cast<std::uint64_t>(h)};
+}
+
+constexpr std::string_view kRecordHeader = "qtsres v1";
+constexpr std::string_view kRecordSuffix = ".qtsres";
+
+}  // namespace
+
+std::string JobKey::hex() const {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << hi << std::setw(16) << lo;
+  return os.str();
+}
+
+std::string canonical_job_text(const TransitionSystem& sys, std::string_view property,
+                               const tdd::Edge& property_projector,
+                               std::size_t max_iterations) {
+  std::ostringstream os;
+  os << "qtsjob v1\n";
+  os << "property " << property << "\n";
+  os << "qubits " << sys.num_qubits << "\n";
+  os << "steps " << max_iterations << "\n";
+  // The projector TDD is the canonical representation of a subspace (P is
+  // unique as an operator and the TDD of P is canonical), so equal initial
+  // subspaces serialise identically however their bases were chosen.
+  os << "initial\n";
+  tdd::save(sys.initial.projector(), os);
+  os << "operations " << sys.operations.size() << "\n";
+  for (const QuantumOperation& op : sys.operations) {
+    os << "operation " << op.symbol << " kraus " << op.kraus.size() << "\n";
+    for (const circ::Circuit& k : op.kraus) put_circuit(os, k);
+  }
+  os << "propertyprojector\n";
+  tdd::save(property_projector, os);
+  return os.str();
+}
+
+JobKey job_key(const TransitionSystem& sys, std::string_view property,
+               const tdd::Edge& property_projector, std::size_t max_iterations) {
+  return fnv1a_128(canonical_job_text(sys, property, property_projector, max_iterations));
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw InvalidArgument("result cache: cannot create directory '" + dir_ + "'");
+  }
+}
+
+std::string ResultCache::path_for(const JobKey& key) const {
+  if (dir_.empty()) return "";
+  return dir_ + "/" + key.hex() + std::string(kRecordSuffix);
+}
+
+std::optional<ResultCache::Entry> ResultCache::lookup(const JobKey& key, tdd::Manager& mgr,
+                                                      std::uint32_t num_qubits,
+                                                      std::string_view property) {
+  const std::string hex = key.hex();
+  std::string text;
+  if (const auto it = memo_.find(hex); it != memo_.end()) {
+    text = it->second;
+  } else if (!dir_.empty()) {
+    std::ifstream in(path_for(key));
+    if (!in) return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) return std::nullopt;
+    text = buf.str();
+  } else {
+    return std::nullopt;
+  }
+
+  // Anything wrong with the record — wrong header, wrong property or width,
+  // truncation, a malformed projector blob, a dimension that disagrees with
+  // the rebuilt subspace — is a MISS, never an error: the caller recomputes
+  // and overwrites.
+  try {
+    std::istringstream is(text);
+    std::string word;
+    std::string version;
+    if (!(is >> word >> version) || word != "qtsres" || version != "v1") return std::nullopt;
+    std::string rec_property;
+    std::size_t rec_qubits = 0;
+    Entry e{Subspace(mgr, num_qubits), 0, false, true};
+    std::size_t dim = 0;
+    int converged = 0;
+    int holds = 0;
+    if (!(is >> word >> rec_property) || word != "property") return std::nullopt;
+    if (!(is >> word >> rec_qubits) || word != "qubits") return std::nullopt;
+    if (!(is >> word >> e.iterations) || word != "iterations") return std::nullopt;
+    if (!(is >> word >> converged) || word != "converged") return std::nullopt;
+    if (!(is >> word >> holds) || word != "holds") return std::nullopt;
+    if (!(is >> word >> dim) || word != "dim") return std::nullopt;
+    if (!(is >> word) || word != "projector") return std::nullopt;
+    if (rec_property != property || rec_qubits != num_qubits) return std::nullopt;
+    const tdd::Edge projector = tdd::load(mgr, is);
+    e.space = Subspace::from_projector(mgr, num_qubits, projector);
+    if (e.space.dim() != dim) return std::nullopt;
+    e.converged = converged != 0;
+    e.holds = holds != 0;
+    memo_.emplace(hex, std::move(text));
+    return e;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+bool ResultCache::store(const JobKey& key, std::string_view property, const Subspace& space,
+                        std::size_t iterations, bool converged, bool holds) {
+  std::ostringstream os;
+  os << kRecordHeader << "\n";
+  os << "property " << property << "\n";
+  os << "qubits " << space.num_qubits() << "\n";
+  os << "iterations " << iterations << "\n";
+  os << "converged " << (converged ? 1 : 0) << "\n";
+  os << "holds " << (holds ? 1 : 0) << "\n";
+  os << "dim " << space.dim() << "\n";
+  os << "projector\n";
+  tdd::save(space.projector(), os);
+  std::string text = os.str();
+
+  const std::string hex = key.hex();
+  if (dir_.empty()) {
+    memo_[hex] = std::move(text);
+    return false;
+  }
+  // Atomic publish: write the whole record to a private tmp file, then
+  // rename onto the final name.  Readers either see the old bytes or the
+  // complete new record, never a torn write; any failure along the way
+  // degrades to memo-only.
+  const std::string final_path = path_for(key);
+  const std::string tmp_path = final_path + ".tmp." + std::to_string(::getpid());
+  bool persisted = false;
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (out) {
+      out << text;
+      out.flush();
+      persisted = out.good();
+    }
+  }
+  if (persisted) {
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    persisted = !ec;
+  }
+  if (!persisted) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+  }
+  memo_[hex] = std::move(text);
+  return persisted;
+}
+
+}  // namespace qts

@@ -169,6 +169,116 @@ check 4 "$QTSMC" image --cross-check null "$EXAMPLES/ghz.qasm"
 check 4 "$QTSMC" reach --engine null --cross-check statevector "$EXAMPLES/ghz.qasm"
 check 4 "$QTSMC" reach --engine null --cross-check sparse "$EXAMPLES/ghz.qasm"
 
+# --- persistent result cache: cold run stores, warm run hits and skips the
+# fixpoint, the verdict is identical, and an unusable directory is a crisp
+# usage error instead of a half-working cache.
+CACHE_DIR=$(mktemp -d)
+cold_out=$("$QTSMC" reach --cache "$CACHE_DIR" --stats "$EXAMPLES/ghz.qasm")
+if echo "$cold_out" | grep -q '^cache:   miss (stored)'; then
+  echo "ok: cold run reports cache miss (stored)"
+else
+  echo "FAIL: cold run did not report 'cache:   miss (stored)'" >&2
+  failures=$((failures + 1))
+fi
+if ls "$CACHE_DIR"/*.qtsres >/dev/null 2>&1; then
+  echo "ok: cold run left a .qtsres record"
+else
+  echo "FAIL: no .qtsres record in $CACHE_DIR after the cold run" >&2
+  failures=$((failures + 1))
+fi
+warm_out=$("$QTSMC" reach --cache "$CACHE_DIR" --stats "$EXAMPLES/ghz.qasm")
+if echo "$warm_out" | grep -q '^cache:   hit'; then
+  echo "ok: warm run reports cache hit"
+else
+  echo "FAIL: warm run did not report 'cache:   hit'" >&2
+  failures=$((failures + 1))
+fi
+if [ "$(echo "$cold_out" | grep '^reach:')" = "$(echo "$warm_out" | grep '^reach:')" ]; then
+  echo "ok: warm verdict line identical to cold"
+else
+  echo "FAIL: warm verdict differs from cold" >&2
+  failures=$((failures + 1))
+fi
+# A read-only store still SERVES (the hit path never writes).
+chmod a-w "$CACHE_DIR"
+readonly_out=$("$QTSMC" reach --cache "$CACHE_DIR" --stats "$EXAMPLES/ghz.qasm")
+readonly_rc=$?
+chmod u+w "$CACHE_DIR"
+if [ "$readonly_rc" -eq 0 ] && echo "$readonly_out" | grep -q '^cache:   hit'; then
+  echo "ok: read-only cache directory still serves hits"
+else
+  echo "FAIL: read-only cache dir broke the warm path (exit $readonly_rc)" >&2
+  failures=$((failures + 1))
+fi
+check 1 "$QTSMC" invar --cache "$CACHE_DIR" "$EXAMPLES/ghz.qasm"   # cold: violated
+check 1 "$QTSMC" invar --cache "$CACHE_DIR" "$EXAMPLES/ghz.qasm"   # warm hit: exit code preserved
+check 2 "$QTSMC" reach --cache "$EXAMPLES/ghz.qasm/sub" "$EXAMPLES/ghz.qasm"  # parent is a file
+rm -rf "$CACHE_DIR"
+
+# --- batch mode: one job per line over a shared manager, per-job report
+# lines, the most severe per-job exit code, duplicate jobs served by the memo.
+BATCH_DIR=$(mktemp -d)
+BATCH_FILE="$BATCH_DIR/jobs.txt"
+cat > "$BATCH_FILE" <<EOF
+# comment lines and blanks are skipped
+
+reach --steps 8 $EXAMPLES/ghz.qasm
+reach --steps 8 $EXAMPLES/ghz.qasm
+invar $EXAMPLES/phase_oracle.qasm
+EOF
+check 0 "$QTSMC" --batch "$BATCH_FILE" --cache "$BATCH_DIR/cache"
+batch_out=$("$QTSMC" --batch "$BATCH_FILE" --cache "$BATCH_DIR/cache")
+if [ "$(echo "$batch_out" | grep -c '^job ')" -eq 3 ]; then
+  echo "ok: batch prints one report line per job"
+else
+  echo "FAIL: batch report lines wrong: $batch_out" >&2
+  failures=$((failures + 1))
+fi
+if echo "$batch_out" | grep '^job 4:' | grep -q 'cache hit'; then
+  echo "ok: duplicate batch job served from the cache"
+else
+  echo "FAIL: duplicate batch job was not a cache hit" >&2
+  failures=$((failures + 1))
+fi
+if echo "$batch_out" | grep -q '^batch:   3 job(s), 3 completed, 0 failed'; then
+  echo "ok: batch summary line"
+else
+  echo "FAIL: batch summary line missing or wrong" >&2
+  failures=$((failures + 1))
+fi
+# One violated job (exit 1) makes the batch exit 1; a broken job (exit 2)
+# trumps it; every job still ran.
+cat > "$BATCH_FILE" <<EOF
+reach --steps 8 $EXAMPLES/ghz.qasm
+invar $EXAMPLES/ghz.qasm
+EOF
+check 1 "$QTSMC" --batch "$BATCH_FILE"
+cat > "$BATCH_FILE" <<EOF
+reach --steps 8 $EXAMPLES/ghz.qasm
+invar $EXAMPLES/ghz.qasm
+frobnicate $EXAMPLES/ghz.qasm
+reach /nonexistent/circuit.qasm
+reach --timeout 0.000000001 $EXAMPLES/ghz.qasm
+EOF
+mixed_out=$("$QTSMC" --batch "$BATCH_FILE" 2>/dev/null)
+mixed_rc=$?
+if [ "$mixed_rc" -eq 3 ]; then
+  echo "ok: batch exits with the most severe job code (3)"
+else
+  echo "FAIL: mixed batch expected exit 3, got $mixed_rc" >&2
+  failures=$((failures + 1))
+fi
+if [ "$(echo "$mixed_out" | grep -c '^job ')" -eq 5 ]; then
+  echo "ok: a failing job does not stop the batch"
+else
+  echo "FAIL: not every batch job produced a report line" >&2
+  failures=$((failures + 1))
+fi
+check 2 "$QTSMC" --batch /nonexistent/batch.txt
+check 2 "$QTSMC" --batch
+check 2 "$QTSMC" --batch "$BATCH_FILE" --bogus-flag
+rm -rf "$BATCH_DIR"
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures qtsmc CLI check(s) failed" >&2
   exit 1

@@ -1,0 +1,366 @@
+/// Tests for the content-addressed persistent result cache (qts/result_cache)
+/// and its batch-mode usage pattern: many jobs over one shared manager with
+/// the in-memory memo in front of the disk store.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "qts/backward.hpp"
+#include "qts/reachability.hpp"
+#include "qts/result_cache.hpp"
+#include "qts/states.hpp"
+#include "qts/workloads.hpp"
+#include "tdd/io.hpp"
+
+namespace qts {
+namespace {
+
+/// Fresh (removed) per-test scratch directory under gtest's TempDir.
+std::string scratch_dir(const std::string& name) {
+  const std::string d = ::testing::TempDir() + "qts_result_cache_" + name;
+  std::filesystem::remove_all(d);
+  return d;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+TEST(JobKey, HexIsThirtyTwoLowercaseHexChars) {
+  tdd::Manager mgr;
+  const auto sys = make_ghz_system(mgr, 3);
+  const std::string hex = job_key(sys, "reach", mgr.zero(), 64).hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)) || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(JobKey, CanonicalAcrossManagers) {
+  // The canonical job text depends only on the job, not on which manager
+  // built it — TDD canonicity makes the projector serialisations equal.
+  tdd::Manager a;
+  tdd::Manager b;
+  const auto sys_a = make_qrw_system(a, 3, 0.3, true, 0);
+  const auto sys_b = make_qrw_system(b, 3, 0.3, true, 0);
+  EXPECT_EQ(canonical_job_text(sys_a, "reach", a.zero(), 64),
+            canonical_job_text(sys_b, "reach", b.zero(), 64));
+  EXPECT_EQ(job_key(sys_a, "reach", a.zero(), 64), job_key(sys_b, "reach", b.zero(), 64));
+}
+
+TEST(JobKey, CoversEverythingThatCanChangeTheVerdict) {
+  tdd::Manager mgr;
+  const auto sys = make_qrw_system(mgr, 3, 0.3, true, 0);
+  const JobKey base = job_key(sys, "reach", mgr.zero(), 64);
+  // Step cap, property kind and property projector each perturb the key.
+  EXPECT_FALSE(base == job_key(sys, "reach", mgr.zero(), 63));
+  EXPECT_FALSE(base == job_key(sys, "invar", mgr.zero(), 64));
+  EXPECT_FALSE(base == job_key(sys, "reach", sys.initial.projector(), 64));
+  // So does any change to the dynamics (here: the noise probability)...
+  const auto other_noise = make_qrw_system(mgr, 3, 0.4, true, 0);
+  EXPECT_FALSE(base == job_key(other_noise, "reach", mgr.zero(), 64));
+  // ...or to the initial subspace.
+  TransitionSystem shifted = sys;
+  shifted.initial = Subspace::from_states(mgr, 3, {ket_basis(mgr, 3, 1)});
+  EXPECT_FALSE(base == job_key(shifted, "reach", mgr.zero(), 64));
+}
+
+TEST(ResultCache, MemoryOnlyHitSkipsTheFixpointBitIdentically) {
+  tdd::Manager mgr;
+  ContractionImage computer(mgr, 2, 2);
+  const auto sys = make_ghz_system(mgr, 3);
+  ResultCache cache;  // memory-only
+
+  const auto cold = reachable_space(computer, sys, 20, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_misses, 1u);
+  EXPECT_EQ(computer.stats().cache_stores, 1u);
+  EXPECT_EQ(cache.memo_entries(), 1u);
+  EXPECT_TRUE(cache.path_for(job_key(sys, "reach", mgr.zero(), 20)).empty());
+
+  const auto warm = reachable_space(computer, sys, 20, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_hits, 1u);
+  EXPECT_EQ(warm.iterations, cold.iterations);
+  EXPECT_EQ(warm.converged, cold.converged);
+  // Bit-identical: the canonical rebuild re-interns the exact same nodes, so
+  // the warm projector is pointer-equal with bit-equal weights.
+  const tdd::Edge pc = cold.space.projector();
+  const tdd::Edge pw = warm.space.projector();
+  EXPECT_EQ(pw.node, pc.node);
+  EXPECT_EQ(std::memcmp(&pw.weight, &pc.weight, sizeof pw.weight), 0);
+}
+
+TEST(ResultCache, DiskHitAcrossProcessesIsBitIdenticalToAColdRun) {
+  const std::string dir = scratch_dir("disk_hit");
+  const JobKey key = [] {
+    tdd::Manager probe;
+    const auto sys = make_qrw_system(probe, 3, 0.3, true, 0);
+    return job_key(sys, "reach", probe.zero(), 32);
+  }();
+
+  // "Process" 1: cold run populates the store.
+  {
+    tdd::Manager mgr;
+    ContractionImage computer(mgr, 2, 2);
+    const auto sys = make_qrw_system(mgr, 3, 0.3, true, 0);
+    ResultCache cache(dir);
+    (void)reachable_space(computer, sys, 32, nullptr, nullptr, &cache);
+    EXPECT_TRUE(std::filesystem::exists(cache.path_for(key)));
+  }
+
+  // "Process" 2: a fresh manager and a fresh ResultCache over the same
+  // directory.  The warm result must match a cold run in THIS manager bit
+  // for bit (pointer-equal projector, bit-equal weights).
+  tdd::Manager mgr;
+  ContractionImage computer(mgr, 2, 2);
+  const auto sys = make_qrw_system(mgr, 3, 0.3, true, 0);
+  const auto cold = reachable_space(computer, sys, 32);  // no cache: reference
+  ResultCache cache(dir);
+  const auto warm = reachable_space(computer, sys, 32, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_hits, 1u);
+  EXPECT_EQ(warm.iterations, cold.iterations);
+  EXPECT_EQ(warm.converged, cold.converged);
+  EXPECT_EQ(warm.space.dim(), cold.space.dim());
+  const tdd::Edge pc = cold.space.projector();
+  const tdd::Edge pw = warm.space.projector();
+  EXPECT_EQ(pw.node, pc.node);
+  EXPECT_EQ(std::memcmp(&pw.weight, &pc.weight, sizeof pw.weight), 0);
+  EXPECT_EQ(tdd::save_string(pw), tdd::save_string(pc));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, InvariantVerdictRoundTrips) {
+  const std::string dir = scratch_dir("invar");
+  // Claim: GHZ dynamics stay inside span{|000⟩}.  False after one step.
+  {
+    tdd::Manager mgr;
+    BasicImage computer(mgr);
+    const auto sys = make_ghz_system(mgr, 3);
+    const Subspace claim = Subspace::from_states(mgr, 3, {ket_basis(mgr, 3, 0)});
+    ResultCache cache(dir);
+    const auto cold = check_invariant(computer, sys, claim, 10, nullptr, nullptr, &cache);
+    EXPECT_FALSE(cold.holds);
+    EXPECT_EQ(computer.stats().cache_stores, 1u);
+  }
+  tdd::Manager mgr;
+  BasicImage computer(mgr);
+  const auto sys = make_ghz_system(mgr, 3);
+  const Subspace claim = Subspace::from_states(mgr, 3, {ket_basis(mgr, 3, 0)});
+  ResultCache cache(dir);
+  const auto warm = check_invariant(computer, sys, claim, 10, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_hits, 1u);
+  EXPECT_FALSE(warm.holds);
+  EXPECT_EQ(warm.iterations, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, BackwardJobsNeverCollideWithForwardOnes) {
+  tdd::Manager mgr;
+  ContractionImage computer(mgr, 2, 2);
+  const auto sys = make_ghz_system(mgr, 3);
+  ResultCache cache;
+  (void)reachable_space(computer, sys, 20, nullptr, nullptr, &cache);
+  // The backward key covers the ADJOINTED system, so this must be a miss.
+  (void)backward_reachable(computer, sys, sys.initial, 20, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_hits, 0u);
+  EXPECT_EQ(computer.stats().cache_misses, 2u);
+  EXPECT_EQ(cache.memo_entries(), 2u);
+  // Re-running each is now a hit.
+  (void)reachable_space(computer, sys, 20, nullptr, nullptr, &cache);
+  (void)backward_reachable(computer, sys, sys.initial, 20, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_hits, 2u);
+}
+
+TEST(ResultCache, VersionBumpedRecordsMiss) {
+  const std::string dir = scratch_dir("version");
+  tdd::Manager mgr;
+  ContractionImage computer(mgr, 2, 2);
+  const auto sys = make_ghz_system(mgr, 3);
+  const JobKey key = job_key(sys, "reach", mgr.zero(), 20);
+  {
+    ResultCache cache(dir);
+    (void)reachable_space(computer, sys, 20, nullptr, nullptr, &cache);
+    ASSERT_TRUE(std::filesystem::exists(cache.path_for(key)));
+  }
+  ResultCache reader(dir);
+  std::string text = slurp(reader.path_for(key));
+  ASSERT_EQ(text.rfind("qtsres v1", 0), 0u);
+  text.replace(0, 9, "qtsres v2");
+  spit(reader.path_for(key), text);
+  EXPECT_FALSE(reader.lookup(key, mgr, 3, "reach").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, CorruptTruncatedOrMismatchedRecordsMissNeverThrow) {
+  const std::string dir = scratch_dir("corrupt");
+  tdd::Manager mgr;
+  ContractionImage computer(mgr, 2, 2);
+  const auto sys = make_ghz_system(mgr, 3);
+  const JobKey key = job_key(sys, "reach", mgr.zero(), 20);
+  ResultCache writer(dir);
+  (void)reachable_space(computer, sys, 20, nullptr, nullptr, &writer);
+  const std::string path = writer.path_for(key);
+  const std::string good = slurp(path);
+  ASSERT_FALSE(good.empty());
+
+  // A fresh ResultCache per probe (the memo would otherwise mask the file).
+  const auto probe = [&](const std::string& text) {
+    spit(path, text);
+    ResultCache reader(dir);
+    return reader.lookup(key, mgr, 3, "reach").has_value();
+  };
+  EXPECT_FALSE(probe(""));                              // empty file
+  EXPECT_FALSE(probe("garbage\n"));                     // not a record at all
+  EXPECT_FALSE(probe(good.substr(0, good.size() / 2)))  // truncated mid-projector
+      << "truncated record must be a miss";
+  {
+    std::string corrupted = good;
+    corrupted[good.size() - 5] = 'x';  // corrupt the projector blob
+    EXPECT_FALSE(probe(corrupted));
+  }
+  // Wrong property kind / register width against an intact record.
+  spit(path, good);
+  {
+    ResultCache reader(dir);
+    EXPECT_FALSE(reader.lookup(key, mgr, 3, "invar").has_value());
+  }
+  {
+    ResultCache reader(dir);
+    EXPECT_FALSE(reader.lookup(key, mgr, 4, "reach").has_value());
+  }
+  // And the intact record still hits.
+  {
+    ResultCache reader(dir);
+    EXPECT_TRUE(reader.lookup(key, mgr, 3, "reach").has_value());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, StoreDegradesToMemoWhenDirectoryVanishes) {
+  const std::string dir = scratch_dir("vanish");
+  tdd::Manager mgr;
+  ContractionImage computer(mgr, 2, 2);
+  const auto sys = make_ghz_system(mgr, 3);
+  ResultCache cache(dir);
+  // Yank the directory out from under the cache: every store now fails to
+  // persist, but the job must still succeed and the memo must still serve.
+  std::filesystem::remove_all(dir);
+  const auto cold = reachable_space(computer, sys, 20, nullptr, nullptr, &cache);
+  const JobKey key = job_key(sys, "reach", mgr.zero(), 20);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for(key)));
+  const auto warm = reachable_space(computer, sys, 20, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_hits, 1u);
+  EXPECT_EQ(warm.space.projector().node, cold.space.projector().node);
+}
+
+TEST(ResultCache, ConstructorRejectsAPathThatIsAFile) {
+  const std::string path = scratch_dir("not_a_dir");
+  spit(path, "occupied\n");
+  EXPECT_THROW(ResultCache{path}, InvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(ResultCache, InjectedFaultsNeverPoisonTheStore) {
+  const std::string dir = scratch_dir("fault");
+  tdd::Manager mgr;
+  ExecutionContext ctx;
+  ctx.set_fault_plan(FaultPlan::parse("nodes@iter2"));
+  mgr.bind_context(&ctx);
+  ContractionImage computer(mgr, 2, 2, &ctx);
+  const auto sys = make_qrw_system(mgr, 3, 0.3, true, 0);
+  ResultCache cache(dir);
+  EXPECT_THROW((void)reachable_space(computer, sys, 32, nullptr, nullptr, &cache),
+               ResourceExhausted);
+  // The run died mid-fixpoint: nothing may have been stored or memoised.
+  EXPECT_EQ(cache.memo_entries(), 0u);
+  const JobKey key = job_key(sys, "reach", mgr.zero(), 32);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for(key)));
+  EXPECT_FALSE(cache.lookup(key, mgr, 3, "reach").has_value());
+  EXPECT_EQ(ctx.stats().cache_stores, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Batch, SharedManagerMemoMakesDuplicateJobsFree) {
+  // The batch pattern: one manager, one cache, many jobs.  A duplicate job
+  // hits even under a DIFFERENT engine — the spec is not part of the key.
+  tdd::Manager mgr;
+  ResultCache cache;  // the always-on memo, no disk
+  const auto sys = make_ghz_system(mgr, 3);
+
+  ContractionImage contraction(mgr, 2, 2);
+  const auto cold = reachable_space(contraction, sys, 20, nullptr, nullptr, &cache);
+  EXPECT_EQ(contraction.stats().cache_misses, 1u);
+
+  BasicImage basic(mgr);
+  const auto warm = reachable_space(basic, sys, 20, nullptr, nullptr, &cache);
+  EXPECT_EQ(basic.stats().cache_hits, 1u);
+  EXPECT_EQ(warm.space.projector().node, cold.space.projector().node);
+  EXPECT_EQ(cache.memo_entries(), 1u);
+}
+
+TEST(Batch, MemoSurvivesManagerGcBetweenJobs) {
+  // The memo stores record TEXT, not live edges, precisely so that a later
+  // job's mark-sweep collection cannot sweep an earlier job's result.
+  tdd::Manager mgr;
+  ResultCache cache;
+  JobKey key;
+  {
+    ContractionImage computer(mgr, 2, 2);
+    const auto sys = make_qrw_system(mgr, 3, 0.3, true, 0);
+    key = job_key(sys, "reach", mgr.zero(), 32);
+    (void)reachable_space(computer, sys, 32, nullptr, nullptr, &cache);
+  }
+  // Simulate the next job's GC pressure: collect with NO roots — every node
+  // of the first job's result is swept.
+  const std::size_t swept = mgr.gc({});
+  EXPECT_GT(swept, 0u);
+  // The memo still serves, rebuilding the projector through make_node.
+  const auto hit = cache.lookup(key, mgr, 3, "reach");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->converged);
+  EXPECT_EQ(hit->space.dim(), 8u);  // noisy walk saturates coin ⊗ position
+}
+
+TEST(Batch, ManyJobsAccumulateIndependentEntries) {
+  // A small "batch file" worth of distinct jobs over one shared manager:
+  // every job lands its own entry, every re-run hits, verdicts are stable.
+  tdd::Manager mgr;
+  ResultCache cache;
+  ContractionImage computer(mgr, 2, 2);
+
+  const auto ghz = make_ghz_system(mgr, 3);
+  const auto walk = make_qrw_system(mgr, 3, 0.3, true, 0);
+  const auto grover = make_grover_system(mgr, 3);
+
+  const auto r1 = reachable_space(computer, ghz, 20, nullptr, nullptr, &cache);
+  const auto r2 = reachable_space(computer, walk, 32, nullptr, nullptr, &cache);
+  const auto i1 = check_invariant(computer, grover, grover.initial, 10, nullptr, nullptr, &cache);
+  EXPECT_TRUE(i1.holds);
+  EXPECT_EQ(cache.memo_entries(), 3u);
+  EXPECT_EQ(computer.stats().cache_misses, 3u);
+
+  const auto r1b = reachable_space(computer, ghz, 20, nullptr, nullptr, &cache);
+  const auto r2b = reachable_space(computer, walk, 32, nullptr, nullptr, &cache);
+  const auto i1b = check_invariant(computer, grover, grover.initial, 10, nullptr, nullptr, &cache);
+  EXPECT_EQ(computer.stats().cache_hits, 3u);
+  EXPECT_EQ(r1b.space.dim(), r1.space.dim());
+  EXPECT_EQ(r2b.space.dim(), r2.space.dim());
+  EXPECT_EQ(i1b.holds, i1.holds);
+  EXPECT_EQ(cache.memo_entries(), 3u);
+}
+
+}  // namespace
+}  // namespace qts

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "common/error.hpp"
 #include "qts/states.hpp"
 #include "qts/workloads.hpp"
@@ -58,6 +62,99 @@ TEST(TddIo, SharedNodesStayShared) {
   Manager fresh;
   const Edge back = load_string(fresh, text);
   EXPECT_EQ(node_count(back), 2u);  // not 3: sharing preserved
+}
+
+/// Bit-equality of two complex weights, including the sign of zero.
+bool bit_equal(const cplx& a, const cplx& b) {
+  return std::memcmp(&a, &b, sizeof(cplx)) == 0;
+}
+
+TEST(TddIo, SeventeenDigitWeightsRoundTripBitExactly) {
+  // 17 significant digits round-trip any double exactly; the result-cache's
+  // bit-identical-warm-run guarantee rests on this.
+  Manager mgr;
+  const cplx w0{1.0 / 3.0, std::sqrt(2.0)};
+  const cplx w1{-std::acos(-1.0), 0.1};  // 0.1: classic not-exactly-representable
+  const Edge e = mgr.literal(2, w0, w1);
+  const Edge back = load_string(mgr, save_string(e));
+  EXPECT_EQ(back.node, e.node);  // re-interned canonically: the same node
+  EXPECT_TRUE(bit_equal(back.weight, e.weight));
+}
+
+TEST(TddIo, NegativeZeroComponentSurvives) {
+  // -0.0 must keep its sign bit through save/load (printed as "-0", parsed
+  // back as a negative zero) wherever the canonical form holds one.
+  Manager mgr;
+  const Edge e = mgr.terminal(cplx{1.0, -0.0});
+  const Edge back = load_string(mgr, save_string(e));
+  ASSERT_TRUE(back.is_terminal());
+  EXPECT_TRUE(bit_equal(back.weight, e.weight));
+  EXPECT_EQ(std::signbit(back.weight.imag()), std::signbit(e.weight.imag()));
+
+  const Edge lit = mgr.literal(0, cplx{1.0, 0.0}, cplx{-0.0, 1.0});
+  const Edge lit_back = load_string(mgr, save_string(lit));
+  EXPECT_EQ(lit_back.node, lit.node);
+  EXPECT_TRUE(bit_equal(lit_back.weight, lit.weight));
+}
+
+TEST(TddIo, DenormalComponentsRoundTrip) {
+  // A denormal component riding on a full-magnitude weight (a bare denormal
+  // weight would be snapped to zero by the manager's kEps bucketing, which
+  // is the canonical form's business, not io's).
+  Manager mgr;
+  const double denorm_min = std::numeric_limits<double>::denorm_min();
+  const Edge e = mgr.terminal(cplx{1.0, denorm_min});
+  const Edge back = load_string(mgr, save_string(e));
+  ASSERT_TRUE(back.is_terminal());
+  EXPECT_TRUE(bit_equal(back.weight, e.weight));
+
+  const double big_denorm = denorm_min * 1e4;  // still below DBL_MIN
+  const Edge lit = mgr.literal(1, cplx{big_denorm, 1.0}, cplx{0.5, -0.25});
+  const Edge lit_back = load_string(mgr, save_string(lit));
+  EXPECT_EQ(lit_back.node, lit.node);
+  EXPECT_TRUE(bit_equal(lit_back.weight, lit.weight));
+}
+
+TEST(TddIo, TruncatedStreamsThrowParseError) {
+  // Chop a real serialisation at every prefix length: nothing but the full
+  // text may load, and every failure must be ParseError (not a crash, not a
+  // silently wrong tensor).
+  Manager mgr;
+  const Edge sub = mgr.literal(3, cplx{1, 0}, cplx{0.5, 0.5});
+  const Edge e = mgr.make_node(1, sub, mgr.scale(sub, cplx{0.25, 0}));
+  const std::string text = save_string(e);
+  // Every truncation up to the start of the final token must fail: the root
+  // line is always incomplete.  (Truncation INSIDE the final number can
+  // parse to a shorter value by stream semantics — the result-cache layer
+  // guards against that with its own dimension check.)
+  const std::size_t last_token = text.rfind(' ');
+  ASSERT_NE(last_token, std::string::npos);
+  for (std::size_t len = 0; len <= last_token; len += 5) {
+    EXPECT_THROW((void)load_string(mgr, text.substr(0, len)), ParseError)
+        << "prefix of length " << len << " must not parse";
+  }
+  EXPECT_THROW((void)load_string(mgr, text.substr(0, last_token)), ParseError);
+  EXPECT_EQ(load_string(mgr, text).node, e.node);
+}
+
+TEST(TddIo, CorruptedStreamsThrowParseError) {
+  Manager mgr;
+  const Edge e = mgr.literal(2, cplx{1.0 / 3.0, 0}, cplx{0.25, -0.75});
+  const std::string text = save_string(e);
+  {
+    std::string t = text;
+    t[t.find("0.25")] = 'x';  // corrupt a weight digit
+    EXPECT_THROW((void)load_string(mgr, t), ParseError);
+  }
+  {
+    std::string t = text;
+    t.replace(t.find("qtdd"), 4, "qtdx");  // corrupt the magic
+    EXPECT_THROW((void)load_string(mgr, t), ParseError);
+  }
+  // Trailing bytes after the root line are NOT an error: load() consumes
+  // exactly one document, which is what lets the result cache and the
+  // canonical job text embed qtdd blobs mid-stream.
+  EXPECT_EQ(load_string(mgr, text + "more data after the blob\n").node, e.node);
 }
 
 TEST(TddIo, MalformedInputsThrow) {
