@@ -1,0 +1,182 @@
+/// \file bench_contraction_order.cpp
+/// Contraction-order policy sweep: every workload runs the same reach
+/// fixpoint under --order caller, greedy and exact, in a fresh manager per
+/// run, and reports the wall time per policy plus greedy's speedup over the
+/// historical caller fold.  Plans are computed once per prepared circuit
+/// (the Prepared cache), so what this measures is the steady-state effect
+/// of the order itself, with the (microsecond) planning cost amortised in.
+///
+/// Usage:
+///   bench_contraction_order [--steps N] [--repeats K] [--qasm FILE]
+///
+/// Workloads: the six library systems (GHZ, Bernstein–Vazirani, QFT,
+/// Grover, noisy quantum walk, bit-flip code) plus an optional QASM circuit
+/// (defaults to examples/ghz16.qasm when readable).  Each cell is the
+/// minimum of K repeats — ms-scale fixpoints on a shared container need
+/// min-of-k to beat scheduler noise.  Results land in BENCH_order.json as
+/// one `<workload>/<policy>` record per cell.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "circuit/qasm.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "qts/engine.hpp"
+#include "qts/reachability.hpp"
+#include "qts/states.hpp"
+#include "qts/workloads.hpp"
+#include "tn/order.hpp"
+
+namespace {
+
+using namespace qts;
+
+struct Workload {
+  std::string name;
+  std::function<TransitionSystem(tdd::Manager&)> make;
+  std::string engine;     ///< the engine whose hot path the order steers
+  std::size_t steps = 0;  ///< per-workload iteration cap (0 = the global --steps)
+};
+
+struct Measurement {
+  double ms = 0.0;
+  std::size_t dim = 0;
+  std::size_t peak_nodes = 0;
+  std::size_t table_nodes = 0;
+  std::size_t plans = 0;
+  std::size_t plan_width = 0;
+};
+
+/// One reach fixpoint in a fresh manager under `policy`; wall time covers
+/// reachable_space only (system construction is identical per policy).
+Measurement run_once(const Workload& w, std::size_t steps, tn::OrderPolicy policy) {
+  ExecutionContext ctx;
+  tdd::Manager mgr;
+  mgr.bind_context(&ctx);
+  const TransitionSystem sys = w.make(mgr);
+  const auto computer = make_engine(mgr, w.engine, &ctx);
+  computer->set_order_policy(policy);
+  Measurement m;
+  WallTimer timer;
+  const auto r = reachable_space(*computer, sys, steps);
+  m.ms = timer.seconds() * 1e3;
+  m.dim = r.space.dim();
+  m.peak_nodes = ctx.stats().peak_nodes;
+  m.table_nodes = mgr.storage_stats().table_nodes;
+  m.plans = ctx.stats().plans_computed;
+  m.plan_width = ctx.stats().plan_max_width;
+  return m;
+}
+
+Measurement best_of(const Workload& w, std::size_t steps, tn::OrderPolicy policy,
+                    std::size_t repeats) {
+  Measurement best = run_once(w, steps, policy);
+  for (std::size_t k = 1; k < repeats; ++k) {
+    const Measurement m = run_once(w, steps, policy);
+    if (m.ms < best.ms) best = m;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t steps = 64;
+  std::size_t repeats = 5;
+  std::string qasm_path = "examples/ghz16.qasm";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--qasm") == 0 && i + 1 < argc) {
+      qasm_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_contraction_order [--steps N] [--repeats K] [--qasm FILE]\n";
+      return 1;
+    }
+  }
+
+  // Engines are chosen per workload to point the sweep at the path the
+  // order actually steers: `basic` prepares each operation as ONE monolithic
+  // network contraction (the planner's natural prey), `contraction:k1,k2`
+  // exercises the block pre-contraction + ket-push plan of §V.
+  std::vector<Workload> workloads{
+      {"ghz6", [](tdd::Manager& m) { return make_ghz_system(m, 6); }, "contraction:4,4"},
+      {"bv8", [](tdd::Manager& m) { return make_bv_system(m, 8); }, "basic"},
+      {"qft5", [](tdd::Manager& m) { return make_qft_system(m, 5); }, "basic"},
+      {"grover7", [](tdd::Manager& m) { return make_grover_system(m, 7); }, "basic"},
+      {"qrw6-noisy",
+       [](tdd::Manager& m) { return make_qrw_system(m, 6, 0.1, true, 0); },
+       "contraction:4,4"},
+      {"bitflip", [](tdd::Manager& m) { return make_bitflip_code_system(m); }, "basic"},
+  };
+  // The example QASM circuit, when readable from the working directory.
+  {
+    std::ifstream in(qasm_path);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      const std::string source = text.str();
+      const std::string name = std::filesystem::path(qasm_path).stem().string() + "-qasm";
+      // ghz16 converges only after thousands of iterations; the small cap
+      // keeps each cell a bounded multi-iteration burst.
+      workloads.push_back({name,
+                           [source](tdd::Manager& m) {
+                             const circ::Circuit c = circ::from_qasm(source);
+                             const std::uint32_t n = c.num_qubits();
+                             return TransitionSystem{
+                                 n, Subspace::from_states(m, n, {ket_basis(m, n, 0)}),
+                                 {QuantumOperation{"step", {c}}}};
+                           },
+                           "basic", 8});
+    } else {
+      std::cerr << "note: cannot read " << qasm_path << "; skipping the QASM workload\n";
+    }
+  }
+
+  const tn::OrderPolicy policies[] = {tn::OrderPolicy::kCaller, tn::OrderPolicy::kGreedy,
+                                      tn::OrderPolicy::kExact};
+
+  std::cout << "Contraction-order policy sweep — reach fixpoint, min of " << repeats
+            << " repeats\n\n";
+  std::cout << pad_right("workload", 14) << pad_right("engine", 18)
+            << pad_left("caller[ms]", 12) << pad_left("greedy[ms]", 12)
+            << pad_left("exact[ms]", 12) << pad_left("greedy vs caller", 18) << "\n";
+
+  bench::JsonWriter json("order");
+  int rc = 0;
+  for (const auto& w : workloads) {
+    const std::size_t cap = w.steps != 0 ? w.steps : steps;
+    Measurement per_policy[3];
+    for (std::size_t p = 0; p < 3; ++p) {
+      per_policy[p] = best_of(w, cap, policies[p], repeats);
+      json.add({w.name + "/" + std::string(tn::to_string(policies[p])), per_policy[p].ms,
+                per_policy[p].peak_nodes, 1, false, 0, per_policy[p].table_nodes});
+    }
+    const Measurement& caller = per_policy[0];
+    const Measurement& greedy = per_policy[1];
+    const double speedup = greedy.ms > 0 ? caller.ms / greedy.ms : 0.0;
+    std::cout << pad_right(w.name, 14) << pad_right(w.engine, 18)
+              << pad_left(format_fixed(caller.ms, 2), 12)
+              << pad_left(format_fixed(greedy.ms, 2), 12)
+              << pad_left(format_fixed(per_policy[2].ms, 2), 12)
+              << pad_left(format_fixed(speedup, 2) + "x", 18) << "\n"
+              << std::flush;
+    // The free differential oracle: reduced TDDs are canonical, so the
+    // verdict must not depend on the order.
+    if (greedy.dim != caller.dim || per_policy[2].dim != caller.dim) {
+      std::cerr << "error: " << w.name << " verdict changed across policies (dims "
+                << caller.dim << "/" << greedy.dim << "/" << per_policy[2].dim << ")\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}

@@ -45,6 +45,9 @@ void ExecutionContext::join_worker(const ExecutionContext& worker) {
   stats_.cache_hits += w.cache_hits;
   stats_.cache_misses += w.cache_misses;
   stats_.cache_stores += w.cache_stores;
+  stats_.plans_computed += w.plans_computed;
+  stats_.plan_seconds += w.plan_seconds;
+  if (w.plan_max_width > stats_.plan_max_width) stats_.plan_max_width = w.plan_max_width;
   stats_.degradations += w.degradations;
   for (std::size_t i = 0; i < w.degradation_causes.size(); ++i) {
     stats_.degradation_causes[i] += w.degradation_causes[i];

@@ -43,6 +43,12 @@ struct RunStats {
   std::size_t cache_misses = 0;  ///< jobs that had to run the fixpoint
   std::size_t cache_stores = 0;  ///< finished jobs recorded into the cache
 
+  // Contraction-order planner gauges (filled by tn::plan_order* — summed on
+  // join except plan_max_width, which is max-merged like peak_nodes).
+  std::size_t plans_computed = 0;  ///< contraction plans built this run
+  double plan_seconds = 0.0;       ///< wall-clock spent planning orders
+  std::size_t plan_max_width = 0;  ///< widest planned intermediate index set
+
   // Graceful-degradation counters (filled by the fallback engine chain).
   std::size_t degradations = 0;  ///< backend switches after ResourceExhausted
   /// Switches by cause, indexed by static_cast<std::size_t>(Resource).

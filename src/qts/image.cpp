@@ -83,22 +83,37 @@ const ImageComputer::Prepared& ImageComputer::prepared_for(const circ::Circuit& 
   return *it->second;
 }
 
+ImageComputer::PushPlan ImageComputer::make_push_plan(const tn::CircuitNetwork& net,
+                                                      const std::vector<tn::Tensor>& ops) {
+  PushPlan push;
+  push.state = state_levels(net.num_qubits);
+  push.keep = net.outputs;
+  std::sort(push.keep.begin(), push.keep.end());
+  push.keep.erase(std::unique(push.keep.begin(), push.keep.end()), push.keep.end());
+  push.rename = tn::output_to_state_map(net);
+  if (!ops.empty()) {
+    std::vector<std::vector<Level>> index_sets;
+    index_sets.reserve(ops.size() + 1);
+    index_sets.push_back(push.state);
+    for (const auto& t : ops) index_sets.push_back(t.indices);
+    push.plan = tn::plan_order_indices(index_sets, push.keep, order_policy_, ctx_);
+  }
+  return push;
+}
+
 Edge ImageComputer::push_through(const tn::CircuitNetwork& net,
-                                 const std::vector<tn::Tensor>& ops, const Edge& ket) {
-  const std::uint32_t n = net.num_qubits;
+                                 const std::vector<tn::Tensor>& ops, const Edge& ket,
+                                 const PushPlan& push) {
   Edge result;
   if (ops.empty()) {
     result = ket;
   } else {
     std::vector<tn::Tensor> tensors;
     tensors.reserve(ops.size() + 1);
-    tensors.push_back(tn::Tensor{ket, state_levels(n)});
+    tensors.push_back(tn::Tensor{ket, push.state});
     tensors.insert(tensors.end(), ops.begin(), ops.end());
-    std::vector<Level> keep = net.outputs;
-    std::sort(keep.begin(), keep.end());
-    keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
-    tn::Tensor out = tn::contract_network(mgr_, tensors, keep, ctx_);
-    result = mgr_.rename(out.edge, tn::output_to_state_map(net));
+    tn::Tensor out = tn::contract_network(mgr_, tensors, push.keep, ctx_, push.plan);
+    result = mgr_.rename(out.edge, push.rename);
   }
   return mgr_.scale(result, net.factor);
 }
@@ -109,6 +124,7 @@ Edge ImageComputer::push_through(const tn::CircuitNetwork& net,
 struct BasicImage::Mono : ImageComputer::Prepared {
   tn::CircuitNetwork net;  // tensors cleared after pre-contraction
   std::vector<tn::Tensor> op;
+  ImageComputer::PushPlan push;
 
   void collect_roots(std::vector<tdd::Edge>& out) const override {
     for (const auto& t : op) out.push_back(t.edge);
@@ -120,15 +136,16 @@ std::unique_ptr<ImageComputer::Prepared> BasicImage::prepare(const circ::Circuit
   mono->net = tn::build_network(mgr_, kraus);
   if (!mono->net.tensors.empty()) {
     const auto keep = mono->net.external_indices();
-    mono->op.push_back(tn::contract_network(mgr_, mono->net.tensors, keep, ctx_));
+    mono->op.push_back(tn::contract_network(mgr_, mono->net.tensors, keep, ctx_, order_policy_));
   }
+  mono->push = make_push_plan(mono->net, mono->op);
   mono->net.tensors.clear();
   return mono;
 }
 
 Edge BasicImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) {
   const auto& mono = static_cast<const Mono&>(prep);
-  return push_through(mono.net, mono.op, ket);
+  return push_through(mono.net, mono.op, ket, mono.push);
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +154,7 @@ Edge BasicImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) {
 struct AdditionImage::Parts : ImageComputer::Prepared {
   tn::CircuitNetwork net;
   std::vector<tn::Tensor> parts;  // each = one pre-contracted slice ϕ_i
+  ImageComputer::PushPlan push;   // a push is always [ket, ϕ_i]: one plan fits all
 
   void collect_roots(std::vector<tdd::Edge>& out) const override {
     for (const auto& t : parts) out.push_back(t.edge);
@@ -151,22 +169,25 @@ std::unique_ptr<ImageComputer::Prepared> AdditionImage::prepare(const circ::Circ
     const auto keep = out->net.external_indices();
     for (const auto& slice : part.slices) {
       ctx_->check_deadline();
-      out->parts.push_back(tn::contract_network(mgr_, slice.tensors, keep, ctx_));
+      out->parts.push_back(tn::contract_network(mgr_, slice.tensors, keep, ctx_, order_policy_));
     }
   }
+  out->push = make_push_plan(
+      out->net, out->parts.empty() ? std::vector<tn::Tensor>{}
+                                   : std::vector<tn::Tensor>{out->parts.front()});
   out->net.tensors.clear();
   return out;
 }
 
 Edge AdditionImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) {
   const auto& pp = static_cast<const Parts&>(prep);
-  if (pp.parts.empty()) return push_through(pp.net, {}, ket);
+  if (pp.parts.empty()) return push_through(pp.net, {}, ket, pp.push);
   // cont(ψ, ϕ) = Σ_i cont(ψ, ϕ_i): each slice is contracted with the state
   // independently and the (already renamed) results are accumulated.
   Edge acc = mgr_.zero();
   for (const auto& part : pp.parts) {
     ctx_->check_deadline();
-    const Edge contribution = push_through(pp.net, {part}, ket);
+    const Edge contribution = push_through(pp.net, {part}, ket, pp.push);
     acc = mgr_.add(acc, contribution);
     tdd::record_peak(ctx_, acc);
   }
@@ -179,6 +200,7 @@ Edge AdditionImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) 
 struct ContractionImage::Blocks : ImageComputer::Prepared {
   tn::CircuitNetwork net;
   std::vector<tn::Tensor> blocks;  // (window, group)-ordered block tensors
+  ImageComputer::PushPlan push;
 
   void collect_roots(std::vector<tdd::Edge>& out) const override {
     for (const auto& t : blocks) out.push_back(t.edge);
@@ -189,16 +211,19 @@ std::unique_ptr<ImageComputer::Prepared> ContractionImage::prepare(const circ::C
   auto out = std::make_unique<Blocks>();
   out->net = tn::build_network(mgr_, kraus);
   if (!out->net.tensors.empty()) {
-    const auto blocks = tn::contraction_partition(mgr_, out->net, k1_, k2_, ctx_);
+    const auto blocks = tn::contraction_partition(mgr_, out->net, k1_, k2_, ctx_, order_policy_);
     for (const auto& b : blocks) out->blocks.push_back(b.tensor);
   }
+  // The planner chooses where the ket folds into the block network — for
+  // caller order it goes first, exactly the historical behaviour.
+  out->push = make_push_plan(out->net, out->blocks);
   out->net.tensors.clear();
   return out;
 }
 
 Edge ContractionImage::apply(const Prepared& prep, const Edge& ket, std::uint32_t) {
   const auto& bb = static_cast<const Blocks&>(prep);
-  return push_through(bb.net, bb.blocks, ket);
+  return push_through(bb.net, bb.blocks, ket, bb.push);
 }
 
 }  // namespace qts

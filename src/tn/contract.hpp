@@ -1,23 +1,39 @@
 /// \file contract.hpp
-/// Sequential tensor-network contraction with correct index bookkeeping.
+/// Tensor-network contraction with correct index bookkeeping and a
+/// cost-driven choice of contraction order (see tn/order.hpp).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "common/execution_context.hpp"
+#include "tn/order.hpp"
 #include "tn/tensor.hpp"
 
 namespace qts::tn {
 
-/// Contract the tensors *in the given order* into a single tensor whose
-/// index set is exactly `keep` (sorted).  A shared index is summed out at
-/// the merge after which no remaining tensor (and not `keep`) mentions it;
-/// indices private to one tensor and absent from `keep` are summed at the
-/// end.  Records every intermediate's size on `ctx` and honours its
-/// deadline (ctx may be null).
+/// Contract `tensors` into a single tensor whose index set is exactly
+/// `keep` (sorted).  A shared index is summed out at the merge after which
+/// no remaining tensor (and not `keep`) mentions it; indices private to the
+/// final accumulator and absent from `keep` are summed at the end.  Records
+/// every intermediate's size on `ctx` and honours its deadline (ctx may be
+/// null).
+///
+/// `policy` chooses the pairwise merge order (tn/order.hpp).  The default
+/// is the greedy min-width planner; OrderPolicy::kCaller restores the
+/// historical left-to-right fold with zero planning overhead.  Because
+/// reduced TDDs are canonical the returned tensor is bit-identical under
+/// every policy — only intermediate sizes and wall-clock change.
 Tensor contract_network(tdd::Manager& mgr, const std::vector<Tensor>& tensors,
-                        const std::vector<tdd::Level>& keep, ExecutionContext* ctx = nullptr);
+                        const std::vector<tdd::Level>& keep, ExecutionContext* ctx = nullptr,
+                        OrderPolicy policy = OrderPolicy::kGreedy);
+
+/// Same contraction under a precomputed plan (plan_order on the same index
+/// sets + keep).  This is the fixpoint hot path: ImageComputer plans once
+/// per prepared circuit and replays the plan for every Kraus application.
+Tensor contract_network(tdd::Manager& mgr, const std::vector<Tensor>& tensors,
+                        const std::vector<tdd::Level>& keep, ExecutionContext* ctx,
+                        const ContractionPlan& plan);
 
 /// Σ over one index: slice at 0 and 1 and add.
 tdd::Edge sum_out(tdd::Manager& mgr, const tdd::Edge& e, tdd::Level level);

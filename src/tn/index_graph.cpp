@@ -12,12 +12,16 @@ IndexGraph IndexGraph::from_network(const CircuitNetwork& net) {
     for (tdd::Level a : t.indices) {
       auto& adj = g.adjacency_[a];  // ensure isolated vertices exist too
       for (tdd::Level b : t.indices) {
-        if (a != b) adj.insert(b);
+        if (a != b) adj.push_back(b);
       }
     }
   }
   // External wires of gate-free qubits still appear as (isolated) vertices.
   for (tdd::Level l : net.external_indices()) g.adjacency_[l];
+  for (auto& [v, adj] : g.adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
   return g;
 }
 
@@ -26,10 +30,33 @@ std::size_t IndexGraph::degree(tdd::Level v) const {
   return it == adjacency_.end() ? 0 : it->second.size();
 }
 
-const std::set<tdd::Level>& IndexGraph::neighbours(tdd::Level v) const {
+const std::vector<tdd::Level>& IndexGraph::neighbours(tdd::Level v) const {
   const auto it = adjacency_.find(v);
   require(it != adjacency_.end(), "unknown vertex in IndexGraph::neighbours");
   return it->second;
+}
+
+std::size_t IndexGraph::contracted_width(tdd::Level a, tdd::Level b) const {
+  const auto& na = neighbours(a);
+  const auto& nb = neighbours(b);
+  // Count |na ∪ nb| minus any occurrence of a or b, walking both sorted
+  // lists once.
+  std::size_t width = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < na.size() || j < nb.size()) {
+    tdd::Level l;
+    if (j >= nb.size() || (i < na.size() && na[i] <= nb[j])) {
+      l = na[i];
+      if (i < na.size() && j < nb.size() && na[i] == nb[j]) ++j;
+      ++i;
+    } else {
+      l = nb[j];
+      ++j;
+    }
+    if (l != a && l != b) ++width;
+  }
+  return width;
 }
 
 std::vector<tdd::Level> IndexGraph::top_degree(std::size_t k) const {

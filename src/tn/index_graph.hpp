@@ -8,7 +8,6 @@
 
 #include <cstddef>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "tn/circuit_tensors.hpp"
@@ -26,7 +25,15 @@ class IndexGraph {
   /// Degree = number of distinct neighbouring indices.
   [[nodiscard]] std::size_t degree(tdd::Level v) const;
 
-  [[nodiscard]] const std::set<tdd::Level>& neighbours(tdd::Level v) const;
+  /// Neighbours of `v`, sorted ascending and duplicate-free — iterable
+  /// without std::set churn; the vertex must exist.
+  [[nodiscard]] const std::vector<tdd::Level>& neighbours(tdd::Level v) const;
+
+  /// Width of the vertex obtained by contracting the edge {a, b}: the
+  /// number of distinct neighbours of a or b other than a and b themselves
+  /// (|N(a) ∪ N(b) \ {a, b}|).  This is the planner's min-width metric on
+  /// the index graph; both vertices must exist.
+  [[nodiscard]] std::size_t contracted_width(tdd::Level a, tdd::Level b) const;
 
   /// The k highest-degree vertices; ties broken towards smaller levels so
   /// the choice is deterministic.
@@ -36,7 +43,9 @@ class IndexGraph {
   [[nodiscard]] std::vector<tdd::Level> vertices() const;
 
  private:
-  std::map<tdd::Level, std::set<tdd::Level>> adjacency_;
+  /// Sorted-unique adjacency lists; the map key order makes every
+  /// traversal deterministic.
+  std::map<tdd::Level, std::vector<tdd::Level>> adjacency_;
 };
 
 }  // namespace qts::tn

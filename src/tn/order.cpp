@@ -1,0 +1,373 @@
+#include "tn/order.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace qts::tn {
+
+namespace {
+
+/// Dense bitset over the distinct levels of one planning problem.  Levels
+/// are remapped to 0..L-1 once, so set algebra is word-parallel and the
+/// planner never touches std::set.
+class IndexSet {
+ public:
+  explicit IndexSet(std::size_t words) : words_(words, 0) {}
+
+  void set(std::size_t bit) { words_[bit >> 6] |= std::uint64_t{1} << (bit & 63); }
+  [[nodiscard]] bool test(std::size_t bit) const {
+    return (words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  void unite(const IndexSet& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+  void intersect(const IndexSet& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  [[nodiscard]] bool intersects(const IndexSet& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+  [[nodiscard]] std::uint64_t word(std::size_t i) const { return words_[i]; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Width of the intermediate produced by merging slots with index sets `a`
+/// and `b`, given live-use counts (`uses[l]` = live slots mentioning l, keep
+/// counted as one permanent user).  An index survives the merge iff someone
+/// OTHER than the two operands still mentions it — exactly the executor's
+/// `remaining` test, so planned widths are the real intermediate widths.
+std::size_t merge_width(const IndexSet& a, const IndexSet& b,
+                        const std::vector<std::size_t>& uses) {
+  std::size_t width = 0;
+  for (std::size_t i = 0; i < a.num_words(); ++i) {
+    std::uint64_t u = a.word(i) | b.word(i);
+    while (u != 0) {
+      const std::size_t l = i * 64 + static_cast<std::size_t>(__builtin_ctzll(u));
+      const std::size_t operands = (a.test(l) ? 1u : 0u) + (b.test(l) ? 1u : 0u);
+      if (uses[l] > operands) ++width;
+      u &= u - 1;
+    }
+  }
+  return width;
+}
+
+/// Commit a merge: retire both operands from the use counts, build the
+/// surviving index set, and register it as one new user of each survivor.
+IndexSet commit_merge(const IndexSet& a, const IndexSet& b,
+                      std::vector<std::size_t>& uses, std::size_t words) {
+  IndexSet result(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t u = a.word(i) | b.word(i);
+    while (u != 0) {
+      const std::size_t l = i * 64 + static_cast<std::size_t>(__builtin_ctzll(u));
+      uses[l] -= (a.test(l) ? 1u : 0u) + (b.test(l) ? 1u : 0u);
+      if (uses[l] > 0) {
+        result.set(l);
+        uses[l] += 1;
+      }
+      u &= u - 1;
+    }
+  }
+  return result;
+}
+
+struct Problem {
+  std::size_t num_levels = 0;
+  std::size_t words = 0;
+  std::vector<IndexSet> tensor;  ///< per input tensor, remapped index set
+  IndexSet keep;                 ///< external indices that must survive
+  std::vector<std::size_t> uses; ///< per level: #tensors mentioning it (+1 if kept)
+
+  Problem() : keep(0) {}
+};
+
+Problem build_problem(const std::vector<std::vector<tdd::Level>>& index_sets,
+                      const std::vector<tdd::Level>& keep) {
+  // Deterministic level remap: sorted order of every level that appears.
+  std::map<tdd::Level, std::size_t> remap;
+  for (const auto& idx : index_sets) {
+    for (const tdd::Level l : idx) remap.emplace(l, 0);
+  }
+  for (const tdd::Level l : keep) remap.emplace(l, 0);
+  std::size_t next = 0;
+  for (auto& [level, bit] : remap) bit = next++;
+
+  Problem p;
+  p.num_levels = next;
+  p.words = (next + 63) / 64;
+  if (p.words == 0) p.words = 1;
+  p.keep = IndexSet(p.words);
+  p.uses.assign(p.num_levels, 0);
+  p.tensor.reserve(index_sets.size());
+  for (const auto& idx : index_sets) {
+    IndexSet s(p.words);
+    for (const tdd::Level l : idx) {
+      const std::size_t bit = remap.at(l);
+      s.set(bit);
+      p.uses[bit] += 1;
+    }
+    p.tensor.push_back(std::move(s));
+  }
+  for (const tdd::Level l : keep) {
+    const std::size_t bit = remap.at(l);
+    p.keep.set(bit);
+    p.uses[bit] += 1;
+  }
+  return p;
+}
+
+/// The visible index set of a merged group: indices some member mentions
+/// that are also mentioned outside the group or kept.  `members` is the
+/// union of the group's tensor index sets; `outside` the union of every
+/// live slot OTHER than the group, keep included.
+IndexSet visible_set(const IndexSet& members, const IndexSet& outside, std::size_t words) {
+  IndexSet v(words);
+  v.unite(members);
+  v.intersect(outside);
+  return v;
+}
+
+/// Record one merge into the plan's cost gauges.
+void account(ContractionPlan& plan, std::size_t width) {
+  plan.max_width = std::max(plan.max_width, width);
+  plan.estimated_cost += std::ldexp(1.0, static_cast<int>(std::min<std::size_t>(width, 1022)));
+}
+
+/// The caller-order fold as an explicit SSA plan, cost-annotated with the
+/// same use-count mechanics as the executor so the gauges stay comparable
+/// across policies.
+ContractionPlan plan_caller(const Problem& p) {
+  ContractionPlan plan;
+  plan.policy = OrderPolicy::kCaller;
+  const std::size_t n = p.tensor.size();
+  plan.num_tensors = n;
+  if (n < 2) return plan;
+
+  std::vector<std::size_t> uses = p.uses;
+  IndexSet acc = p.tensor[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    account(plan, merge_width(acc, p.tensor[i], uses));
+    acc = commit_merge(acc, p.tensor[i], uses, p.words);
+    plan.steps.push_back({i == 1 ? std::size_t{0} : n + (i - 2), i});
+  }
+  return plan;
+}
+
+/// Min-width greedy: repeatedly merge the live pair with the smallest
+/// surviving-index width.  Pairs sharing an index are preferred over
+/// disconnected pairs (an outer product rarely helps); remaining ties break
+/// towards the earliest slot positions via the scan order and strict
+/// comparison, so the plan is fully deterministic.
+ContractionPlan plan_greedy(const Problem& p) {
+  ContractionPlan plan;
+  plan.policy = OrderPolicy::kGreedy;
+  const std::size_t n = p.tensor.size();
+  plan.num_tensors = n;
+  if (n < 2) return plan;
+
+  struct Slot {
+    std::size_t id;    ///< SSA slot number
+    IndexSet members;  ///< surviving index set of the slot
+  };
+
+  // Live-use counts per level: how many live slots mention it (+1 if kept).
+  // A level with count 2 whose two users merge becomes summable — it
+  // vanishes from the merged slot and never contributes width again.
+  std::vector<std::size_t> uses = p.uses;
+
+  std::vector<Slot> live;
+  live.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) live.push_back({i, p.tensor[i]});
+
+  std::size_t next_id = n;
+  while (live.size() > 1) {
+    // Pick the pair (a, b), a < b by position, minimising
+    // (result width, disconnected?, position a, position b).
+    std::size_t best_a = 0;
+    std::size_t best_b = 1;
+    std::size_t best_width = std::numeric_limits<std::size_t>::max();
+    bool best_connected = false;
+    for (std::size_t a = 0; a < live.size(); ++a) {
+      for (std::size_t b = a + 1; b < live.size(); ++b) {
+        const bool connected = live[a].members.intersects(live[b].members);
+        const std::size_t width = merge_width(live[a].members, live[b].members, uses);
+        const bool better =
+            width < best_width || (width == best_width && connected && !best_connected);
+        if (better) {
+          best_a = a;
+          best_b = b;
+          best_width = width;
+          best_connected = connected;
+        }
+      }
+    }
+
+    plan.steps.push_back({live[best_a].id, live[best_b].id});
+    account(plan, best_width);
+    Slot merged{next_id++, commit_merge(live[best_a].members, live[best_b].members,
+                                        uses, p.words)};
+
+    // Replace the pair with the merged slot (erase the later position first
+    // so the earlier one stays valid).
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(best_b));
+    live[best_a] = std::move(merged);
+  }
+  return plan;
+}
+
+/// Subset DP: cost[S] = min over nontrivial splits A ⊂ S of
+/// cost[A] + cost[S\A] + 2^width(S).  width(S) depends on S alone (visible
+/// = mentioned in S and also outside S or kept), which is what makes the
+/// DP well-posed.  Deterministic: subsets are scanned in increasing mask
+/// order and the first best split wins.
+ContractionPlan plan_exact(const Problem& p) {
+  ContractionPlan plan;
+  plan.policy = OrderPolicy::kExact;
+  const std::size_t n = p.tensor.size();
+  plan.num_tensors = n;
+  if (n < 2) return plan;
+  require(n <= kExactLimit, "plan_exact: network too large for the subset DP");
+
+  const std::size_t words = p.words;
+  const std::uint32_t full = (n == 32 ? ~0u : (1u << n) - 1u);
+
+  // Per-subset union of member index sets, and the visible width.
+  std::vector<IndexSet> members(full + 1, IndexSet(words));
+  std::vector<std::size_t> width(full + 1, 0);
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    const std::uint32_t low = s & (s - 1);
+    members[s] = members[low];
+    members[s].unite(p.tensor[static_cast<std::size_t>(__builtin_ctz(s))]);
+  }
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    IndexSet outside(words);
+    outside.unite(p.keep);
+    const std::uint32_t rest = full & ~s;
+    if (rest != 0) outside.unite(members[rest]);
+    width[s] = visible_set(members[s], outside, words).count();
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(full + 1, kInf);
+  std::vector<std::uint32_t> split(full + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) cost[std::uint32_t{1} << i] = 0.0;
+
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    if ((s & (s - 1)) == 0) continue;  // singleton
+    const double merge_cost =
+        std::ldexp(1.0, static_cast<int>(std::min<std::size_t>(width[s], 1022)));
+    // Enumerate proper submasks; visiting a from s keeps a < s so cost[a]
+    // and cost[s\a] are final.  Each unordered split is seen twice; the
+    // deterministic strict '<' keeps the first (smallest mask) winner.
+    for (std::uint32_t a = (s - 1) & s; a != 0; a = (a - 1) & s) {
+      const std::uint32_t b = s & ~a;
+      if (b == 0) continue;
+      const double c = cost[a] + cost[b] + merge_cost;
+      if (c < cost[s]) {
+        cost[s] = c;
+        split[s] = a;
+      }
+    }
+  }
+
+  // Reconstruct SSA steps bottom-up.  emit(S) returns the slot id holding
+  // the contraction of subset S.
+  std::size_t next_id = n;
+  auto emit = [&](auto&& self, std::uint32_t s) -> std::size_t {
+    if ((s & (s - 1)) == 0) return static_cast<std::size_t>(__builtin_ctz(s));
+    const std::uint32_t a = split[s];
+    const std::uint32_t b = s & ~a;
+    const std::size_t lhs = self(self, a);
+    const std::size_t rhs = self(self, b);
+    plan.steps.push_back({std::min(lhs, rhs), std::max(lhs, rhs)});
+    account(plan, width[s]);
+    return next_id++;
+  };
+  (void)emit(emit, full);
+  plan.estimated_cost = cost[full];
+  return plan;
+}
+
+}  // namespace
+
+OrderPolicy parse_order_policy(const std::string& text) {
+  if (text == "caller") return OrderPolicy::kCaller;
+  if (text == "greedy") return OrderPolicy::kGreedy;
+  if (text == "exact") return OrderPolicy::kExact;
+  throw InvalidArgument("unknown contraction-order policy '" + text +
+                        "' (expected caller, greedy or exact)");
+}
+
+std::string to_string(OrderPolicy policy) {
+  switch (policy) {
+    case OrderPolicy::kCaller: return "caller";
+    case OrderPolicy::kGreedy: return "greedy";
+    case OrderPolicy::kExact: return "exact";
+  }
+  throw InternalError("to_string(OrderPolicy): invalid enum value");
+}
+
+ContractionPlan plan_order_indices(const std::vector<std::vector<tdd::Level>>& index_sets,
+                                   const std::vector<tdd::Level>& keep, OrderPolicy policy,
+                                   ExecutionContext* ctx) {
+  WallTimer timer;
+  const Problem p = build_problem(index_sets, keep);
+  ContractionPlan plan;
+  switch (policy) {
+    case OrderPolicy::kCaller:
+      plan = plan_caller(p);
+      break;
+    case OrderPolicy::kGreedy:
+      plan = plan_greedy(p);
+      break;
+    case OrderPolicy::kExact:
+      // The subset DP is exponential; big networks degrade to the greedy
+      // heuristic (documented in the header) rather than refusing.
+      if (index_sets.size() <= kExactLimit) {
+        plan = plan_exact(p);
+      } else {
+        plan = plan_greedy(p);
+        plan.policy = OrderPolicy::kExact;
+      }
+      break;
+  }
+  if (ctx != nullptr) {
+    RunStats& s = ctx->stats();
+    s.plans_computed += 1;
+    s.plan_seconds += timer.seconds();
+    s.plan_max_width = std::max(s.plan_max_width, plan.max_width);
+  }
+  return plan;
+}
+
+ContractionPlan plan_order(const std::vector<Tensor>& tensors,
+                           const std::vector<tdd::Level>& keep, OrderPolicy policy,
+                           ExecutionContext* ctx) {
+  std::vector<std::vector<tdd::Level>> index_sets;
+  index_sets.reserve(tensors.size());
+  for (const Tensor& t : tensors) index_sets.push_back(t.indices);
+  return plan_order_indices(index_sets, keep, policy, ctx);
+}
+
+}  // namespace qts::tn

@@ -1,0 +1,95 @@
+/// \file order.hpp
+/// Cost-driven contraction-order planning for contract_network.
+///
+/// The caller-supplied tensor order (circuit order for a monolithic
+/// pre-contraction, (window, group) order for partition blocks, ket-first
+/// for image pushes) is a reasonable default but carries no cost model at
+/// all.  This planner chooses the pairwise merge order over the *index
+/// sets* alone — the TDD values never matter for planning, only which
+/// indices each tensor touches and which must be kept — so a plan can be
+/// computed once per prepared circuit and reused for every Kraus
+/// application of the fixpoint.
+///
+/// Cost model: the width of an intermediate is the size of its visible
+/// index set (indices mentioned outside the merged subtree, or in `keep`);
+/// its proxy cost is 2^width, the dense upper bound on the intermediate
+/// TDD's size.  A plan's estimated cost is the sum of its merge costs.
+/// Because reduced TDDs are canonical, the FINAL tensor is bit-identical
+/// whatever the order — planning changes intermediate sizes and wall-clock
+/// only, never results.
+///
+/// Policies:
+///   * kCaller — the historical left-to-right fold, kept as an explicit
+///     policy (plans cost nothing, merge order is the input order);
+///   * kGreedy — min-width pairwise merging: every step merges the pair of
+///     live tensors whose result has the smallest visible width,
+///     preferring pairs that actually share an index, with deterministic
+///     tie-breaks (O(n^3) in the tensor count, fine for circuit-sized
+///     networks and amortised by the prepared-plan cache anyway);
+///   * kExact — optimal pairwise order by subset dynamic programming,
+///     minimising the summed 2^width proxy cost; exponential in the tensor
+///     count, so networks above kExactLimit tensors fall back to kGreedy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/execution_context.hpp"
+#include "tn/tensor.hpp"
+
+namespace qts::tn {
+
+enum class OrderPolicy {
+  kCaller,  ///< left-to-right fold in the caller's tensor order
+  kGreedy,  ///< min-width greedy pairwise merging
+  kExact,   ///< subset-DP optimal pairwise order (<= kExactLimit tensors)
+};
+
+/// Parse "caller" | "greedy" | "exact" (strict full match).  Throws
+/// InvalidArgument on anything else — "greedyx" is an error, not kGreedy.
+OrderPolicy parse_order_policy(const std::string& text);
+
+/// Canonical spelling; parse_order_policy(to_string(p)) round-trips.
+std::string to_string(OrderPolicy policy);
+
+/// Largest network the exact DP will plan; bigger networks degrade to the
+/// greedy heuristic (the 3^n subset enumeration is past ~100k states here).
+inline constexpr std::size_t kExactLimit = 12;
+
+/// One pairwise merge in SSA form: slots 0..n-1 are the input tensors, the
+/// result of step i becomes slot n+i.  Every slot is consumed exactly once;
+/// after n-1 steps one live slot remains.
+struct PlanStep {
+  std::size_t lhs = 0;
+  std::size_t rhs = 0;
+};
+
+/// A contraction order for one fixed tensor list + keep set.  Reusable
+/// across managers and runs: it references tensors by position only.
+struct ContractionPlan {
+  OrderPolicy policy = OrderPolicy::kCaller;
+  std::vector<PlanStep> steps;     ///< n-1 merges in SSA slot numbering
+  std::size_t num_tensors = 0;     ///< n the plan was built for
+  std::size_t max_width = 0;       ///< widest intermediate index set
+  double estimated_cost = 0.0;     ///< sum of 2^width over the merges
+};
+
+/// Plan a contraction order for `tensors` with external set `keep` (sorted).
+/// Deterministic: the plan depends only on the index sets, never on TDD
+/// node identity, manager state or wall-clock — the same network plans the
+/// same way in every run and every manager.  When `ctx` is non-null the
+/// planner gauges (plans computed, planning seconds, max order width) are
+/// recorded on its RunStats.
+ContractionPlan plan_order(const std::vector<Tensor>& tensors,
+                           const std::vector<tdd::Level>& keep, OrderPolicy policy,
+                           ExecutionContext* ctx = nullptr);
+
+/// Same planner on bare index sets (no TDD edges needed) — what the tests
+/// and any ahead-of-time tooling use.
+ContractionPlan plan_order_indices(const std::vector<std::vector<tdd::Level>>& index_sets,
+                                   const std::vector<tdd::Level>& keep, OrderPolicy policy,
+                                   ExecutionContext* ctx = nullptr);
+
+}  // namespace qts::tn

@@ -1,0 +1,422 @@
+/// \file order_test.cpp
+/// The contraction-order planner (tn/order.hpp): policy parsing, plan
+/// well-formedness, determinism across runs and managers, exact-DP
+/// optimality against brute force on hand-built networks, and — the load-
+/// bearing property — bit-identical model-checking results under every
+/// policy on the full workload corpus.  Reduced TDDs are canonical, so the
+/// final projector must not depend on the merge order at all.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "qts/backward.hpp"
+#include "qts/engine.hpp"
+#include "qts/reachability.hpp"
+#include "qts/states.hpp"
+#include "qts/workloads.hpp"
+#include "tn/circuit_tensors.hpp"
+#include "tn/contract.hpp"
+#include "tn/order.hpp"
+
+namespace qts::tn {
+namespace {
+
+using tdd::Level;
+
+// ---------------------------------------------------------------------------
+// Policy parsing
+
+TEST(OrderPolicyParse, RoundTripsAndStrictness) {
+  EXPECT_EQ(parse_order_policy("caller"), OrderPolicy::kCaller);
+  EXPECT_EQ(parse_order_policy("greedy"), OrderPolicy::kGreedy);
+  EXPECT_EQ(parse_order_policy("exact"), OrderPolicy::kExact);
+  for (const auto p : {OrderPolicy::kCaller, OrderPolicy::kGreedy, OrderPolicy::kExact}) {
+    EXPECT_EQ(parse_order_policy(to_string(p)), p);
+  }
+  EXPECT_THROW((void)parse_order_policy("bogus"), InvalidArgument);
+  EXPECT_THROW((void)parse_order_policy("greedyx"), InvalidArgument);  // full match only
+  EXPECT_THROW((void)parse_order_policy(" greedy"), InvalidArgument);
+  EXPECT_THROW((void)parse_order_policy("Greedy"), InvalidArgument);
+  EXPECT_THROW((void)parse_order_policy(""), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Plan well-formedness
+
+/// Every slot 0..n-1 plus each step result must be consumed exactly once,
+/// with one live slot (the last step's result) remaining.
+void expect_valid_ssa(const ContractionPlan& plan) {
+  const std::size_t n = plan.num_tensors;
+  if (n < 2) {
+    EXPECT_TRUE(plan.steps.empty());
+    return;
+  }
+  ASSERT_EQ(plan.steps.size(), n - 1);
+  std::vector<int> consumed(n + plan.steps.size(), 0);
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    ASSERT_LT(s.lhs, n + i);  // only already-defined slots
+    ASSERT_LT(s.rhs, n + i);
+    EXPECT_NE(s.lhs, s.rhs);
+    consumed[s.lhs] += 1;
+    consumed[s.rhs] += 1;
+  }
+  for (std::size_t slot = 0; slot + 1 < consumed.size(); ++slot) {
+    EXPECT_EQ(consumed[slot], 1) << "slot " << slot;
+  }
+  EXPECT_EQ(consumed.back(), 0);  // the final result
+}
+
+TEST(OrderPlan, AllPoliciesProduceValidSsaPlans) {
+  tdd::Manager mgr;
+  const auto net = build_network(mgr, circ::make_qft(5));
+  const auto keep = net.external_indices();
+  for (const auto p : {OrderPolicy::kCaller, OrderPolicy::kGreedy, OrderPolicy::kExact}) {
+    const ContractionPlan plan = plan_order(net.tensors, keep, p);
+    EXPECT_EQ(plan.num_tensors, net.tensors.size());
+    expect_valid_ssa(plan);
+    EXPECT_GT(plan.estimated_cost, 0.0);
+    EXPECT_GT(plan.max_width, 0u);
+  }
+}
+
+TEST(OrderPlan, CallerPlanIsTheLeftFold) {
+  std::vector<std::vector<Level>> idx{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const auto plan = plan_order_indices(idx, {0, 4}, OrderPolicy::kCaller);
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_EQ(plan.steps[0].lhs, 0u);
+  EXPECT_EQ(plan.steps[0].rhs, 1u);
+  EXPECT_EQ(plan.steps[1].lhs, 4u);  // result of step 0
+  EXPECT_EQ(plan.steps[1].rhs, 2u);
+  EXPECT_EQ(plan.steps[2].lhs, 5u);
+  EXPECT_EQ(plan.steps[2].rhs, 3u);
+}
+
+TEST(OrderPlan, TrivialNetworks) {
+  for (const auto p : {OrderPolicy::kCaller, OrderPolicy::kGreedy, OrderPolicy::kExact}) {
+    const auto one = plan_order_indices({{0, 1}}, {0, 1}, p);
+    EXPECT_EQ(one.num_tensors, 1u);
+    EXPECT_TRUE(one.steps.empty());
+    const auto two = plan_order_indices({{0, 1}, {1, 2}}, {0, 2}, p);
+    ASSERT_EQ(two.steps.size(), 1u);
+    EXPECT_EQ(two.steps[0].lhs, 0u);
+    EXPECT_EQ(two.steps[0].rhs, 1u);
+  }
+}
+
+TEST(OrderPlan, ExactFallsBackToGreedyAboveTheLimit) {
+  // A chain of kExactLimit + 2 tensors: the exact policy must degrade to
+  // the greedy heuristic instead of attempting a 3^n DP.
+  std::vector<std::vector<Level>> idx;
+  for (std::size_t i = 0; i < kExactLimit + 2; ++i) {
+    idx.push_back({static_cast<Level>(i), static_cast<Level>(i + 1)});
+  }
+  const auto plan =
+      plan_order_indices(idx, {0, static_cast<Level>(idx.size())}, OrderPolicy::kExact);
+  EXPECT_EQ(plan.policy, OrderPolicy::kExact);  // the REQUESTED policy is kept
+  expect_valid_ssa(plan);
+  const auto greedy =
+      plan_order_indices(idx, {0, static_cast<Level>(idx.size())}, OrderPolicy::kGreedy);
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    EXPECT_EQ(plan.steps[i].lhs, greedy.steps[i].lhs);
+    EXPECT_EQ(plan.steps[i].rhs, greedy.steps[i].rhs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+TEST(OrderPlan, DeterministicAcrossRunsAndManagers) {
+  const auto plans_for = [](tdd::Manager& mgr, OrderPolicy p) {
+    const auto net = build_network(mgr, circ::make_grover_iteration(4));
+    return plan_order(net.tensors, net.external_indices(), p);
+  };
+  tdd::Manager a;
+  tdd::Manager b;
+  for (const auto p : {OrderPolicy::kCaller, OrderPolicy::kGreedy, OrderPolicy::kExact}) {
+    const auto p1 = plans_for(a, p);
+    const auto p2 = plans_for(a, p);  // same manager, repeated
+    const auto p3 = plans_for(b, p);  // fresh manager, different node addresses
+    ASSERT_EQ(p1.steps.size(), p2.steps.size());
+    ASSERT_EQ(p1.steps.size(), p3.steps.size());
+    for (std::size_t i = 0; i < p1.steps.size(); ++i) {
+      EXPECT_EQ(p1.steps[i].lhs, p2.steps[i].lhs);
+      EXPECT_EQ(p1.steps[i].rhs, p2.steps[i].rhs);
+      EXPECT_EQ(p1.steps[i].lhs, p3.steps[i].lhs);
+      EXPECT_EQ(p1.steps[i].rhs, p3.steps[i].rhs);
+    }
+    EXPECT_EQ(p1.max_width, p3.max_width);
+    EXPECT_EQ(p1.estimated_cost, p3.estimated_cost);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact-DP optimality
+
+/// Reference cost model, deliberately re-derived with naive containers: the
+/// cheapest total 2^width over EVERY pairwise merge order, by exhaustive
+/// recursion.  Mirrors the planner's semantics: an index survives a merge
+/// iff a live slot other than the operands (or keep) still mentions it.
+double brute_force_best(std::vector<std::set<Level>> slots, const std::set<Level>& keep) {
+  if (slots.size() < 2) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < slots.size(); ++a) {
+    for (std::size_t b = a + 1; b < slots.size(); ++b) {
+      std::set<Level> merged;
+      for (Level l : slots[a]) merged.insert(l);
+      for (Level l : slots[b]) merged.insert(l);
+      std::set<Level> surviving;
+      for (Level l : merged) {
+        bool outside = keep.count(l) > 0;
+        for (std::size_t o = 0; o < slots.size() && !outside; ++o) {
+          if (o != a && o != b && slots[o].count(l) > 0) outside = true;
+        }
+        if (outside) surviving.insert(l);
+      }
+      const double merge_cost = std::ldexp(1.0, static_cast<int>(surviving.size()));
+      std::vector<std::set<Level>> rest;
+      for (std::size_t o = 0; o < slots.size(); ++o) {
+        if (o != a && o != b) rest.push_back(slots[o]);
+      }
+      rest.push_back(surviving);
+      best = std::min(best, merge_cost + brute_force_best(rest, keep));
+    }
+  }
+  return best;
+}
+
+void expect_exact_is_optimal(const std::vector<std::vector<Level>>& idx,
+                             const std::vector<Level>& keep) {
+  std::vector<std::set<Level>> slots;
+  for (const auto& t : idx) slots.emplace_back(t.begin(), t.end());
+  const double best = brute_force_best(slots, std::set<Level>(keep.begin(), keep.end()));
+  const auto exact = plan_order_indices(idx, keep, OrderPolicy::kExact);
+  EXPECT_DOUBLE_EQ(exact.estimated_cost, best);
+  const auto greedy = plan_order_indices(idx, keep, OrderPolicy::kGreedy);
+  const auto caller = plan_order_indices(idx, keep, OrderPolicy::kCaller);
+  EXPECT_LE(exact.estimated_cost, greedy.estimated_cost);
+  EXPECT_LE(exact.estimated_cost, caller.estimated_cost);
+}
+
+TEST(OrderExact, OptimalOnHandBuiltNetworks) {
+  // Chain: contracting end-to-end in order is optimal; caller already is.
+  expect_exact_is_optimal({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}, {0, 5});
+  // Star: a centre index shared by all, the leaves private.
+  expect_exact_is_optimal({{0, 1}, {0, 2}, {0, 3}, {0, 4}}, {1, 2, 3, 4});
+  // A bad caller order: the two tensors sharing the wide bus come LAST, so
+  // the left fold drags every bus index through each merge.
+  expect_exact_is_optimal(
+      {{0, 10, 11, 12, 13}, {1, 2}, {2, 3}, {1, 10, 11, 12, 13}}, {0, 3});
+  // 2x3 grid of pairwise-shared indices.
+  expect_exact_is_optimal(
+      {{0, 1, 6}, {1, 2, 7}, {2, 8}, {6, 3, 4}, {7, 4, 5}, {8, 5}}, {0, 3});
+}
+
+TEST(OrderExact, BeatsCallerWhereTheFoldIsBad) {
+  // The "wide bus last" network above: caller's fold must be strictly worse
+  // (this is the situation the planner exists for).
+  const std::vector<std::vector<Level>> idx{
+      {0, 10, 11, 12, 13}, {1, 2}, {2, 3}, {1, 10, 11, 12, 13}};
+  const auto caller = plan_order_indices(idx, {0, 3}, OrderPolicy::kCaller);
+  const auto exact = plan_order_indices(idx, {0, 3}, OrderPolicy::kExact);
+  const auto greedy = plan_order_indices(idx, {0, 3}, OrderPolicy::kGreedy);
+  EXPECT_LT(exact.estimated_cost, caller.estimated_cost);
+  EXPECT_LT(greedy.estimated_cost, caller.estimated_cost);
+  EXPECT_LT(exact.max_width, caller.max_width);
+}
+
+// ---------------------------------------------------------------------------
+// Planner gauges
+
+TEST(OrderPlan, RecordsGaugesOnTheContext) {
+  ExecutionContext ctx;
+  tdd::Manager mgr;
+  const auto net = build_network(mgr, circ::make_qft(4));
+  (void)plan_order(net.tensors, net.external_indices(), OrderPolicy::kGreedy, &ctx);
+  EXPECT_EQ(ctx.stats().plans_computed, 1u);
+  EXPECT_GT(ctx.stats().plan_max_width, 0u);
+  EXPECT_GE(ctx.stats().plan_seconds, 0.0);
+
+  // Fork/join merge: counts sum, the width gauge max-merges.
+  ExecutionContext parent;
+  ExecutionContext w1 = parent.worker_view();
+  ExecutionContext w2 = parent.worker_view();
+  w1.stats().plans_computed = 2;
+  w1.stats().plan_max_width = 7;
+  w1.stats().plan_seconds = 0.25;
+  w2.stats().plans_computed = 3;
+  w2.stats().plan_max_width = 5;
+  w2.stats().plan_seconds = 0.5;
+  parent.join_worker(w1);
+  parent.join_worker(w2);
+  EXPECT_EQ(parent.stats().plans_computed, 5u);
+  EXPECT_EQ(parent.stats().plan_max_width, 7u);
+  EXPECT_DOUBLE_EQ(parent.stats().plan_seconds, 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Contraction equivalence: the final tensor is bit-identical per policy
+
+TEST(OrderContract, SameTensorUnderEveryPolicyAndPlanReplay) {
+  tdd::Manager mgr;
+  const auto net = build_network(mgr, circ::make_grover_iteration(4));
+  const auto keep = net.external_indices();
+  const Tensor caller = contract_network(mgr, net.tensors, keep, nullptr, OrderPolicy::kCaller);
+  const Tensor greedy = contract_network(mgr, net.tensors, keep, nullptr, OrderPolicy::kGreedy);
+  const Tensor exact = contract_network(mgr, net.tensors, keep, nullptr, OrderPolicy::kExact);
+  // Same manager + canonical reduced TDDs: the STRUCTURE (node) is
+  // identical under every order.  The top weight is a product of the merge
+  // scalars, so it may differ in the last ulp — float contraction is not
+  // associative — hence approx on the weight, exact on the node.
+  EXPECT_EQ(caller.edge.node, greedy.edge.node);
+  EXPECT_TRUE(approx_equal(caller.edge.weight, greedy.edge.weight));
+  EXPECT_EQ(caller.edge.node, exact.edge.node);
+  EXPECT_TRUE(approx_equal(caller.edge.weight, exact.edge.weight));
+  EXPECT_EQ(greedy.indices, caller.indices);
+
+  // A precomputed plan replays to the same result.
+  const auto plan = plan_order(net.tensors, keep, OrderPolicy::kGreedy);
+  const Tensor replay = contract_network(mgr, net.tensors, keep, nullptr, plan);
+  EXPECT_EQ(replay.edge.node, greedy.edge.node);
+  EXPECT_EQ(replay.edge.weight, greedy.edge.weight);  // same order: bit-equal
+}
+
+TEST(OrderContract, MismatchedPlanIsRejected) {
+  tdd::Manager mgr;
+  const auto net = build_network(mgr, circ::make_ghz(3));
+  const auto keep = net.external_indices();
+  ContractionPlan plan = plan_order(net.tensors, keep, OrderPolicy::kGreedy);
+  plan.num_tensors += 1;
+  EXPECT_THROW((void)contract_network(mgr, net.tensors, keep, nullptr, plan), Error);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differential oracle: reach/invar/back on the workload corpus
+
+struct PolicyRun {
+  std::size_t dim = 0;
+  const tdd::Node* node = nullptr;
+  cplx weight{0.0, 0.0};
+  bool holds = false;
+};
+
+/// Run one model-checking command under `policy` in a FRESH manager and
+/// return the final projector identity (node pointer comparison is only
+/// meaningful within one manager, so callers compare runs made in the SAME
+/// manager — see below).
+PolicyRun run_policy(tdd::Manager& mgr, const TransitionSystem& sys, const std::string& engine,
+                     OrderPolicy policy, const std::string& command, std::size_t steps) {
+  ExecutionContext ctx;
+  mgr.bind_context(&ctx);
+  const auto computer = make_engine(mgr, engine, &ctx);
+  computer->set_order_policy(policy);
+  PolicyRun out;
+  if (command == "reach") {
+    const auto r = reachable_space(*computer, sys, steps);
+    out.dim = r.space.dim();
+    out.node = r.space.projector().node;
+    out.weight = r.space.projector().weight;
+  } else if (command == "back") {
+    const auto r = backward_reachable(*computer, sys, sys.initial, steps);
+    out.dim = r.space.dim();
+    out.node = r.space.projector().node;
+    out.weight = r.space.projector().weight;
+  } else {
+    const auto r = check_invariant(*computer, sys, sys.initial, steps);
+    out.holds = r.holds;
+    out.dim = r.iterations;
+  }
+  return out;
+}
+
+void expect_policies_agree(const std::function<TransitionSystem(tdd::Manager&)>& make,
+                           const std::string& engine, const std::string& command,
+                           std::size_t steps) {
+  // One manager for all three policies: reduced TDDs are canonical there,
+  // so "bit-identical projector" is literal node identity.
+  tdd::Manager mgr;
+  const TransitionSystem sys = make(mgr);
+  const PolicyRun caller = run_policy(mgr, sys, engine, OrderPolicy::kCaller, command, steps);
+  const PolicyRun greedy = run_policy(mgr, sys, engine, OrderPolicy::kGreedy, command, steps);
+  const PolicyRun exact = run_policy(mgr, sys, engine, OrderPolicy::kExact, command, steps);
+  EXPECT_EQ(caller.dim, greedy.dim) << engine << " " << command;
+  EXPECT_EQ(caller.node, greedy.node) << engine << " " << command;
+  EXPECT_EQ(caller.weight, greedy.weight) << engine << " " << command;
+  EXPECT_EQ(caller.dim, exact.dim) << engine << " " << command;
+  EXPECT_EQ(caller.node, exact.node) << engine << " " << command;
+  EXPECT_EQ(caller.weight, exact.weight) << engine << " " << command;
+  EXPECT_EQ(caller.holds, greedy.holds) << engine << " " << command;
+  EXPECT_EQ(caller.holds, exact.holds) << engine << " " << command;
+}
+
+TransitionSystem load_example_system(tdd::Manager& mgr, const std::string& file) {
+  std::ifstream in(std::string(QTS_EXAMPLES_DIR) + "/" + file);
+  std::ostringstream text;
+  text << in.rdbuf();
+  const circ::Circuit c = circ::from_qasm(text.str());
+  const std::uint32_t n = c.num_qubits();
+  return TransitionSystem{n, Subspace::from_states(mgr, n, {ket_basis(mgr, n, 0)}),
+                          {QuantumOperation{"step", {c}}}};
+}
+
+TEST(OrderDifferential, ReachBitIdenticalOnAllWorkloads) {
+  const std::vector<std::pair<std::string, std::function<TransitionSystem(tdd::Manager&)>>>
+      workloads{
+          {"ghz6", [](tdd::Manager& m) { return make_ghz_system(m, 6); }},
+          {"bv8", [](tdd::Manager& m) { return make_bv_system(m, 8); }},
+          {"qft5", [](tdd::Manager& m) { return make_qft_system(m, 5); }},
+          {"grover7", [](tdd::Manager& m) { return make_grover_system(m, 7); }},
+          {"qrw6-noisy", [](tdd::Manager& m) { return make_qrw_system(m, 6, 0.1, true, 0); }},
+          {"bitflip", [](tdd::Manager& m) { return make_bitflip_code_system(m); }},
+      };
+  for (const auto& [name, make] : workloads) {
+    SCOPED_TRACE(name);
+    // basic exercises the monolithic pre-contraction plan, contraction the
+    // blocks + ket push plan — the two genuinely multi-tensor paths.
+    expect_policies_agree(make, "basic", "reach", 16);
+    expect_policies_agree(make, "contraction:4,4", "reach", 16);
+  }
+}
+
+TEST(OrderDifferential, AdditionEngineAgreesToo) {
+  expect_policies_agree([](tdd::Manager& m) { return make_qft_system(m, 5); }, "addition:1",
+                        "reach", 16);
+  expect_policies_agree([](tdd::Manager& m) { return make_bitflip_code_system(m); },
+                        "addition:2", "reach", 16);
+}
+
+TEST(OrderDifferential, InvarAndBackBitIdentical) {
+  const auto qrw = [](tdd::Manager& m) { return make_qrw_system(m, 6, 0.1, true, 0); };
+  const auto bitflip = [](tdd::Manager& m) { return make_bitflip_code_system(m); };
+  for (const auto* command : {"invar", "back"}) {
+    SCOPED_TRACE(command);
+    expect_policies_agree(qrw, "contraction:4,4", command, 12);
+    expect_policies_agree(bitflip, "basic", command, 12);
+  }
+}
+
+TEST(OrderDifferential, ExampleQasmBitIdentical) {
+  for (const auto* file : {"ghz16.qasm", "ghz.qasm"}) {
+    SCOPED_TRACE(file);
+    const auto make = [file](tdd::Manager& m) { return load_example_system(m, file); };
+    // The 16-qubit GHZ converges only after thousands of iterations; the
+    // small cap keeps this a real multi-iteration differential run.
+    expect_policies_agree(make, "contraction:4,4", "reach", 6);
+    expect_policies_agree(make, "basic", "invar", 4);
+    expect_policies_agree(make, "basic", "back", 4);
+  }
+}
+
+}  // namespace
+}  // namespace qts::tn

@@ -44,6 +44,25 @@ check 0 "$QTSMC" reach --engine parallel:2,sparse "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" image --engine sparse --noise depol:0.1:0 "$EXAMPLES/ghz.qasm"
 check 0 "$QTSMC" --engines
 
+# 0 — contraction-order policies, on every engine family the planner steers
+# (a strict-parsed knob: anything but caller/greedy/exact is a usage error).
+check 0 "$QTSMC" reach --order greedy --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --order caller "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --order exact --engine basic "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" invar --order greedy --engine parallel:2 "$EXAMPLES/phase_oracle.qasm"
+check 0 "$QTSMC" back --order exact --steps 4 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --order bogus "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --order "" "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --order Greedy "$EXAMPLES/ghz.qasm"   # case-sensitive
+
+# The planner gauges must reach the --stats output.
+if "$QTSMC" reach --order greedy --stats "$EXAMPLES/ghz.qasm" | grep -q '^planner: greedy policy'; then
+  echo "ok: --stats reports the planner line"
+else
+  echo "FAIL: --stats did not report the planner line" >&2
+  failures=$((failures + 1))
+fi
+
 # The sparse engine works past the dense qubit cap (ghz16.qasm is 16 qubits:
 # the statevector engine refuses with the resource-exhausted code, the sparse
 # engine pays only for the two-entry support).  The full 16-qubit reach
