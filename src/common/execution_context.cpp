@@ -16,6 +16,7 @@ ExecutionContext ExecutionContext::worker_view() const {
   view.fault_plan_ = fault_plan_;  // shared: probe counters span the group
   view.max_nodes_ = max_nodes_;
   view.current_iteration_ = current_iteration_;
+  view.audit_every_ = audit_every_;
   view.gc_threshold_nodes_ = gc_threshold_nodes_;
   view.adaptive_gc_ = adaptive_gc_;
   view.adaptive_gc_floor_ = adaptive_gc_floor_;
@@ -36,6 +37,8 @@ void ExecutionContext::join_worker(const ExecutionContext& worker) {
   stats_.frontier_shards += w.frontier_shards;
   stats_.frontier_survivors += w.frontier_survivors;
   if (w.max_frontier_dim > stats_.max_frontier_dim) stats_.max_frontier_dim = w.max_frontier_dim;
+  stats_.audits_run += w.audits_run;
+  if (w.audited_nodes > stats_.audited_nodes) stats_.audited_nodes = w.audited_nodes;
   stats_.unique_hits += w.unique_hits;
   stats_.unique_misses += w.unique_misses;
   stats_.add_hits += w.add_hits;

@@ -54,6 +54,12 @@ struct RunStats {
   /// Switches by cause, indexed by static_cast<std::size_t>(Resource).
   std::array<std::size_t, 4> degradation_causes{};
 
+  // Structural-audit counters (filled by the fixpoint driver and qtsmc when
+  // --audit / --audit-every are armed; audits_run sums on join, audited_nodes
+  // max-merges like the other one-shared-manager gauges).
+  std::size_t audits_run = 0;      ///< structural audits executed (all clean, or we threw)
+  std::size_t audited_nodes = 0;   ///< most interned nodes any single audit walked
+
   // TDD manager cache counters (unique table / add cache / cont cache).
   std::size_t unique_hits = 0;
   std::size_t unique_misses = 0;
@@ -241,9 +247,22 @@ class ExecutionContext {
   static constexpr std::size_t kAdaptiveGcFloor = std::size_t{1} << 16;
   static constexpr double kAdaptiveGcGrowth = 2.0;
 
+  // -- structural audits ----------------------------------------------------
+
+  /// When non-zero, fixpoint drivers run tdd::audit every `k` iterations
+  /// (and after every GC) and throw tdd::AuditError on corruption.  Copied
+  /// into worker views like the GC policy.  0 disables (the default: a full
+  /// table/arena walk per iteration is a debugging tool, not a fast path).
+  void set_audit_every(std::size_t k) { audit_every_ = k; }
+  [[nodiscard]] std::size_t audit_every() const { return audit_every_; }
+
  private:
   Deadline deadline_;
   RunStats stats_;
+  // The worker pool's shared stop state is deliberately lock-free: these
+  // atomics are the only cross-thread mutable fields of a context group, and
+  // they sit outside the GUARDED_BY capability system (atomic accesses carry
+  // their own ordering; clang's thread-safety analysis has nothing to add).
   std::shared_ptr<std::atomic<bool>> cancel_ = std::make_shared<std::atomic<bool>>(false);
   /// Outstanding worker views of this group (created minus joined); shared
   /// across the group so the clear_cancel guard sees every sibling.
@@ -251,6 +270,7 @@ class ExecutionContext {
   std::shared_ptr<FaultPlan> fault_plan_;
   std::size_t max_nodes_ = 0;
   std::size_t current_iteration_ = 0;
+  std::size_t audit_every_ = 0;
   std::size_t gc_threshold_nodes_ = 0;
   bool adaptive_gc_ = true;
   std::size_t adaptive_gc_floor_ = kAdaptiveGcFloor;

@@ -1,0 +1,44 @@
+/// \file mutex.hpp
+/// std::mutex with clang thread-safety capability annotations.
+///
+/// libstdc++'s std::mutex carries no thread_safety attributes, so fields
+/// guarded by a raw std::mutex are invisible to `-Wthread-safety`.  This thin
+/// wrapper re-exports lock/unlock as capability transitions; qts code that
+/// wants static lock checking holds a qts::Mutex and marks its data
+/// GUARDED_BY(it).  The wrapper is layout- and cost-identical to std::mutex.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace qts {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { impl_.lock(); }
+  void unlock() RELEASE() { impl_.unlock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// RAII lock for qts::Mutex — std::lock_guard with SCOPED_CAPABILITY so the
+/// analysis tracks the guard's lifetime as the capability's extent.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace qts

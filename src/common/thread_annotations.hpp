@@ -1,0 +1,54 @@
+/// \file thread_annotations.hpp
+/// Clang thread-safety analysis attribute macros.
+///
+/// Under clang these expand to the `thread_safety` attribute family so a
+/// Debug build with `-Wthread-safety -Werror` statically proves every
+/// GUARDED_BY field is only touched with its capability held and every
+/// ACQUIRE/RELEASE function leaves the lock state it promises.  Under any
+/// other compiler (the g++ CI legs, the local toolchain) they expand to
+/// nothing, so the annotations are pure documentation there.
+///
+/// The macro set is the standard one from the clang documentation
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), trimmed to the
+/// attributes this codebase actually uses.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QTS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QTS_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lock (a "capability" the analysis tracks).
+#define CAPABILITY(x) QTS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY QTS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define GUARDED_BY(x) QTS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define PT_GUARDED_BY(x) QTS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that acquires the capability and does not release it.
+#define ACQUIRE(...) QTS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define RELEASE(...) QTS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that may be called only with the capability held.
+#define REQUIRES(...) QTS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may be called only with the capability *not* held.
+#define EXCLUDES(...) QTS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding an object.
+#define RETURN_CAPABILITY(x) QTS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function touches guarded data but is exempt from
+/// analysis (constructors/destructors of the owning object, quiescent-point
+/// sweeps whose exclusivity the type system cannot express).  Use sparingly
+/// and say why at each site.
+#define NO_THREAD_SAFETY_ANALYSIS QTS_THREAD_ANNOTATION(no_thread_safety_analysis)

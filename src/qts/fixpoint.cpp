@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "tdd/audit.hpp"
 
 namespace qts {
 
@@ -40,10 +41,10 @@ FixpointDriver& FixpointDriver::keep_alive(const Subspace& subspace) {
   return *this;
 }
 
-/// Mark-sweep over everything the loop still needs.
-void FixpointDriver::collect_and_gc(const Subspace& acc, const std::vector<Edge>& frontier,
-                                    const Subspace* oracle_acc,
-                                    const std::vector<Edge>* oracle_frontier) {
+std::vector<Edge> FixpointDriver::gather_roots(const Subspace& acc,
+                                               const std::vector<Edge>& frontier,
+                                               const Subspace* oracle_acc,
+                                               const std::vector<Edge>* oracle_frontier) {
   std::vector<Edge> roots = computer_.prepared_roots();
   auto keep_subspace = [&roots](const Subspace& s) {
     roots.push_back(s.projector());
@@ -61,7 +62,27 @@ void FixpointDriver::collect_and_gc(const Subspace& acc, const std::vector<Edge>
       roots.insert(roots.end(), oracle_frontier->begin(), oracle_frontier->end());
     }
   }
-  computer_.manager().gc(roots);
+  return roots;
+}
+
+/// Mark-sweep over everything the loop still needs.
+void FixpointDriver::collect_and_gc(const Subspace& acc, const std::vector<Edge>& frontier,
+                                    const Subspace* oracle_acc,
+                                    const std::vector<Edge>* oracle_frontier) {
+  computer_.manager().gc(gather_roots(acc, frontier, oracle_acc, oracle_frontier));
+}
+
+void FixpointDriver::audit_now(ExecutionContext& ctx, const Subspace& acc,
+                               const std::vector<Edge>& frontier, const Subspace* oracle_acc,
+                               const std::vector<Edge>* oracle_frontier) {
+  const std::vector<Edge> roots = gather_roots(acc, frontier, oracle_acc, oracle_frontier);
+  tdd::AuditReport report;
+  if (!tdd::audit(computer_.manager(), report, roots)) {
+    throw tdd::AuditError(std::move(report));
+  }
+  RunStats& s = ctx.stats();
+  ++s.audits_run;
+  if (report.interned_nodes > s.audited_nodes) s.audited_nodes = report.interned_nodes;
 }
 
 namespace {
@@ -138,6 +159,12 @@ FixpointDriver::Result FixpointDriver::run() {
     if (collect) {
       collect_and_gc(acc, frontier, &oracle_acc, &oracle_frontier);
       gc_baseline_ = computer_.manager().live_nodes();
+    }
+    // Structural audit (set_audit_every): after every collection, and every
+    // k-th iteration regardless — both at this same quiescent point, before
+    // any worker starts.  One audit per iteration even when both fire.
+    if (const std::size_t k = ctx.audit_every(); k != 0 && (collect || iters % k == 0)) {
+      audit_now(ctx, acc, frontier, &oracle_acc, &oracle_frontier);
     }
 
     IterationStats it;

@@ -112,8 +112,21 @@ class FixpointDriver {
   [[nodiscard]] const std::vector<IterationStats>& history() const { return history_; }
 
  private:
+  /// Everything the loop still needs alive: the roots handed to gc() and to
+  /// the structural auditor alike.
+  [[nodiscard]] std::vector<tdd::Edge> gather_roots(const Subspace& acc,
+                                                    const std::vector<tdd::Edge>& frontier,
+                                                    const Subspace* oracle_acc,
+                                                    const std::vector<tdd::Edge>* oracle_frontier);
+
   void collect_and_gc(const Subspace& acc, const std::vector<tdd::Edge>& frontier,
                       const Subspace* oracle_acc, const std::vector<tdd::Edge>* oracle_frontier);
+
+  /// Run tdd::audit against the loop's live roots (the set_audit_every hook);
+  /// throws tdd::AuditError on corruption, else bumps the audit counters.
+  void audit_now(ExecutionContext& ctx, const Subspace& acc,
+                 const std::vector<tdd::Edge>& frontier, const Subspace* oracle_acc,
+                 const std::vector<tdd::Edge>* oracle_frontier);
 
   ImageComputer& computer_;
   const TransitionSystem& sys_;

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace qts {
 
@@ -173,9 +174,14 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
   // slot and engine hold pointers to.
   for (auto& w : workers_) w->ctx = ctx_->worker_view();
 
-  std::exception_ptr first_error;
-  bool first_error_cancel_induced = false;
-  std::mutex error_mutex;
+  // Shared first-error slot: written by whichever worker fails first, read
+  // by the parent only after the joins below.  Annotated so clang's
+  // thread-safety analysis proves every access holds the mutex.
+  struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr error GUARDED_BY(mutex);
+    bool cancel_induced GUARDED_BY(mutex) = false;
+  } first;
 
   auto run_worker = [&](std::size_t idx) {
     Worker& w = *workers_[idx];
@@ -191,10 +197,10 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
       // parent only re-arms stops this round itself initiated.
       const bool cancel_induced = w.ctx.cancel_requested();
       {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-          first_error_cancel_induced = cancel_induced;
+        const MutexLock lock(first.mutex);
+        if (!first.error) {
+          first.error = std::current_exception();
+          first.cancel_induced = cancel_induced;
         }
       }
       // Stop the siblings at their next deadline poll — including polls deep
@@ -221,6 +227,13 @@ void ParallelImage::run_pool(std::size_t active, const std::function<void(std::s
   for (const auto& w : workers_) {
     mgr_.sample_storage(w->ctx.stats());
     ctx_->join_worker(w->ctx);
+  }
+  std::exception_ptr first_error;
+  bool first_error_cancel_induced = false;
+  {
+    const MutexLock lock(first.mutex);
+    first_error = first.error;
+    first_error_cancel_induced = first.cancel_induced;
   }
   if (first_error) {
     // Re-arm a stop THIS round's failing worker initiated (its deadline or

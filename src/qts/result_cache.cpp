@@ -121,8 +121,16 @@ std::optional<ResultCache::Entry> ResultCache::lookup(const JobKey& key, tdd::Ma
                                                       std::string_view property) {
   const std::string hex = key.hex();
   std::string text;
-  if (const auto it = memo_.find(hex); it != memo_.end()) {
-    text = it->second;
+  bool memo_hit = false;
+  {
+    const MutexLock lock(memo_mutex_);
+    if (const auto it = memo_.find(hex); it != memo_.end()) {
+      text = it->second;
+      memo_hit = true;
+    }
+  }
+  if (memo_hit) {
+    // fall through to the parse below with the memoised text
   } else if (!dir_.empty()) {
     std::ifstream in(path_for(key));
     if (!in) return std::nullopt;
@@ -162,7 +170,10 @@ std::optional<ResultCache::Entry> ResultCache::lookup(const JobKey& key, tdd::Ma
     if (e.space.dim() != dim) return std::nullopt;
     e.converged = converged != 0;
     e.holds = holds != 0;
-    memo_.emplace(hex, std::move(text));
+    {
+      const MutexLock lock(memo_mutex_);
+      memo_.emplace(hex, std::move(text));
+    }
     return e;
   } catch (const Error&) {
     return std::nullopt;
@@ -185,6 +196,7 @@ bool ResultCache::store(const JobKey& key, std::string_view property, const Subs
 
   const std::string hex = key.hex();
   if (dir_.empty()) {
+    const MutexLock lock(memo_mutex_);
     memo_[hex] = std::move(text);
     return false;
   }
@@ -212,7 +224,10 @@ bool ResultCache::store(const JobKey& key, std::string_view property, const Subs
     std::error_code ec;
     std::filesystem::remove(tmp_path, ec);
   }
-  memo_[hex] = std::move(text);
+  {
+    const MutexLock lock(memo_mutex_);
+    memo_[hex] = std::move(text);
+  }
   return persisted;
 }
 

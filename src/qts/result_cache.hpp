@@ -36,6 +36,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "qts/subspace.hpp"
 #include "qts/system.hpp"
 
@@ -100,7 +102,10 @@ class ResultCache {
              std::size_t iterations, bool converged, bool holds);
 
   [[nodiscard]] const std::string& directory() const { return dir_; }
-  [[nodiscard]] std::size_t memo_entries() const { return memo_.size(); }
+  [[nodiscard]] std::size_t memo_entries() const {
+    const MutexLock lock(memo_mutex_);
+    return memo_.size();
+  }
 
   /// On-disk record path for `key` ("" for memory-only caches).
   [[nodiscard]] std::string path_for(const JobKey& key) const;
@@ -110,8 +115,12 @@ class ResultCache {
   // The memo holds the serialised record TEXT, not live Edges: rebuilt
   // through tdd::io::load on every hit, so cached results never need to be
   // rooted against the manager's mark-sweep GC (a batch job's collections
-  // would otherwise sweep earlier jobs' memoised projectors).
-  std::unordered_map<std::string, std::string> memo_;
+  // would otherwise sweep earlier jobs' memoised projectors).  Guarded so a
+  // future `--serve` front end can share one cache across request threads;
+  // the rehydration (tdd::load) stays outside the lock on the caller's
+  // manager.
+  mutable Mutex memo_mutex_;
+  std::unordered_map<std::string, std::string> memo_ GUARDED_BY(memo_mutex_);
 };
 
 }  // namespace qts

@@ -5,13 +5,13 @@
 namespace qts::tdd {
 
 NodeArena::Block* NodeArena::acquire_block() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   blocks_.push_back(std::make_unique<Block>());
   return blocks_.back().get();
 }
 
 std::size_t NodeArena::refill(std::vector<Node*>& out, std::size_t want) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const std::size_t take = std::min(want, free_.size());
   out.insert(out.end(), free_.end() - static_cast<std::ptrdiff_t>(take), free_.end());
   free_.resize(free_.size() - take);
@@ -19,18 +19,18 @@ std::size_t NodeArena::refill(std::vector<Node*>& out, std::size_t want) {
 }
 
 void NodeArena::recycle(std::vector<Node*>&& batch) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   free_.insert(free_.end(), batch.begin(), batch.end());
   batch.clear();
 }
 
 std::size_t NodeArena::blocks() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return blocks_.size();
 }
 
 std::size_t NodeArena::free_pool() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return free_.size();
 }
 

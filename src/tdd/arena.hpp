@@ -23,9 +23,10 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "tdd/node.hpp"
 
 namespace qts::tdd {
@@ -83,17 +84,26 @@ class NodeArena {
   /// Quiescent points only.
   template <typename F>
   void for_each_constructed(F&& f) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& block : blocks_) {
       Node* nodes = block->nodes();
       for (std::size_t i = 0; i < block->used; ++i) f(nodes[i]);
     }
   }
 
+  /// Visit every node currently parked in the global free pool (the
+  /// auditor's free-list-reachability check).  Quiescent points only.
+  template <typename F>
+  void for_each_free(F&& f) {
+    const MutexLock lock(mutex_);
+    for (const Node* node : free_) f(*node);
+  }
+
  private:
-  mutable std::mutex mutex_;
-  std::deque<std::unique_ptr<Block>> blocks_;
-  std::vector<Node*> free_;  // global recycled-node pool (GC sweep output)
+  mutable Mutex mutex_;
+  std::deque<std::unique_ptr<Block>> blocks_ GUARDED_BY(mutex_);
+  // Global recycled-node pool (GC sweep output).
+  std::vector<Node*> free_ GUARDED_BY(mutex_);
   std::atomic<std::size_t> live_{0};
   std::atomic<std::size_t> constructed_{0};
 };

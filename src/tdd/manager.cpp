@@ -19,12 +19,14 @@ constexpr std::size_t kRefillBatch = 64;
 }  // namespace
 
 Manager::Manager() {
+  // Constructors run pre-publication; the thread-safety analysis exempts
+  // them, and no other thread can hold a reference yet.
   slots_.push_back(std::unique_ptr<ThreadSlot>(new ThreadSlot(this, nullptr)));
   main_slot_ = slots_.front().get();
 }
 
 Manager::ThreadSlot& Manager::create_slot(ExecutionContext* ctx) {
-  const std::lock_guard<std::mutex> lock(slots_mutex_);
+  const MutexLock lock(slots_mutex_);
   slots_.push_back(std::unique_ptr<ThreadSlot>(new ThreadSlot(this, ctx)));
   return *slots_.back();
 }
@@ -215,7 +217,7 @@ void Manager::bind_context(ExecutionContext* ctx) {
 }
 
 void Manager::clear_caches() {
-  const std::lock_guard<std::mutex> lock(slots_mutex_);
+  const MutexLock lock(slots_mutex_);
   for (auto& sl : slots_) {
     sl->add_cache_.clear();
     sl->cont_scratch_.clear();
@@ -280,7 +282,7 @@ Manager::StorageStats Manager::storage_stats() {
   s.live_nodes = arena_.live();
   s.allocated_nodes = arena_.constructed();
   {
-    std::lock_guard<std::mutex> lock(slots_mutex_);
+    const MutexLock lock(slots_mutex_);
     s.op_slots = slots_.size();
     for (const auto& slot : slots_) {
       s.add_hits += slot->add_hits_;

@@ -5,13 +5,14 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/complex.hpp"
 #include "common/execution_context.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "tdd/arena.hpp"
 #include "tdd/node.hpp"
 #include "tdd/unique_table.hpp"
@@ -84,6 +85,7 @@ class Manager {
 
    private:
     friend class Manager;
+    friend class AuditAccess;  // quiescent-point op-cache/free-list audit
     ThreadSlot(Manager* owner, ExecutionContext* ctx) : owner_(owner), ctx_(ctx) {
       add_cache_.reserve(1 << 12);
     }
@@ -238,6 +240,8 @@ class Manager {
   void sample_storage(RunStats& stats);
 
  private:
+  friend class AuditAccess;  // read-only walks + test-only corruption hooks
+
   /// The calling thread's slot: the SlotGuard-installed one if it belongs to
   /// this manager, the built-in main slot otherwise.
   [[nodiscard]] ThreadSlot& slot() const {
@@ -266,8 +270,10 @@ class Manager {
 
   NodeArena arena_;
   UniqueTable unique_;
-  std::mutex slots_mutex_;
-  std::deque<std::unique_ptr<ThreadSlot>> slots_;  // stable addresses; [0] is the main slot
+  Mutex slots_mutex_;
+  // Stable addresses; [0] is the main slot.  The deque itself is guarded;
+  // each slot's *contents* are thread-private to the installing worker.
+  std::deque<std::unique_ptr<ThreadSlot>> slots_ GUARDED_BY(slots_mutex_);
   ThreadSlot* main_slot_;
   std::uint64_t gc_epoch_ = 0;
   ExecutionContext* ctx_ = nullptr;

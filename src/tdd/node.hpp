@@ -27,6 +27,7 @@
 
 namespace qts::tdd {
 
+class AuditAccess;
 class Node;
 
 /// Weighted edge; the fundamental handle to a TDD.  Value semantics: cheap to
@@ -63,6 +64,7 @@ class Node {
 
  private:
   friend class Manager;
+  friend class AuditAccess;  // structural auditor + its corruption API
 
   Level level_;
   Edge low_;

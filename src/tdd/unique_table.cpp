@@ -4,44 +4,49 @@ namespace qts::tdd {
 
 UniqueTable::UniqueTable() {
   // Same total reservation as the old single map (1 << 16), spread evenly.
+  // (Constructors run pre-publication; the analysis exempts them.)
   for (auto& shard : shards_) shard.map.reserve((std::size_t{1} << 16) / kShards);
 }
 
 const Node* UniqueTable::find(const NodeKey& key, std::size_t hash) {
   Shard& shard = shards_[shard_of(hash)];
-  shard.lock.lock();
+  const SpinGuard guard(shard.lock);
   const auto it = shard.map.find(key);
-  const Node* hit = (it != shard.map.end()) ? it->second : nullptr;
-  shard.lock.unlock();
-  return hit;
+  return (it != shard.map.end()) ? it->second : nullptr;
 }
 
 const Node* UniqueTable::insert(const NodeKey& key, std::size_t hash, Node* candidate,
                                 bool* inserted) {
   Shard& shard = shards_[shard_of(hash)];
-  shard.lock.lock();
-  const auto [it, fresh] = shard.map.try_emplace(key, candidate);
-  const Node* winner = it->second;
-  shard.lock.unlock();
-  *inserted = fresh;
+  const Node* winner = nullptr;
+  {
+    const SpinGuard guard(shard.lock);
+    const auto [it, fresh] = shard.map.try_emplace(key, candidate);
+    winner = it->second;
+    *inserted = fresh;
+  }
   return winner;
 }
 
 void UniqueTable::clear() {
-  for (auto& shard : shards_) shard.map.clear();
+  for (auto& shard : shards_) {
+    const SpinGuard guard(shard.lock);
+    shard.map.clear();
+  }
 }
 
 void UniqueTable::rebuild_insert(const NodeKey& key, Node* node) {
-  shards_[shard_of(NodeKeyHash{}(key))].map.emplace(key, node);
+  Shard& shard = shards_[shard_of(NodeKeyHash{}(key))];
+  const SpinGuard guard(shard.lock);
+  shard.map.emplace(key, node);
 }
 
 UniqueTable::Stats UniqueTable::stats() {
   Stats s;
   for (auto& shard : shards_) {
-    shard.lock.lock();
+    const SpinGuard guard(shard.lock);
     s.nodes += shard.map.size();
     s.buckets += shard.map.bucket_count();
-    shard.lock.unlock();
   }
   if (s.buckets > 0) s.load_factor = static_cast<double>(s.nodes) / static_cast<double>(s.buckets);
   return s;

@@ -15,8 +15,10 @@
 /// The insert protocol is allocate-then-publish: a missing key is
 /// constructed *outside* the lock and offered with insert(); losing the race
 /// to a concurrent identical intern returns the winner so the caller can
-/// recycle its candidate.  clear() and rebuild() are for the quiescent GC
-/// path only.
+/// recycle its candidate.  clear() and rebuild_insert() serve the quiescent
+/// GC path; they still take the shard locks — uncontended spinlock
+/// acquisition is two atomic ops, and holding the capability keeps the
+/// thread-safety analysis honest instead of opting the GC out of it.
 #pragma once
 
 #include <array>
@@ -26,9 +28,12 @@
 #include <unordered_map>
 
 #include "common/complex.hpp"
+#include "common/thread_annotations.hpp"
 #include "tdd/node.hpp"
 
 namespace qts::tdd {
+
+class AuditAccess;
 
 /// Identity of a canonical node: level, child nodes, and the children's
 /// weights snapped onto the kEps grid (hashing tolerance-compatible weights
@@ -57,18 +62,32 @@ struct NodeKeyHash {
 
 /// Minimal test-and-set spinlock.  Shard critical sections are a few map
 /// probes long, so spinning (with a yield for the oversubscribed case) beats
-/// parking the thread.
-class SpinLock {
+/// parking the thread.  Annotated as a capability so `-Wthread-safety`
+/// statically checks the data it guards.
+class CAPABILITY("spinlock") SpinLock {
  public:
-  void lock() {
+  void lock() ACQUIRE() {
     while (flag_.test_and_set(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
   }
-  void unlock() { flag_.clear(std::memory_order_release); }
+  void unlock() RELEASE() { flag_.clear(std::memory_order_release); }
 
  private:
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// RAII guard for SpinLock, tracked by the thread-safety analysis.
+class SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) ACQUIRE(lock) : lock_(lock) { lock_.lock(); }
+  ~SpinGuard() RELEASE() { lock_.unlock(); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 class UniqueTable {
@@ -94,7 +113,7 @@ class UniqueTable {
   void clear();
 
   /// Re-intern a surviving node during the GC rebuild.  Quiescent points
-  /// only; no locking, no race handling.
+  /// only; no race handling needed, but the shard lock is still taken.
   void rebuild_insert(const NodeKey& key, Node* node);
 
   struct Stats {
@@ -107,10 +126,24 @@ class UniqueTable {
   /// result is a consistent-enough gauge, not a snapshot.
   [[nodiscard]] Stats stats();
 
+  /// Visit every (shard index, key, node) entry, shard by shard under each
+  /// shard's lock.  Serves the structural auditor; the visitor must not
+  /// re-enter the table.
+  template <typename F>
+  void for_each_entry(F&& f) {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      Shard& shard = shards_[s];
+      const SpinGuard guard(shard.lock);
+      for (const auto& [key, node] : shard.map) f(s, key, node);
+    }
+  }
+
  private:
+  friend class AuditAccess;  // corruption API for the auditor's own tests
+
   struct alignas(64) Shard {  // one cache line per lock: no false sharing
     SpinLock lock;
-    std::unordered_map<NodeKey, Node*, NodeKeyHash> map;
+    std::unordered_map<NodeKey, Node*, NodeKeyHash> map GUARDED_BY(lock);
   };
   std::array<Shard, kShards> shards_;
 };

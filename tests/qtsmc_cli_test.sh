@@ -298,6 +298,34 @@ check 2 "$QTSMC" --batch
 check 2 "$QTSMC" --batch "$BATCH_FILE" --bogus-flag
 rm -rf "$BATCH_DIR"
 
+# --- structural audit: a clean run audits clean post-run (--audit) and
+# per-iteration (--audit-every), under the sequential and parallel engines,
+# with the counters surfaced on an `audit:` stats line; bogus arguments are
+# strict usage errors like every other count flag.
+check 0 "$QTSMC" reach --audit "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --audit --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --engine parallel:2 --audit --audit-every 1 --stats "$EXAMPLES/ghz.qasm"
+check 0 "$QTSMC" reach --audit-every 2 --gc-nodes 64 "$EXAMPLES/ghz.qasm"
+check 1 "$QTSMC" invar --audit "$EXAMPLES/ghz.qasm"   # verdict unchanged by auditing
+check 0 "$QTSMC" invar --audit --cross-check statevector "$EXAMPLES/phase_oracle.qasm"
+check 0 "$QTSMC" reach --engine "fallback:statevector:2;basic" --audit "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --audit-every bogus "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --audit-every -1 "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --audit-every 2x "$EXAMPLES/ghz.qasm"
+check 2 "$QTSMC" reach --audit-every "$EXAMPLES/ghz.qasm"   # flag eats the operand
+if "$QTSMC" reach --audit --audit-every 1 --stats "$EXAMPLES/ghz.qasm" | grep -q '^audit:   [0-9]* audit(s) clean'; then
+  echo "ok: --stats reports the audit line"
+else
+  echo "FAIL: --stats did not report the audit line" >&2
+  failures=$((failures + 1))
+fi
+if "$QTSMC" reach --stats "$EXAMPLES/ghz.qasm" | grep -q 'audit(s) clean'; then
+  echo "FAIL: audit line printed without --audit/--audit-every" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: no audit line without auditing"
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures qtsmc CLI check(s) failed" >&2
   exit 1

@@ -98,6 +98,15 @@
 ///                                          when the live-node count doubles
 ///                                          since the last collection (above a
 ///                                          64k-node floor)
+///   --audit                                run the deep structural audit
+///                                          (tdd::audit: canonical form,
+///                                          unique-table residency, arena
+///                                          bookkeeping, op-cache sanity) once
+///                                          after the run; corruption exits 4
+///                                          with a typed per-failure report
+///   --audit-every N                        additionally audit inside the
+///                                          fixpoint loop: every N iterations
+///                                          and after every GC (0 = off)
 ///   --stats                                print run statistics (time, peak
 ///                                          #node, cache hit rates, GC runs,
 ///                                          frontier iteration totals, engine
@@ -138,6 +147,7 @@
 #include "qts/fallback_engine.hpp"
 #include "qts/reachability.hpp"
 #include "qts/result_cache.hpp"
+#include "tdd/audit.hpp"
 
 namespace {
 
@@ -190,6 +200,8 @@ struct Options {
   std::size_t max_nodes = 0;
   std::vector<std::string> inject;
   std::size_t gc_nodes = 0;
+  bool audit = false;
+  std::size_t audit_every = 0;
   std::string cache_dir;
   bool stats = false;
   bool verbose = false;
@@ -243,6 +255,10 @@ struct UsageError {
                                          nodes|alloc|qubits|nonzeros|deadline
                                          @iter<K> or @count:<N> (repeatable)
   --gc-nodes N                           GC above N live manager nodes (0 = adaptive policy)
+  --audit                                deep structural audit after the run
+                                         (corruption exits 4 with a typed report)
+  --audit-every N                        audit every N fixpoint iterations and
+                                         after every GC (0 = off)
   --stats                                print run statistics
   --verbose                              print per-iteration fixpoint statistics
 exit codes: 0 success/holds, 1 property violated, 2 usage or parse error,
@@ -319,6 +335,10 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.inject.push_back(next());
     } else if (a == "--gc-nodes") {
       opt.gc_nodes = static_cast<std::size_t>(parse_count(a, next()));
+    } else if (a == "--audit") {
+      opt.audit = true;
+    } else if (a == "--audit-every") {
+      opt.audit_every = static_cast<std::size_t>(parse_count(a, next()));
     } else if (a == "--cache") {
       opt.cache_dir = next();
     } else if (a == "--stats") {
@@ -402,6 +422,7 @@ JobOutcome run_job(const Options& opt, tdd::Manager& mgr, ResultCache* shared_ca
   ExecutionContext ctx;
   if (opt.timeout_s > 0) ctx.set_deadline(Deadline::after(opt.timeout_s));
   if (opt.gc_nodes > 0) ctx.set_gc_threshold_nodes(opt.gc_nodes);
+  if (opt.audit_every > 0) ctx.set_audit_every(opt.audit_every);
   if (opt.max_nodes > 0) ctx.set_max_nodes(opt.max_nodes);
   if (!opt.inject.empty()) {
     // Repeated --inject flags fold into one comma-joined plan.
@@ -480,8 +501,17 @@ JobOutcome run_job(const Options& opt, tdd::Manager& mgr, ResultCache* shared_ca
 
   JobOutcome out;
   std::ostringstream summary;
+  // Roots for the post-run --audit: the subspaces the job still holds live
+  // (the reachability checks run against what a subsequent GC would keep).
+  std::vector<tdd::Edge> audit_roots;
+  const auto keep_for_audit = [&](const Subspace& s) {
+    if (!opt.audit) return;
+    audit_roots.push_back(s.projector());
+    audit_roots.insert(audit_roots.end(), s.basis().begin(), s.basis().end());
+  };
   if (opt.command == "image") {
     const Subspace img = computer->image(sys, sys.initial);
+    keep_for_audit(img);
     if (!quiet) std::cout << "image:   dimension " << img.dim() << "\n";
     summary << "image dimension " << img.dim();
     if (oracle) {
@@ -495,6 +525,7 @@ JobOutcome run_job(const Options& opt, tdd::Manager& mgr, ResultCache* shared_ca
     }
   } else if (opt.command == "reach") {
     const auto r = reachable_space(*computer, sys, opt.steps, observer, oracle.get(), cache);
+    keep_for_audit(r.space);
     if (!quiet) {
       std::cout << "reach:   dimension " << r.space.dim() << " of " << (1ull << std::min(n, 63u))
                 << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
@@ -506,6 +537,7 @@ JobOutcome run_job(const Options& opt, tdd::Manager& mgr, ResultCache* shared_ca
   } else if (opt.command == "back") {
     const auto r =
         backward_reachable(*computer, sys, sys.initial, opt.steps, observer, oracle.get(), cache);
+    keep_for_audit(r.space);
     if (!quiet) {
       std::cout << "back:    dimension " << r.space.dim()
                 << (r.converged ? " (fixpoint)" : " (iteration cap hit)") << " after "
@@ -517,6 +549,8 @@ JobOutcome run_job(const Options& opt, tdd::Manager& mgr, ResultCache* shared_ca
   } else if (opt.command == "invar") {
     const auto r =
         check_invariant(*computer, sys, sys.initial, opt.steps, observer, oracle.get(), cache);
+    // Nothing extra to keep: the invariant subspace IS sys.initial, which
+    // the post-run audit roots always include.
     if (!quiet) {
       std::cout << "invar:   " << (r.holds ? "HOLDS" : "VIOLATED") << " after " << r.iterations
                 << " steps" << (r.converged ? "" : " (iteration cap hit)") << "\n";
@@ -528,6 +562,25 @@ JobOutcome run_job(const Options& opt, tdd::Manager& mgr, ResultCache* shared_ca
     throw UsageError{"unknown command " + opt.command};
   }
   if (oracle && !quiet) std::cout << "cross:   " << opt.oracle.to_string() << " agrees\n";
+
+  if (opt.audit) {
+    // Post-run structural audit at the job's natural quiescent point: the
+    // engines' prepared operators, the initial subspace and the result
+    // subspace are exactly what a collection here would keep alive.
+    keep_for_audit(sys.initial);
+    std::vector<tdd::Edge> roots = computer->prepared_roots();
+    if (oracle) {
+      const auto oracle_roots = oracle->prepared_roots();
+      roots.insert(roots.end(), oracle_roots.begin(), oracle_roots.end());
+    }
+    roots.insert(roots.end(), audit_roots.begin(), audit_roots.end());
+    tdd::AuditReport report;
+    if (!tdd::audit(mgr, report, roots)) throw tdd::AuditError(std::move(report));
+    RunStats& sw = ctx.stats();
+    ++sw.audits_run;
+    if (report.interned_nodes > sw.audited_nodes) sw.audited_nodes = report.interned_nodes;
+    if (!quiet) std::cout << "audit:   " << report.summary() << "\n";
+  }
 
   const RunStats& s = ctx.stats();
   out.cache_hits = s.cache_hits;
@@ -555,6 +608,12 @@ JobOutcome run_job(const Options& opt, tdd::Manager& mgr, ResultCache* shared_ca
                 << s.frontier_kets << " ket(s) imaged in " << s.frontier_shards
                 << " shard(s), " << s.frontier_survivors << " survivor(s), max frontier dim "
                 << s.max_frontier_dim << "\n";
+    }
+    if (s.audits_run > 0) {
+      // Merged across parallel workers like the other gauges: audits_run
+      // sums on join, audited_nodes max-merges.
+      std::cout << "audit:   " << s.audits_run << " audit(s) clean, largest walked "
+                << s.audited_nodes << " node(s)\n";
     }
     if (s.plans_computed > 0) {
       std::cout << "planner: " << to_string(computer->order_policy()) << " policy, "
@@ -614,6 +673,14 @@ JobOutcome run_job_caught(const Options& opt, tdd::Manager& mgr, ResultCache* sh
   } catch (const qts::ResourceExhausted& e) {
     std::cerr << "resource exhausted: " << e.what() << "\n";
     return {kExitResource, e.what(), 0, 0, 0};
+  } catch (const tdd::AuditError& e) {
+    // Typed corruption report: one line per violated invariant, then the
+    // internal-error exit code (corruption is a library bug by definition).
+    std::cerr << "audit failed: " << e.what() << "\n";
+    for (const auto& f : e.report().failures) {
+      std::cerr << "audit:   [" << tdd::to_string(f.check) << "] " << f.detail << "\n";
+    }
+    return {kExitInternal, e.what(), 0, 0, 0};
   } catch (const qts::InternalError& e) {
     std::cerr << "internal error: " << e.what() << "\n";
     return {kExitInternal, e.what(), 0, 0, 0};
